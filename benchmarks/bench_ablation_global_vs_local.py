@@ -1,0 +1,63 @@
+"""Ablation A1: the Section 6 local algorithms vs naive enumeration.
+
+The paper motivates its algorithms by noting that they are "significantly
+more efficient than naively computing the probability by marginalizing
+over all of the compatible instances".  This ablation quantifies that on
+instances small enough for enumeration to finish: the local algorithm's
+advantage grows with the number of compatible worlds (exponential in the
+instance size), while the local algorithm scales with the number of
+objects and OPF entries only.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.projection_prob import (
+    ancestor_projection_global,
+    ancestor_projection_local,
+)
+from repro.queries.engine import QueryEngine
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+)
+
+CASES = [
+    pytest.param(2, 2, id="depth2-b2"),
+    pytest.param(3, 2, id="depth3-b2"),
+    pytest.param(2, 3, id="depth2-b3"),
+]
+
+
+def _workload(depth, branching):
+    workload = generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling="SL", seed=5)
+    )
+    path = random_projection_path(workload, random.Random(0))
+    return workload, path
+
+
+@pytest.mark.parametrize("depth,branching", CASES)
+def test_projection_local(benchmark, depth, branching):
+    workload, path = _workload(depth, branching)
+    result = benchmark(ancestor_projection_local, workload.instance, path)
+    benchmark.extra_info["objects"] = workload.num_objects
+    assert result is not None
+
+
+@pytest.mark.parametrize("depth,branching", CASES)
+def test_projection_global_enumeration(benchmark, depth, branching):
+    workload, path = _workload(depth, branching)
+    result = benchmark(ancestor_projection_global, workload.instance, path)
+    benchmark.extra_info["objects"] = workload.num_objects
+    benchmark.extra_info["worlds"] = len(result)
+
+
+@pytest.mark.parametrize("strategy", ["local", "enumerate", "bayes"])
+def test_existential_query_engines(benchmark, strategy):
+    workload, path = _workload(3, 2)
+    engine = QueryEngine(workload.instance, strategy=strategy)
+    probability = benchmark(engine.exists, path)
+    assert 0.0 <= probability <= 1.0

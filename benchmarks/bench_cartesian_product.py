@@ -1,0 +1,49 @@
+"""Ablation A4: Cartesian product cost is root-local.
+
+The paper skipped benchmarking the product "because it only involves the
+update of the roots, whose running time is very short and independent of
+the size of the instances".  In this library the *probabilistic* work —
+multiplying the two root OPFs — is indeed size-independent (benchmarked
+separately below); building the merged result instance additionally pays
+a linear copy of both operands, which the total-time series makes
+visible.
+"""
+
+import pytest
+
+from repro.algebra.extensions import rename_objects
+from repro.algebra.product import _product_root_opf, cartesian_product
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+DEPTHS = [2, 4, 6]
+
+
+def _operands(depth):
+    left = generate_workload(
+        WorkloadSpec(depth=depth, branching=2, labeling="SL", seed=41)
+    ).instance
+    right = generate_workload(
+        WorkloadSpec(depth=depth, branching=2, labeling="FR", seed=42)
+    ).instance
+    right = rename_objects(right, {oid: f"x{oid}" for oid in right.objects})
+    return left, right
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_cartesian_product_total(benchmark, depth):
+    left, right = _operands(depth)
+    product = benchmark(cartesian_product, left, right, "ROOT")
+    benchmark.extra_info["objects"] = len(product)
+    # Root OPF support: |support(l)| x |support(r)| = 4 x 4 regardless of
+    # depth (branching 2 -> 2^2 entries per root).
+    assert product.opf("ROOT").entry_count() <= 16
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_root_opf_merge_only(benchmark, depth):
+    # The paper's claim isolated: the probability update itself does not
+    # depend on the operand sizes.
+    left, right = _operands(depth)
+    opf = benchmark(_product_root_opf, left, right)
+    benchmark.extra_info["objects"] = len(left) + len(right)
+    assert opf.entry_count() <= 16

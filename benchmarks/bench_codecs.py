@@ -1,0 +1,66 @@
+"""Ablation A8: serialization formats for the selection write path.
+
+The paper's Figure 7(c) is dominated by writing the result instance to
+disk, making the codec a first-order performance knob.  This bench
+compares the JSON codec (lossless, interoperable) against the compact
+line-oriented codec on write, read, and the end-to-end selection query.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.timing import timed_selection
+from repro.io import compact_codec, json_codec
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_selection_target,
+)
+
+CASES = [(3, 4), (3, 6)]  # (depth, branching)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        case: generate_workload(
+            WorkloadSpec(depth=case[0], branching=case[1], labeling="SL", seed=71)
+        )
+        for case in CASES
+    }
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"d{c[0]}-b{c[1]}")
+@pytest.mark.parametrize("codec", ["json", "compact"])
+def test_write(benchmark, workloads, case, codec, tmp_path):
+    module = json_codec if codec == "json" else compact_codec
+    target = tmp_path / f"out.{codec}"
+    size = benchmark(module.write_instance, workloads[case].instance, target)
+    benchmark.extra_info["bytes"] = size
+    benchmark.extra_info["entries"] = workloads[case].total_entries
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"d{c[0]}-b{c[1]}")
+@pytest.mark.parametrize("codec", ["json", "compact"])
+def test_read(benchmark, workloads, case, codec, tmp_path):
+    module = json_codec if codec == "json" else compact_codec
+    target = tmp_path / f"out.{codec}"
+    module.write_instance(workloads[case].instance, target)
+    restored = benchmark(module.read_instance, target)
+    assert len(restored) == workloads[case].num_objects
+
+
+@pytest.mark.parametrize("codec", ["json", "compact"])
+def test_selection_end_to_end(benchmark, workloads, codec, tmp_path):
+    workload = workloads[CASES[-1]]
+    path, target = random_selection_target(workload, random.Random(0))
+    out = tmp_path / f"sel.{codec}"
+
+    def run():
+        return timed_selection(workload.instance, path, target, out, codec=codec)
+
+    _, timing = benchmark(run)
+    benchmark.extra_info["write_share"] = (
+        timing.write / timing.total if timing.total else 0.0
+    )

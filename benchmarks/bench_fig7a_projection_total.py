@@ -1,0 +1,32 @@
+"""Figure 7(a): total query time of ancestor projection.
+
+Reproduces the paper's first panel: for balanced-tree instances across
+branching factors and SL/FR labelings, the *total* query time — copy +
+locate + structure update + local-interpretation update + disk write —
+of a random accepted ancestor-projection query whose length equals the
+instance depth.
+
+Expected shape (paper): total time is dominated by the p-update, grows
+linearly with the number of objects, grows by less than 16x when the
+branching factor increases by 2, and SL is slower than FR.
+"""
+
+from repro.bench.timing import timed_ancestor_projection
+
+
+def test_fig7a_projection_total(benchmark, figure7_case, tmp_path):
+    workload, path, _, _ = figure7_case
+    out = tmp_path / "projection.json"
+
+    def run():
+        return timed_ancestor_projection(workload.instance, path, out)
+
+    result, timing = benchmark(run)
+    benchmark.extra_info["objects"] = workload.num_objects
+    benchmark.extra_info["entries"] = workload.total_entries
+    benchmark.extra_info["labeling"] = workload.spec.labeling
+    benchmark.extra_info["branching"] = workload.spec.branching
+    benchmark.extra_info["update_share"] = (
+        timing.update / timing.total if timing.total else 0.0
+    )
+    assert result is not None

@@ -1,0 +1,26 @@
+"""Figure 7(b): time to update the local interpretation (p) alone.
+
+Isolates the marginalize/normalize sweep of Section 6.1 — the component
+the paper shows dominating ancestor projection.  The expected shape:
+linear in the number of objects (each p(o) is updated once), and when the
+branching factor increases by 2 (quadrupling the 2^b OPF entries) the
+time grows by a factor below 16, because the per-object propagation is
+quadratic in the size of p(o).
+"""
+
+from repro.algebra.projection_prob import epsilon_pass
+from repro.semistructured.paths import match_path
+
+
+def test_fig7b_update_interpretation(benchmark, figure7_case):
+    workload, path, _, _ = figure7_case
+    pi = workload.instance
+    match = match_path(pi.weak.graph(), path)
+
+    sweep = benchmark(epsilon_pass, pi, path, match)
+    benchmark.extra_info["objects"] = workload.num_objects
+    benchmark.extra_info["entries"] = workload.total_entries
+    benchmark.extra_info["labeling"] = workload.spec.labeling
+    benchmark.extra_info["branching"] = workload.spec.branching
+    benchmark.extra_info["updated_opfs"] = len(sweep.opfs)
+    assert 0.0 <= sweep.root_epsilon <= 1.0

@@ -1,0 +1,27 @@
+"""Figure 7(c): total query time of selection.
+
+Selection ``p = o`` conditions only depth-many OPFs (the p-update takes
+well under a millisecond) but must write the *entire* instance back to
+disk, so — as the paper reports — the write dominates and the total time
+is linear in the number of OPF entries regardless of SL/FR labeling.
+"""
+
+from repro.bench.timing import timed_selection
+
+
+def test_fig7c_selection_total(benchmark, figure7_case, tmp_path):
+    workload, _, sel_path, sel_target = figure7_case
+    out = tmp_path / "selection.json"
+
+    def run():
+        return timed_selection(workload.instance, sel_path, sel_target, out)
+
+    result, timing = benchmark(run)
+    benchmark.extra_info["objects"] = workload.num_objects
+    benchmark.extra_info["entries"] = workload.total_entries
+    benchmark.extra_info["labeling"] = workload.spec.labeling
+    benchmark.extra_info["branching"] = workload.spec.branching
+    benchmark.extra_info["write_share"] = (
+        timing.write / timing.total if timing.total else 0.0
+    )
+    assert result is not None

@@ -1,0 +1,42 @@
+"""Ablation A7: learning throughput.
+
+Maximum-likelihood estimation is a single counting pass over the corpus;
+this bench measures it against corpus size and against instance size
+(the per-world cost is linear in the world's objects).
+"""
+
+import pytest
+
+from repro.learn import learn_instance
+from repro.semantics.sampling import WorldSampler
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+CORPUS_SIZES = [100, 500, 2000]
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    pi = generate_workload(
+        WorkloadSpec(depth=3, branching=2, labeling="SL", seed=61)
+    ).instance
+    sampler = WorldSampler(pi, seed=0)
+    biggest = sampler.sample_many(max(CORPUS_SIZES))
+    return {size: biggest[:size] for size in CORPUS_SIZES}
+
+
+@pytest.mark.parametrize("size", CORPUS_SIZES)
+def test_learning_by_corpus_size(benchmark, corpora, size):
+    learned = benchmark(learn_instance, corpora[size])
+    benchmark.extra_info["corpus"] = size
+    learned.validate()
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_learning_by_instance_size(benchmark, depth):
+    pi = generate_workload(
+        WorkloadSpec(depth=depth, branching=2, labeling="SL", seed=62)
+    ).instance
+    corpus = WorldSampler(pi, seed=1).sample_many(200)
+    learned = benchmark(learn_instance, corpus)
+    benchmark.extra_info["objects"] = len(pi)
+    learned.validate()

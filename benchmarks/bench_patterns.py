@@ -1,0 +1,70 @@
+"""Ablation A6: pattern-tree query cost (the ProTDB-style primitive).
+
+The exact pattern DP is polynomial in the instance and exponential only
+in the pattern *width*; this bench sweeps both dimensions and compares
+against the Monte-Carlo estimator on the largest case.
+"""
+
+import pytest
+
+from repro.protdb.patterns import (
+    PatternNode,
+    estimate_pattern_probability,
+    pattern_probability,
+)
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+
+def _instance(depth, branching):
+    return generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling="SL", seed=29)
+    ).instance
+
+
+def _linear_pattern(pi, depth):
+    graph = pi.weak.graph()
+    current = pi.root
+    labels = []
+    for _ in range(depth):
+        child = sorted(graph.children(current))[0]
+        labels.append(graph.label(current, child))
+        current = child
+    node = PatternNode.child(labels[-1])
+    for label in reversed(labels[:-1]):
+        node = PatternNode.child(label, node)
+    return PatternNode.root(node)
+
+
+def _wide_pattern(pi, width):
+    graph = pi.weak.graph()
+    child = sorted(graph.children(pi.root))[0]
+    label = graph.label(pi.root, child)
+    return PatternNode.root(*[PatternNode.child(label) for _ in range(width)])
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_linear_pattern_by_depth(benchmark, depth):
+    pi = _instance(depth, 2)
+    pattern = _linear_pattern(pi, depth)
+    probability = benchmark(pattern_probability, pi, pattern)
+    benchmark.extra_info["objects"] = len(pi)
+    assert 0.0 <= probability <= 1.0
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_pattern_by_width(benchmark, width):
+    pi = _instance(3, 3)
+    pattern = _wide_pattern(pi, width)
+    probability = benchmark(pattern_probability, pi, pattern)
+    assert 0.0 <= probability <= 1.0
+
+
+def test_pattern_sampling_estimator(benchmark):
+    pi = _instance(4, 2)
+    pattern = _linear_pattern(pi, 4)
+
+    def run():
+        return estimate_pattern_probability(pi, pattern, samples=200, seed=0)
+
+    estimate = benchmark(run)
+    assert 0.0 <= estimate.probability <= 1.0

@@ -1,0 +1,54 @@
+"""Ablation A3: probabilistic point / chain / existential query cost.
+
+Section 6.2's queries touch only the target's path ancestors, so their
+cost should scale with the query depth (and the OPF entry counts along
+the chain), not with the total instance size.
+"""
+
+import pytest
+
+from repro.queries.chain import chain_probability
+from repro.queries.point import existential_query, point_query
+from repro.semistructured.paths import PathExpression
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+DEPTHS = [3, 5, 7]
+
+
+def _chain_case(depth):
+    workload = generate_workload(
+        WorkloadSpec(depth=depth, branching=2, labeling="SL", seed=31)
+    )
+    pi = workload.instance
+    graph = pi.weak.graph()
+    labels, chain = [], [pi.root]
+    current = pi.root
+    for _ in range(depth):
+        child = sorted(graph.children(current))[0]
+        labels.append(graph.label(current, child))
+        chain.append(child)
+        current = child
+    return pi, PathExpression(pi.root, tuple(labels)), chain
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_point_query(benchmark, depth):
+    pi, path, chain = _chain_case(depth)
+    probability = benchmark(point_query, pi, path, chain[-1])
+    benchmark.extra_info["objects"] = len(pi)
+    assert 0.0 <= probability <= 1.0
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_chain_probability(benchmark, depth):
+    pi, _, chain = _chain_case(depth)
+    probability = benchmark(chain_probability, pi, chain)
+    assert 0.0 <= probability <= 1.0
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_existential_query(benchmark, depth):
+    pi, path, _ = _chain_case(depth)
+    probability = benchmark(existential_query, pi, path)
+    benchmark.extra_info["objects"] = len(pi)
+    assert 0.0 <= probability <= 1.0

@@ -1,0 +1,50 @@
+"""Ablation A5: Monte-Carlo sampling throughput and engine crossover.
+
+The sampler is the only engine whose cost is independent of the query
+and linear in (instance size x samples); this bench measures per-sample
+throughput across instance sizes and compares one point query across the
+exact engines and the sampler on a mid-size tree.
+"""
+
+import pytest
+
+from repro.queries.engine import QueryEngine
+from repro.semantics.sampling import WorldSampler
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+SIZES = [(3, 2), (5, 2), (4, 4)]  # (depth, branching)
+
+
+def _instance(depth, branching):
+    return generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling="SL", seed=23)
+    ).instance
+
+
+@pytest.mark.parametrize("depth,branching", SIZES)
+def test_sampling_throughput(benchmark, depth, branching):
+    pi = _instance(depth, branching)
+    sampler = WorldSampler(pi, seed=0)
+    benchmark(sampler.sample)
+    benchmark.extra_info["objects"] = len(pi)
+
+
+def _query_case():
+    pi = _instance(4, 2)
+    graph = pi.weak.graph()
+    target = sorted(pi.weak.leaves())[0]
+    labels, current = [], target
+    while current != pi.root:
+        (parent,) = graph.parents(current)
+        labels.append(graph.label(parent, current))
+        current = parent
+    labels.reverse()
+    return pi, ".".join([pi.root, *labels]), target
+
+
+@pytest.mark.parametrize("strategy", ["local", "bayes", "sample"])
+def test_point_query_engines(benchmark, strategy):
+    pi, path, target = _query_case()
+    engine = QueryEngine(pi, strategy=strategy, samples=500, seed=1)
+    probability = benchmark(engine.point, path, target)
+    assert 0.0 <= probability <= 1.0

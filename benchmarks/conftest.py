@@ -1,0 +1,58 @@
+"""Shared workload fixtures for the benchmark suite.
+
+Workload generation is expensive relative to the measured operations, so
+generated instances are cached per session and the benchmarks only time
+the operation under test.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+    random_selection_target,
+)
+
+#: The (labeling, branching, depth) grid used by the Figure 7 benchmarks.
+#: The shape follows the paper's sweep; sizes are trimmed for pure Python
+#: (see DESIGN.md "Substitutions").
+FIGURE7_GRID = [
+    ("SL", 2, 3), ("SL", 2, 5), ("SL", 2, 7),
+    ("SL", 4, 3), ("SL", 4, 4),
+    ("SL", 8, 3),
+    ("FR", 2, 3), ("FR", 2, 5), ("FR", 2, 7),
+    ("FR", 4, 3), ("FR", 4, 4),
+    ("FR", 8, 3),
+]
+
+
+def grid_id(case: tuple[str, int, int]) -> str:
+    labeling, branching, depth = case
+    objects = WorkloadSpec(depth=depth, branching=branching).num_objects
+    return f"{labeling}-b{branching}-d{depth}-n{objects}"
+
+
+@lru_cache(maxsize=None)
+def cached_workload(labeling: str, branching: int, depth: int) -> GeneratedWorkload:
+    """Generate (once) the instance for a grid cell."""
+    return generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling=labeling, seed=97)
+    )
+
+
+@pytest.fixture(params=FIGURE7_GRID, ids=grid_id)
+def figure7_case(request):
+    """One grid cell: the workload plus a pre-drawn accepted query."""
+    labeling, branching, depth = request.param
+    workload = cached_workload(labeling, branching, depth)
+    rng = random.Random(1234)
+    path = random_projection_path(workload, rng)
+    sel_path, sel_target = random_selection_target(workload, rng)
+    return workload, path, sel_path, sel_target

@@ -1,0 +1,100 @@
+"""The four motivating situations of Section 2, end to end.
+
+Run with:  python examples/bibliography.py
+
+1. "We want to know the authors of all books ... keep the result so that
+   further enquiries can be made on it"      -> ancestor projection.
+2. "Now we know that a particular book surely exists"  -> selection.
+3. "We have two probabilistic instances about books of two different
+   areas and want to combine them"           -> Cartesian product.
+4. "We want to know the probability that a particular author exists"
+                                             -> probabilistic point query.
+
+The instance here is a tree-structured bibliography so the efficient
+Section 6 algorithms apply throughout.
+"""
+
+from repro import (
+    InstanceBuilder,
+    ObjectCondition,
+    PathExpression,
+    QueryEngine,
+    ancestor_projection_local,
+    cartesian_product,
+    select_local,
+)
+from repro.semantics import GlobalInterpretation
+
+
+def build_databases():
+    """Two bibliographic instances collected by two different systems."""
+    db = InstanceBuilder("lib")
+    db.children("lib", "book", ["B1", "B2"])
+    db.opf("lib", {("B1",): 0.25, ("B2",): 0.15, ("B1", "B2"): 0.5, (): 0.1})
+    db.children("B1", "author", ["A1", "A2"])
+    db.children("B1", "title", ["T1"])
+    db.opf("B1", {
+        ("A1", "T1"): 0.4, ("A1", "A2", "T1"): 0.3, ("A2",): 0.1, ("T1",): 0.2,
+    })
+    db.children("B2", "author", ["A3"])
+    db.opf("B2", {("A3",): 0.7, (): 0.3})
+    db.leaf("A1", "name", ["Hung", "Getoor"], {"Hung": 0.9, "Getoor": 0.1})
+    db.leaf("A2", "name", vpf={"Getoor": 1.0})
+    db.leaf("A3", "name", vpf={"Hung": 1.0})
+    db.leaf("T1", "title", ["PXML", "Lore"], {"PXML": 0.8, "Lore": 0.2})
+
+    other = InstanceBuilder("lib2")
+    other.children("lib2", "book", ["C1"])
+    other.opf("lib2", {("C1",): 0.6, (): 0.4})
+    other.children("C1", "author", ["D1"])
+    other.opf("C1", {("D1",): 1.0})
+    other.leaf("D1", "name", ["Subrahmanian"], {"Subrahmanian": 1.0})
+    return db.build(), other.build()
+
+
+def main() -> None:
+    bib, other_area = build_databases()
+    engine = QueryEngine(bib)
+
+    print("== Situation 1: project onto authors, keep it queryable ==")
+    authors_only = ancestor_projection_local(bib, "lib.book.author")
+    print(f"  projection result: {authors_only!r}")
+    print(f"  objects kept: {sorted(authors_only.objects)}")
+    # The result is itself a probabilistic instance: enquire further.
+    followup = QueryEngine(authors_only)
+    print(f"  P(A1 still present in result) = "
+          f"{followup.point('lib.book.author', 'A1'):.4f}")
+    print(f"  P(result is just the root)    = "
+          f"{authors_only.opf('lib').prob(frozenset()):.4f}")
+
+    print("\n== Situation 2: book B1 surely exists ==")
+    before = engine.point("lib.book", "B1")
+    condition = ObjectCondition(PathExpression.parse("lib.book"), "B1")
+    selected = select_local(bib, condition)
+    after_engine = QueryEngine(selected.instance)
+    print(f"  P(B1) before selection: {before:.4f}")
+    print(f"  P(B1) after  selection: {after_engine.point('lib.book', 'B1'):.4f}")
+    print(f"  prior probability of the condition: {selected.probability:.4f}")
+    print(f"  P(A1) rises from {engine.point('lib.book.author', 'A1'):.4f} "
+          f"to {after_engine.point('lib.book.author', 'A1'):.4f}")
+
+    print("\n== Situation 3: combine two areas into one instance ==")
+    combined = cartesian_product(bib, other_area, new_root="lib")
+    print(f"  combined: {combined!r}")
+    worlds = GlobalInterpretation.from_local(combined)
+    print(f"  P(B1 in combined) = {worlds.prob_object_exists('B1'):.4f} "
+          "(unchanged marginal)")
+    print(f"  P(C1 in combined) = {worlds.prob_object_exists('C1'):.4f}")
+    joint = worlds.event_probability(lambda w: "B1" in w and "C1" in w)
+    print(f"  P(B1 and C1)      = {joint:.4f} (independent product)")
+
+    print("\n== Situation 4: probability a particular author exists ==")
+    for author in ["A1", "A2", "A3"]:
+        print(f"  P({author} in lib.book.author) = "
+              f"{engine.point('lib.book.author', author):.4f}")
+    print(f"  P(any author at all)       = "
+          f"{engine.exists('lib.book.author'):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Building a probabilistic instance from a noisy citation extractor.
+
+Run with:  python examples/information_extraction.py
+
+The paper motivates PXML with citation indexes like Citeseer: crawled
+documents are parsed by an imperfect extractor, so there is uncertainty
+over whether a reference exists at all, which fields it has, and who the
+author is ("does Hung refer to Edward Hung or Sheung-lun Hung?").
+
+This example simulates that pipeline: a small synthetic extractor emits
+field detections with confidences, and we compile them into a PXML
+probabilistic instance — detection confidences become per-child
+inclusion probabilities (a compact :class:`IndependentOPF`), and
+ambiguous field resolutions become VPFs.  We then answer the questions a
+curator would ask.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro import QueryEngine, IndependentOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.weak_instance import WeakInstance
+from repro.semistructured.types import LeafType
+
+
+@dataclass
+class Detection:
+    """One extracted field with the extractor's confidence."""
+
+    field: str              # "title", "author", "year"
+    confidence: float       # P(the field really is part of this reference)
+    candidates: dict        # value -> P(value | field exists)
+
+
+@dataclass
+class ExtractedReference:
+    """One candidate bibliographic reference found in a crawled document."""
+
+    ref_id: str
+    confidence: float       # P(this really is a reference)
+    detections: list
+
+
+def simulated_extractor(seed: int = 7) -> list[ExtractedReference]:
+    """A deterministic stand-in for a probabilistic parser's output."""
+    rng = random.Random(seed)
+    author_pools = [
+        {"Edward Hung": 0.7, "Sheung-lun Hung": 0.3},
+        {"Lise Getoor": 1.0},
+        {"V.S. Subrahmanian": 0.85, "S. Subrahmanian": 0.15},
+    ]
+    references = []
+    for index in range(4):
+        detections = [
+            Detection("title", rng.uniform(0.85, 1.0),
+                      {f"Paper {index}": 1.0}),
+            Detection("author", rng.uniform(0.6, 0.95),
+                      rng.choice(author_pools)),
+            Detection("year", rng.uniform(0.4, 0.9),
+                      {1998 + index: 0.8, 1999 + index: 0.2}),
+        ]
+        references.append(
+            ExtractedReference(f"ref{index}", rng.uniform(0.5, 0.99), detections)
+        )
+    return references
+
+
+def compile_to_pxml(references: list) -> ProbabilisticInstance:
+    """Compile extractor output into a PXML probabilistic instance.
+
+    * Each reference exists independently with the extractor's confidence
+      -> the root gets an IndependentOPF over the reference objects.
+    * Each field of a present reference exists independently with its
+      detection confidence -> per-reference IndependentOPFs.
+    * Field-value ambiguity -> VPFs over the candidate values.
+    """
+    weak = WeakInstance("index")
+    pi = ProbabilisticInstance(weak)
+
+    weak.set_lch("index", "reference", [r.ref_id for r in references])
+    pi.set_opf("index", IndependentOPF({r.ref_id: r.confidence for r in references}))
+
+    for ref in references:
+        inclusion = {}
+        for det in ref.detections:
+            field_oid = f"{ref.ref_id}.{det.field}"
+            weak.set_lch(ref.ref_id, det.field, [field_oid])
+            inclusion[field_oid] = det.confidence
+        pi.set_opf(ref.ref_id, IndependentOPF(inclusion))
+        for det in ref.detections:
+            field_oid = f"{ref.ref_id}.{det.field}"
+            leaf_type = LeafType(
+                f"{det.field}-type:{field_oid}", list(det.candidates)
+            )
+            weak.set_type(field_oid, leaf_type)
+            pi.set_vpf(field_oid, TabularVPF(det.candidates))
+
+    pi.validate()
+    return pi
+
+
+def main() -> None:
+    references = simulated_extractor()
+    pi = compile_to_pxml(references)
+    print(f"Compiled extractor output into {pi!r}")
+    print(f"  tree-structured: {pi.weak.is_tree()}")
+
+    engine = QueryEngine(pi)
+    print("\nCurator questions:")
+    for ref in references:
+        p_ref = engine.point("index.reference", ref.ref_id)
+        p_author = engine.point("index.reference.author", f"{ref.ref_id}.author")
+        print(f"  {ref.ref_id}: P(is a reference) = {p_ref:.3f}, "
+              f"P(has an author field) = {p_author:.3f}")
+
+    print(f"\n  P(at least one year field in the whole index) = "
+          f"{engine.exists('index.reference.year'):.3f}")
+
+    # Name disambiguation: the probability that ref0 was written by the
+    # Edward Hung rather than Sheung-lun Hung, given the field exists.
+    author = pi.vpf("ref0.author")
+    if author is not None:
+        print("\n  ref0 author disambiguation (given the field exists):")
+        for value, probability in sorted(author.support(), key=lambda kv: -kv[1]):
+            print(f"    {value}: {probability:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Migrating a ProTDB database into PXML (the Section 8 subsumption).
+
+Run with:  python examples/protdb_migration.py
+
+ProTDB (Nierman & Jagadish, VLDB 2002) attaches an independent existence
+probability to every individual child.  PXML subsumes it: the translation
+maps each node's per-child probabilities to a compact independent OPF and
+preserves the distribution over possible worlds exactly.  The reverse
+direction fails — PXML's correlated child sets have no ProTDB encoding —
+which this example demonstrates too.
+"""
+
+from repro import InstanceBuilder, QueryEngine
+from repro.protdb import ProTDBInstance, ProTDBNode, protdb_world_distribution, to_pxml
+from repro.semantics import GlobalInterpretation
+from repro.semistructured.types import LeafType
+
+TITLE = LeafType("title", ["PXML", "ProTDB", "Lore"])
+
+
+def build_protdb() -> ProTDBInstance:
+    """A small ProTDB movie/book database."""
+    root = ProTDBNode("db")
+    b1 = root.add_child("book", ProTDBNode("b1"), 0.9)
+    b1.add_child("title", ProTDBNode("t1", leaf_type=TITLE, value="PXML"), 0.95)
+    b1.add_child("author", ProTDBNode("a1", leaf_type=TITLE, value="ProTDB"), 0.6)
+    b2 = root.add_child("book", ProTDBNode("b2"), 0.4)
+    b2.add_child("title", ProTDBNode("t2", leaf_type=TITLE, value="Lore"), 0.8)
+    return ProTDBInstance(root)
+
+
+def main() -> None:
+    protdb = build_protdb()
+    print(f"ProTDB source: {protdb!r}")
+
+    pxml = to_pxml(protdb)
+    pxml.validate()
+    print(f"Translated:    {pxml!r}")
+
+    # The two world distributions are identical.
+    reference = protdb_world_distribution(protdb)
+    translated = GlobalInterpretation.from_local(pxml)
+    max_diff = max(
+        abs(translated.prob(world) - probability)
+        for world, probability in reference.items()
+    )
+    print(f"worlds: {len(reference)}, max probability difference: {max_diff:.2e}")
+
+    # The translated instance answers PXML queries directly.
+    engine = QueryEngine(pxml)
+    print(f"P(b1 has a title) = {engine.point('db.book.title', 't1'):.4f}")
+    print(f"P(any author)     = {engine.exists('db.book.author'):.4f}")
+
+    # The subsumption is strict: PXML expresses child correlations that
+    # no independent (ProTDB) model can.
+    print("\nStrictness: an all-or-nothing PXML instance")
+    builder = InstanceBuilder("r")
+    builder.children("r", "book", ["x", "y"], card=(0, 2))
+    builder.opf("r", {(): 0.5, ("x", "y"): 0.5})
+    builder.leaf("x", "title", ["PXML"], {"PXML": 1.0})
+    builder.leaf("y", "title", vpf={"PXML": 1.0})
+    correlated = builder.build()
+    worlds = GlobalInterpretation.from_local(correlated)
+    p_x = worlds.prob_object_exists("x")
+    p_y = worlds.prob_object_exists("y")
+    joint = worlds.event_probability(lambda w: "x" in w and "y" in w)
+    print(f"  P(x) = {p_x}, P(y) = {p_y}, P(x and y) = {joint}")
+    print(f"  any ProTDB model would force P(x and y) = P(x) * P(y) = "
+          f"{p_x * p_y}")
+
+
+
+
+def pattern_query_demo() -> None:
+    """ProTDB's query style (pattern trees) evaluated over PXML."""
+    from repro.protdb import PatternNode, pattern_probability, to_pxml
+
+    pxml = to_pxml(build_protdb())
+    has_titled_book = PatternNode.root(
+        PatternNode.child("book", PatternNode.child("title"))
+    )
+    full_book = PatternNode.root(
+        PatternNode.child("book",
+                          PatternNode.child("title"),
+                          PatternNode.child("author")),
+    )
+    print("\nPattern-tree queries (ProTDB's primitive, on PXML data):")
+    print(f"  P(some book has a title)            = "
+          f"{pattern_probability(pxml, has_titled_book):.4f}")
+    print(f"  P(some book has title AND author)   = "
+          f"{pattern_probability(pxml, full_book):.4f}")
+
+
+if __name__ == "__main__":
+    main()
+    pattern_query_demo()

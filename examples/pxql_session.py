@@ -1,0 +1,78 @@
+"""A PXQL session: the query language driving a persistent database.
+
+Run with:  python examples/pxql_session.py
+
+Demonstrates the textual layer on top of the algebra: a database of
+named probabilistic instances (persisted as JSON files in a temporary
+directory), loaded and manipulated entirely through PXQL statements —
+including the cross-statement composition the paper's Section 2
+situations require (project, then query the projection; select, then
+query the selection).
+"""
+
+import tempfile
+
+from repro.core.builder import InstanceBuilder
+from repro.pxql import Interpreter
+from repro.storage import Database
+
+
+def build_catalog() -> InstanceBuilder:
+    builder = InstanceBuilder("shop")
+    builder.children("shop", "item", ["laptop", "phone"])
+    builder.opf("shop", {
+        ("laptop",): 0.2, ("phone",): 0.1, ("laptop", "phone"): 0.6, (): 0.1,
+    })
+    builder.children("laptop", "review", ["rev1", "rev2"])
+    builder.opf("laptop", {
+        ("rev1",): 0.4, ("rev2",): 0.1, ("rev1", "rev2"): 0.3, (): 0.2,
+    })
+    builder.children("phone", "review", ["rev3"])
+    builder.opf("phone", {("rev3",): 0.7, (): 0.3})
+    builder.leaf("rev1", "stars", [1, 2, 3, 4, 5], {4: 0.6, 5: 0.4})
+    builder.leaf("rev2", "stars", vpf={1: 0.5, 3: 0.5})
+    builder.leaf("rev3", "stars", vpf={5: 1.0})
+    return builder
+
+
+SESSION = """
+LIST
+SHOW catalog
+POINT shop.item : laptop IN catalog
+EXISTS shop.item.review IN catalog
+PROJECT ANCESTOR shop.item.review FROM catalog AS reviews
+POINT shop.item.review : rev1 IN reviews
+SELECT shop.item = laptop FROM catalog AS laptop_sure
+POINT shop.item.review : rev1 IN laptop_sure
+SELECT shop.item.review = rev1 AND VALUE = 5 FROM catalog AS five_star
+PROB rev1 IN five_star
+PROJECT SINGLE shop.item.review FROM catalog AS flat_reviews
+WORLDS flat_reviews LIMIT 6
+SAVE reviews
+LIST
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="pxql-demo-") as tmp:
+        database = Database(tmp)
+        database.register("catalog", build_catalog().build())
+        database.save("catalog")
+
+        interpreter = Interpreter(database)
+        for line in SESSION.strip().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            print(f"pxql> {line}")
+            print(interpreter.execute(line).text)
+            print()
+
+        # The saved projection persists: a fresh session can reopen it.
+        fresh = Interpreter(Database(tmp))
+        print("pxql> (new session) POINT shop.item.review : rev1 IN reviews")
+        print(fresh.execute("POINT shop.item.review : rev1 IN reviews").text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""PXML: a probabilistic semistructured data model and algebra.
+
+A full reproduction of Hung, Getoor & Subrahmanian, *"PXML: A
+Probabilistic Semistructured Data Model and Algebra"* (ICDE 2003):
+
+* ``repro.semistructured`` — the OEM-style semistructured substrate.
+* ``repro.core`` — weak instances, OPFs/VPFs, probabilistic instances.
+* ``repro.semantics`` — compatible worlds, global interpretations,
+  Theorem 1 checking and Theorem 2 factorization.
+* ``repro.algebra`` — ancestor/descendant/single projection, selection,
+  Cartesian product, and the efficient local algorithms of Section 6.
+* ``repro.queries`` — chain, point and existential path queries.
+* ``repro.bayesnet`` — the Bayesian-network mapping and exact inference.
+* ``repro.protdb`` — the ProTDB baseline and its translation into PXML.
+* ``repro.pixml`` — the interval-probability extension.
+* ``repro.io`` — JSON/XML codecs.
+* ``repro.workloads`` / ``repro.bench`` — Section 7's experiments.
+
+Quickstart::
+
+    from repro import InstanceBuilder, QueryEngine
+
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"], card=(1, 2))
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.5})
+    builder.leaf("B1", "title", ["VQDB", "Lore"], {"VQDB": 1.0})
+    builder.leaf("B2", "title", vpf={"Lore": 1.0})
+    instance = builder.build()
+    print(QueryEngine(instance).point("R.book", "B1"))   # 0.8
+"""
+
+from repro.algebra import (
+    CardinalityCondition,
+    ObjectCondition,
+    ObjectValueCondition,
+    ValueCondition,
+    ancestor_projection,
+    ancestor_projection_global,
+    ancestor_projection_local,
+    cartesian_product,
+    descendant_projection,
+    select_global,
+    select_local,
+    single_projection,
+)
+from repro.core import (
+    CardinalityInterval,
+    IndependentOPF,
+    InstanceBuilder,
+    LocalInterpretation,
+    NonEmptyIndependentOPF,
+    PerLabelOPF,
+    ProbabilisticInstance,
+    SymmetricOPF,
+    TabularOPF,
+    TabularVPF,
+    WeakInstance,
+)
+from repro.errors import PXMLError
+from repro.events import (
+    ChainExists,
+    Event,
+    HasValue,
+    ObjectExists,
+    PathNonEmpty,
+    Reaches,
+    conditional_probability,
+    estimate,
+    probability,
+)
+from repro.learn import learn_instance, log_likelihood
+from repro.queries import QueryEngine, chain_probability, existential_query, point_query
+from repro.semantics import GlobalInterpretation, factorize, verify_theorem1
+from repro.semistructured import (
+    LeafType,
+    PathExpression,
+    SemistructuredInstance,
+    TypeRegistry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardinalityCondition",
+    "CardinalityInterval",
+    "ChainExists",
+    "Event",
+    "GlobalInterpretation",
+    "HasValue",
+    "IndependentOPF",
+    "InstanceBuilder",
+    "LeafType",
+    "LocalInterpretation",
+    "NonEmptyIndependentOPF",
+    "ObjectCondition",
+    "ObjectExists",
+    "ObjectValueCondition",
+    "PXMLError",
+    "PathExpression",
+    "PathNonEmpty",
+    "PerLabelOPF",
+    "ProbabilisticInstance",
+    "QueryEngine",
+    "Reaches",
+    "SemistructuredInstance",
+    "SymmetricOPF",
+    "TabularOPF",
+    "TabularVPF",
+    "TypeRegistry",
+    "ValueCondition",
+    "WeakInstance",
+    "__version__",
+    "ancestor_projection",
+    "ancestor_projection_global",
+    "ancestor_projection_local",
+    "cartesian_product",
+    "chain_probability",
+    "conditional_probability",
+    "descendant_projection",
+    "estimate",
+    "existential_query",
+    "factorize",
+    "learn_instance",
+    "log_likelihood",
+    "point_query",
+    "probability",
+    "select_global",
+    "select_local",
+    "single_projection",
+    "verify_theorem1",
+]

@@ -1,0 +1,83 @@
+"""The probabilistic semistructured algebra (Sections 5-6)."""
+
+from repro.algebra.extensions import (
+    intersection_global,
+    join,
+    rename_objects,
+    union_global,
+)
+from repro.algebra.product import cartesian_product
+from repro.algebra.projection import (
+    ancestor_projection,
+    descendant_projection,
+    single_projection,
+)
+from repro.algebra.projection_more import (
+    descendant_projection_global,
+    descendant_projection_local,
+    single_projection_global,
+    single_projection_local,
+)
+from repro.algebra.projection_prob import (
+    EpsilonPass,
+    ancestor_projection_global,
+    ancestor_projection_local,
+    epsilon_pass,
+)
+from repro.algebra.updates import (
+    assert_child,
+    insert_child,
+    remove_object,
+    retract_child,
+    reweight_opf,
+    set_value,
+)
+from repro.algebra.selection import (
+    CardinalityCondition,
+    ObjectCardinalityCondition,
+    ObjectCondition,
+    ObjectValueCondition,
+    SelectionCondition,
+    SelectionResult,
+    ValueCondition,
+    chain_to,
+    condition_on_chain,
+    select_global,
+    select_local,
+)
+
+__all__ = [
+    "CardinalityCondition",
+    "EpsilonPass",
+    "ObjectCardinalityCondition",
+    "ObjectCondition",
+    "ObjectValueCondition",
+    "SelectionCondition",
+    "SelectionResult",
+    "ValueCondition",
+    "ancestor_projection",
+    "assert_child",
+    "ancestor_projection_global",
+    "ancestor_projection_local",
+    "cartesian_product",
+    "chain_to",
+    "condition_on_chain",
+    "descendant_projection",
+    "descendant_projection_global",
+    "descendant_projection_local",
+    "epsilon_pass",
+    "insert_child",
+    "intersection_global",
+    "join",
+    "remove_object",
+    "rename_objects",
+    "retract_child",
+    "reweight_opf",
+    "select_global",
+    "select_local",
+    "single_projection",
+    "single_projection_global",
+    "set_value",
+    "single_projection_local",
+    "union_global",
+]

@@ -1,0 +1,160 @@
+"""Algebra extensions the paper defers to its "longer version".
+
+Section 5 promises join, renaming, union and intersection for a longer
+version of the paper.  This module supplies working definitions:
+
+* :func:`rename_objects` — consistent object-id renaming (needed before a
+  Cartesian product whose operands share ids).
+* :func:`join` — Cartesian product followed by selection conditions, the
+  standard relational decomposition the paper alludes to ("join can be
+  defined in terms of these operations in the standard way").
+* :func:`union_global` — the probabilistic mixture of two instances over
+  the same object universe: ``P = w * P1 + (1 - w) * P2``.  A mixture is
+  generally *not* factorizable into a single local interpretation, so the
+  result is a :class:`GlobalInterpretation` (use
+  :func:`repro.semantics.factorize` when it happens to satisfy a weak
+  instance).
+* :func:`intersection_global` — conditioning each distribution on the
+  common support, with world probabilities proportional to the product
+  ``P1(S) * P2(S)`` (a product-of-experts combination).
+
+These semantics are this library's extensions — the paper does not pin
+them down — and are documented as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.algebra.product import cartesian_product
+from repro.algebra.selection import SelectionCondition
+from repro.core.distributions import ObjectProbabilityFunction, TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.weak_instance import WeakInstance
+from repro.errors import AlgebraError, EmptyResultError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+
+
+def rename_objects(
+    pi: ProbabilisticInstance, mapping: Mapping[Oid, Oid]
+) -> ProbabilisticInstance:
+    """A copy of ``pi`` with object ids renamed per ``mapping``.
+
+    Ids absent from the mapping stay unchanged.  The mapping must be
+    injective on the instance and must not map onto ids it does not also
+    rename away.
+    """
+    def rename(oid: Oid) -> Oid:
+        return mapping.get(oid, oid)
+
+    new_ids = [rename(oid) for oid in pi.objects]
+    if len(set(new_ids)) != len(new_ids):
+        raise AlgebraError("renaming maps two objects to the same id")
+
+    weak = WeakInstance(rename(pi.root))
+    for oid in pi.objects:
+        weak.add_object(rename(oid))
+    for oid in pi.objects:
+        for label, children in pi.weak.lch_map(oid).items():
+            weak.set_lch(rename(oid), label, {rename(c) for c in children})
+        for label in pi.weak.labels_of(oid):
+            if pi.weak.has_explicit_card(oid, label):
+                weak.set_card(rename(oid), label, pi.weak.card(oid, label))
+        leaf_type = pi.weak.tau(oid)
+        if leaf_type is not None:
+            weak.set_type(rename(oid), leaf_type)
+        default = pi.weak.val(oid)
+        if default is not None:
+            weak.set_val(rename(oid), default)
+
+    interp = LocalInterpretation()
+    for oid, opf in pi.interpretation.opf_items():
+        interp.set_opf(rename(oid), _rename_opf(opf, rename))
+    for oid, vpf in pi.interpretation.vpf_items():
+        interp.set_vpf(rename(oid), vpf)
+    return ProbabilisticInstance(weak, interp)
+
+
+def _rename_opf(
+    opf: ObjectProbabilityFunction, rename
+) -> ObjectProbabilityFunction:
+    return TabularOPF(
+        {frozenset(rename(c) for c in child_set): p for child_set, p in opf.support()}
+    )
+
+
+def join(
+    left: ProbabilisticInstance,
+    right: ProbabilisticInstance,
+    conditions: Sequence[SelectionCondition],
+    new_root: Oid | None = None,
+) -> GlobalInterpretation:
+    """Cartesian product followed by selection on the join conditions.
+
+    Returns the conditioned global interpretation over product worlds;
+    conditions typically compare paths stemming from the two operands
+    (both remain addressable from the merged root).
+    """
+    product = cartesian_product(left, right, new_root)
+    interpretation = GlobalInterpretation.from_local(product)
+    for condition in conditions:
+        interpretation = interpretation.condition(condition.satisfied_by)
+    return interpretation
+
+
+def union_global(
+    left: ProbabilisticInstance | GlobalInterpretation,
+    right: ProbabilisticInstance | GlobalInterpretation,
+    weight: float = 0.5,
+) -> GlobalInterpretation:
+    """The ``weight``-mixture of two world distributions."""
+    if not 0.0 <= weight <= 1.0:
+        raise AlgebraError(f"mixture weight must be in [0, 1], got {weight!r}")
+    left_interp = _as_global(left)
+    right_interp = _as_global(right)
+    mixture: dict[SemistructuredInstance, float] = {}
+    for world, probability in left_interp.support():
+        mixture[world] = mixture.get(world, 0.0) + weight * probability
+    for world, probability in right_interp.support():
+        mixture[world] = mixture.get(world, 0.0) + (1.0 - weight) * probability
+    return GlobalInterpretation(mixture)
+
+
+def intersection_global(
+    left: ProbabilisticInstance | GlobalInterpretation,
+    right: ProbabilisticInstance | GlobalInterpretation,
+) -> GlobalInterpretation:
+    """Product-of-experts intersection: ``P(S) ∝ P1(S) * P2(S)``.
+
+    Raises :class:`EmptyResultError` when the supports are disjoint.
+    """
+    left_interp = _as_global(left)
+    right_interp = _as_global(right)
+    combined: dict[SemistructuredInstance, float] = {}
+    for world, probability in left_interp.support():
+        other = right_interp.prob(world)
+        if other > 0.0:
+            combined[world] = probability * other
+    mass = sum(combined.values())
+    if mass <= 0.0:
+        raise EmptyResultError("the two distributions share no world")
+    return GlobalInterpretation({w: p / mass for w, p in combined.items()})
+
+
+def _as_global(
+    source: ProbabilisticInstance | GlobalInterpretation,
+) -> GlobalInterpretation:
+    if isinstance(source, GlobalInterpretation):
+        return source
+    return GlobalInterpretation.from_local(source)
+
+
+__all__ = [
+    "intersection_global",
+    "join",
+    "rename_objects",
+    "union_global",
+]

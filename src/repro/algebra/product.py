@@ -1,0 +1,146 @@
+"""Cartesian product of probabilistic instances (Definition 5.7).
+
+The product merges the two roots into a fresh root ``r''`` whose children
+are the union of both roots' children (so path expressions that worked on
+either input keep working on the product), keeps everything else, and —
+under the paper's independence assumption — multiplies the roots' OPFs:
+
+    p''(r'')(c ∪ c') = p(r)(c) * p'(r')(c')
+
+Object ids must be unique across the two inputs (the paper renames on
+clash; use :func:`repro.algebra.extensions.rename_objects` first).
+"""
+
+from __future__ import annotations
+
+from repro.core.cardinality import CardinalityInterval
+from repro.core.distributions import TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import AlgebraError
+from repro.semistructured.graph import Oid
+
+
+def cartesian_product(
+    left: ProbabilisticInstance,
+    right: ProbabilisticInstance,
+    new_root: Oid | None = None,
+) -> ProbabilisticInstance:
+    """``I x I'``: merge roots, keep components, multiply root OPFs.
+
+    Args:
+        left: the first probabilistic instance.
+        right: the second probabilistic instance.
+        new_root: id for the merged root; defaults to
+            ``"<leftroot>x<rightroot>"``.  Must not collide with any
+            existing object id.
+
+    Raises:
+        AlgebraError: when non-root object ids overlap (rename first) or
+            the chosen root id collides.
+    """
+    if new_root is None:
+        new_root = f"{left.root}x{right.root}"
+    left_keep = left.objects - {left.root}
+    right_keep = right.objects - {right.root}
+    overlap = left_keep & right_keep
+    if overlap:
+        raise AlgebraError(
+            f"object ids appear in both operands (rename first): {sorted(overlap)}"
+        )
+    if new_root in left_keep or new_root in right_keep:
+        raise AlgebraError(f"new root id {new_root!r} collides with an existing object")
+
+    weak = WeakInstance(new_root)
+    interp = LocalInterpretation()
+
+    for source in (left, right):
+        _copy_component(source, weak, interp, new_root)
+
+    # Merged cardinalities for the new root: summed per shared label.
+    for label in left.weak.labels_of(left.root) | right.weak.labels_of(right.root):
+        cards = []
+        for source in (left, right):
+            if label in source.weak.labels_of(source.root):
+                cards.append(source.weak.card(source.root, label))
+        if len(cards) == 2:
+            weak.set_card(
+                new_root,
+                label,
+                CardinalityInterval(
+                    cards[0].min + cards[1].min, cards[0].max + cards[1].max
+                ),
+            )
+        elif _has_explicit_root_card(left, right, label):
+            weak.set_card(new_root, label, cards[0])
+
+    root_opf = _product_root_opf(left, right)
+    result = ProbabilisticInstance(weak, interp)
+    if weak.labels_of(new_root):
+        result.set_opf(new_root, root_opf)
+    return result
+
+
+def _has_explicit_root_card(
+    left: ProbabilisticInstance, right: ProbabilisticInstance, label: str
+) -> bool:
+    """Whether either operand declared an explicit card for its root/label."""
+    return left.weak.has_explicit_card(left.root, label) or right.weak.has_explicit_card(
+        right.root, label
+    )
+
+
+def _copy_component(
+    source: ProbabilisticInstance,
+    weak: WeakInstance,
+    interp: LocalInterpretation,
+    new_root: Oid,
+) -> None:
+    """Graft one operand under the merged root."""
+    old_root = source.root
+    for oid in source.objects:
+        target = new_root if oid == old_root else oid
+        if target != new_root:
+            weak.add_object(target)
+        for label, children in source.weak.lch_map(oid).items():
+            merged = set(children) | set(weak.lch(target, label))
+            weak.set_lch(target, label, merged)
+        if oid != old_root:
+            for label in source.weak.labels_of(oid):
+                if source.weak.has_explicit_card(oid, label):
+                    weak.set_card(target, label, source.weak.card(oid, label))
+            leaf_type = source.weak.tau(oid)
+            if leaf_type is not None:
+                weak.set_type(oid, leaf_type)
+            default = source.weak.val(oid)
+            if default is not None:
+                weak.set_val(oid, default)
+            opf = source.opf(oid)
+            if opf is not None:
+                interp.set_opf(oid, opf)
+            vpf = source.vpf(oid)
+            if vpf is not None:
+                interp.set_vpf(oid, vpf)
+
+
+def _product_root_opf(
+    left: ProbabilisticInstance, right: ProbabilisticInstance
+) -> TabularOPF:
+    left_support = _root_support(left)
+    right_support = _root_support(right)
+    table: dict[ChildSet, float] = {}
+    for left_set, left_p in left_support:
+        for right_set, right_p in right_support:
+            union = left_set | right_set
+            table[union] = table.get(union, 0.0) + left_p * right_p
+    return TabularOPF(table)
+
+
+def _root_support(pi: ProbabilisticInstance) -> list[tuple[ChildSet, float]]:
+    opf = pi.opf(pi.root)
+    if opf is None:
+        # A leaf root contributes the empty child set with certainty.
+        return [(frozenset(), 1.0)]
+    return list(opf.support())

@@ -1,0 +1,367 @@
+"""Ancestor projection on probabilistic instances (Sections 5.1 and 6.1).
+
+Two implementations are provided:
+
+* :func:`ancestor_projection_global` — the *reference* semantics of
+  Definition 5.3: enumerate the compatible worlds, project each with the
+  ordinary :func:`repro.algebra.projection.ancestor_projection`, and sum
+  the probabilities of identical results.  Exponential; used for tests,
+  small instances and the global-vs-local ablation.
+
+* :func:`ancestor_projection_local` — the efficient algorithm of Section
+  6.1 for tree-structured instances.  It rewrites the local interpretation
+  bottom-up: a *marginalization* step projects each OPF onto the kept
+  children, weighting each kept child ``o_j`` by the probability
+  ``eps_j`` that ``o_j`` still has a surviving match below it, and a
+  *normalization* step conditions every non-root object on having at
+  least one surviving child (objects without surviving children do not
+  appear in an ancestor projection).  The root is not normalized: its
+  empty-set mass is exactly the probability that the projection of a
+  world is the bare root.  Cardinality constraints are recomputed from
+  the new OPF supports.
+
+The unified update formula (covering both the "immediate parent of the
+matched level" and the general case — matched objects have ``eps = 1``) is
+
+    p'(o)(c') = sum_{c in PC(o), c' subseteq c} p(o)(c)
+                * prod_{j in c'} eps_j
+                * prod_{j in (c ∩ kept) - c'} (1 - eps_j)
+
+followed by ``eps_o = sum_{c' != {}} p'(o)(c')`` and division by
+``eps_o`` (non-root objects only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.algebra.projection import ancestor_projection
+from repro.core.cardinality import CardinalityInterval
+from repro.core.compact import IndependentOPF, NonEmptyIndependentOPF
+from repro.core.distributions import ObjectProbabilityFunction, TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import NonTreeInstanceError, SemanticsError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.graph import Oid
+from repro.semistructured.paths import PathExpression, PathMatch, match_path
+
+
+def ancestor_projection_global(
+    pi: ProbabilisticInstance, path: PathExpression | str
+) -> GlobalInterpretation:
+    """Definition 5.3 verbatim: project every world, group identical results."""
+    if isinstance(path, str):
+        path = PathExpression.parse(path)
+    interpretation = GlobalInterpretation.from_local(pi)
+    return interpretation.map_worlds(lambda world: ancestor_projection(world, path))
+
+
+@dataclass(frozen=True)
+class EpsilonPass:
+    """The output of the bottom-up epsilon computation.
+
+    Attributes:
+        match: the structural path match on the weak instance graph.
+        epsilon: per-object survival probability ``eps_o`` (matched objects
+            have 1.0; objects that can never survive have 0.0).
+        opfs: the rewritten OPFs of surviving non-leaf objects.  Non-root
+            objects are conditioned on having at least one surviving
+            child; the root keeps its (possibly positive) empty-set mass.
+            Tabular inputs yield :class:`TabularOPF` results; independent
+            inputs stay compact (:class:`IndependentOPF` at the root,
+            :class:`NonEmptyIndependentOPF` elsewhere) and are updated in
+            O(children) instead of O(2^b).
+        root_empty_mass: ``p'(r)({})`` — the probability that no object
+            satisfies the path expression.
+    """
+
+    match: PathMatch
+    epsilon: dict[Oid, float]
+    opfs: dict[Oid, "ObjectProbabilityFunction"]
+    root_empty_mass: float
+
+    @property
+    def root_epsilon(self) -> float:
+        """``eps_r = 1 - p'(r)({})`` — probability some object matches."""
+        return 1.0 - self.root_empty_mass
+
+
+def _require_tree(pi: ProbabilisticInstance) -> None:
+    if not pi.weak.graph().is_tree(pi.root):
+        raise NonTreeInstanceError(
+            "the efficient local algorithms require a tree-structured weak "
+            "instance graph; use the global or Bayesian-network engines for DAGs"
+        )
+
+
+def epsilon_pass(
+    pi: ProbabilisticInstance,
+    path: PathExpression | str,
+    match: PathMatch | None = None,
+) -> EpsilonPass:
+    """Run the bottom-up marginalize/normalize sweep of Section 6.1.
+
+    Only the objects on matching root-paths are touched (the paper sets
+    the query length equal to the instance depth precisely because deeper
+    objects "will not be considered and ... does not need updating").
+    A precomputed ``match`` may be passed so callers (the benchmark
+    harness) can time the locate step separately.
+    """
+    if isinstance(path, str):
+        path = PathExpression.parse(path)
+    _require_tree(pi)
+    if match is None:
+        match = match_path(pi.weak.graph(), path)
+    epsilon: dict[Oid, float] = {}
+    opfs: dict[Oid, ObjectProbabilityFunction] = {}
+
+    if match.is_empty:
+        return EpsilonPass(match, epsilon, opfs, root_empty_mass=1.0)
+
+    depth = len(match.levels) - 1
+    if depth == 0:
+        # Zero-label path: the root matches itself with certainty.
+        epsilon[pi.root] = 1.0
+        return EpsilonPass(match, epsilon, opfs, root_empty_mass=0.0)
+
+    for oid in match.levels[depth]:
+        epsilon[oid] = 1.0
+
+    for level in range(depth - 1, -1, -1):
+        children_of: dict[Oid, list[Oid]] = {}
+        for src, dst in match.level_edges[level]:
+            if epsilon.get(dst, 0.0) > 0.0:
+                children_of.setdefault(src, []).append(dst)
+        for oid in match.levels[level]:
+            kept = children_of.get(oid, [])
+            opf = pi.opf(oid)
+            if opf is None:
+                raise SemanticsError(f"non-leaf object {oid!r} has no OPF")
+            if isinstance(opf, IndependentOPF):
+                new_opf, survive_mass = _update_independent(
+                    opf, kept, epsilon, is_root=oid == pi.root
+                )
+            else:
+                new_opf, survive_mass = _update_tabular(
+                    opf, kept, epsilon, is_root=oid == pi.root
+                )
+            epsilon[oid] = survive_mass
+            if oid == pi.root or survive_mass > 0.0:
+                if new_opf is not None:
+                    opfs[oid] = new_opf
+
+    if pi.root not in opfs:
+        # The root was structurally on the match but every branch died
+        # probabilistically: projection yields the bare root with certainty.
+        return EpsilonPass(match, epsilon, opfs, root_empty_mass=1.0)
+    return EpsilonPass(
+        match, epsilon, opfs,
+        root_empty_mass=opfs[pi.root].prob(frozenset()),
+    )
+
+
+def _update_independent(
+    opf: IndependentOPF,
+    kept: list[Oid],
+    epsilon: dict[Oid, float],
+    is_root: bool,
+) -> tuple[ObjectProbabilityFunction | None, float]:
+    """O(children) update for independent OPFs.
+
+    Every kept child survives independently with probability
+    ``q_j = p_j * eps_j``; dropped children marginalize away for free.
+    """
+    survival = {}
+    empty_mass = 1.0
+    for child in kept:
+        q = opf.marginal_inclusion(child) * epsilon[child]
+        if q > 0.0:
+            survival[child] = q
+            empty_mass *= 1.0 - q
+    survive_mass = 1.0 - empty_mass if survival else 0.0
+    if is_root:
+        if not survival:
+            return None, 0.0
+        return IndependentOPF(survival), survive_mass
+    if survive_mass <= 0.0:
+        return None, 0.0
+    return NonEmptyIndependentOPF(survival), survive_mass
+
+
+def _update_tabular(
+    opf: ObjectProbabilityFunction,
+    kept: list[Oid],
+    epsilon: dict[Oid, float],
+    is_root: bool,
+) -> tuple[ObjectProbabilityFunction | None, float]:
+    """Generic support-enumeration update (any OPF representation)."""
+    accum = _marginalize(opf, kept, epsilon)
+    survive_mass = sum(p for c, p in accum.items() if c)
+    if is_root:
+        return TabularOPF(accum), survive_mass
+    if survive_mass <= 0.0:
+        return None, 0.0
+    return (
+        TabularOPF({c: p / survive_mass for c, p in accum.items() if c}),
+        survive_mass,
+    )
+
+
+def _marginalize(
+    opf: ObjectProbabilityFunction,
+    kept: list[Oid],
+    epsilon: dict[Oid, float],
+) -> dict[ChildSet, float]:
+    """The unified marginalization formula (see module docstring).
+
+    Children with ``eps = 1`` (matched objects) always survive, so only
+    the genuinely uncertain children are enumerated over — this keeps the
+    inner loop at ``2^(#uncertain kept children)`` instead of
+    ``2^(#kept children)``.
+    """
+    certain = frozenset(c for c in kept if epsilon[c] >= 1.0)
+    uncertain = sorted(c for c in kept if epsilon[c] < 1.0)
+    kept_set = certain | frozenset(uncertain)
+    accum: dict[ChildSet, float] = {}
+    for child_set, probability in opf.support():
+        sure_part = child_set & certain
+        unc_in = [c for c in uncertain if c in child_set]
+        for size in range(len(unc_in) + 1):
+            for chosen in combinations(unc_in, size):
+                weight = probability
+                for child in chosen:
+                    weight *= epsilon[child]
+                for child in unc_in:
+                    if child not in chosen:
+                        weight *= 1.0 - epsilon[child]
+                if weight == 0.0:
+                    continue
+                new_set = sure_part | frozenset(chosen)
+                accum[new_set] = accum.get(new_set, 0.0) + weight
+    del kept_set
+    return accum
+
+
+def ancestor_projection_local(
+    pi: ProbabilisticInstance, path: PathExpression | str
+) -> ProbabilisticInstance:
+    """Section 6.1: ancestor projection returning a probabilistic instance.
+
+    The result's global semantics equals the pushed-forward distribution
+    of :func:`ancestor_projection_global` (tested property-based); it is
+    computed in one bottom-up sweep over the matched objects instead of
+    enumerating worlds.
+    """
+    if isinstance(path, str):
+        path = PathExpression.parse(path)
+    sweep = epsilon_pass(pi, path)
+    return instance_from_epsilon_pass(pi, path, sweep)
+
+
+def instance_from_epsilon_pass(
+    pi: ProbabilisticInstance, path: PathExpression, sweep: EpsilonPass
+) -> ProbabilisticInstance:
+    """Materialize the projection result from a completed epsilon pass."""
+    weak = pi.weak
+    result_weak = WeakInstance(pi.root)
+    result = ProbabilisticInstance(result_weak)
+
+    root_is_weak_leaf = weak.is_leaf(pi.root)
+    if root_is_weak_leaf:
+        _copy_leaf(pi, result, pi.root)
+
+    if sweep.root_empty_mass >= 1.0 or not sweep.match.levels:
+        return result
+
+    depth = len(sweep.match.levels) - 1
+    if depth == 0:
+        return result
+
+    surviving: set[Oid] = {pi.root}
+    for level in range(depth):
+        label = path.labels[level]
+        next_surviving: set[Oid] = set()
+        for src, dst in sweep.match.level_edges[level]:
+            if src in surviving and sweep.epsilon.get(dst, 0.0) > 0.0:
+                next_surviving.add(dst)
+        for oid in sweep.match.levels[level]:
+            if oid not in surviving:
+                continue
+            children = sorted(
+                dst
+                for src, dst in sweep.match.level_edges[level]
+                if src == oid and sweep.epsilon.get(dst, 0.0) > 0.0
+            )
+            if children:
+                result_weak.set_lch(oid, label, children)
+        surviving = next_surviving
+
+    # Attach the rewritten OPFs and recomputed cardinalities.
+    for oid, opf in sweep.opfs.items():
+        if oid != pi.root and oid not in result_weak:
+            continue  # the object's whole branch died or was orphaned
+        if not result_weak.labels_of(oid):
+            continue  # no surviving children recorded (bare-root case)
+        result.set_opf(oid, opf)
+        _recompute_card(result_weak, oid, opf)
+
+    # Matched objects that were leaves keep their type and value/VPF.
+    for oid in sweep.match.levels[depth]:
+        if oid in result_weak and weak.is_leaf(oid):
+            _copy_leaf(pi, result, oid)
+    return result
+
+
+def _copy_leaf(
+    source: ProbabilisticInstance, target: ProbabilisticInstance, oid: Oid
+) -> None:
+    leaf_type = source.weak.tau(oid)
+    if leaf_type is not None:
+        target.weak.set_type(oid, leaf_type)
+    default = source.weak.val(oid)
+    if default is not None:
+        target.weak.set_val(oid, default)
+    vpf = source.vpf(oid)
+    if vpf is not None:
+        target.set_vpf(oid, vpf)
+
+
+def _recompute_card(
+    weak: WeakInstance, oid: Oid, opf: ObjectProbabilityFunction
+) -> None:
+    """``card'(o, l)``: min/max label-l children over the new OPF support.
+
+    Compact independent OPFs get a closed form (no support enumeration):
+    a child is mandatory iff its inclusion probability is 1 and possible
+    iff it is positive; the non-empty conditioning of a single-label
+    object raises the lower bound to 1.
+    """
+    labels = weak.labels_of(oid)
+    if isinstance(opf, (IndependentOPF, NonEmptyIndependentOPF)):
+        inclusion = opf.inclusion
+        for label in labels:
+            pool = weak.lch(oid, label)
+            certain = sum(1 for c in pool if inclusion.get(c, 0.0) >= 1.0)
+            possible = sum(1 for c in pool if inclusion.get(c, 0.0) > 0.0)
+            low = certain
+            if isinstance(opf, NonEmptyIndependentOPF) and len(labels) == 1:
+                low = max(low, 1)
+            weak.set_card(oid, label, CardinalityInterval(low, possible))
+        return
+    label_of: dict[Oid, str] = {}
+    for label in labels:
+        for child in weak.lch(oid, label):
+            label_of[child] = label
+    bounds: dict[str, tuple[int, int]] = {}
+    for child_set, _ in opf.support():
+        counts: dict[str, int] = {label: 0 for label in labels}
+        for child in child_set:
+            counts[label_of[child]] += 1
+        for label, count in counts.items():
+            low, high = bounds.get(label, (count, count))
+            bounds[label] = (min(low, count), max(high, count))
+    for label, (low, high) in bounds.items():
+        weak.set_card(oid, label, CardinalityInterval(low, high))

@@ -1,0 +1,25 @@
+"""A discrete Bayesian-network substrate and the PXML mapping onto it."""
+
+from repro.bayesnet.elimination import eliminate_all, event_probability, query
+from repro.bayesnet.factors import Factor
+from repro.bayesnet.mapping import (
+    ABSENT,
+    PXMLBayesianNetwork,
+    choice_var,
+    existence_var,
+    value_var,
+)
+from repro.bayesnet.network import BayesianNetwork
+
+__all__ = [
+    "ABSENT",
+    "BayesianNetwork",
+    "Factor",
+    "PXMLBayesianNetwork",
+    "choice_var",
+    "eliminate_all",
+    "event_probability",
+    "existence_var",
+    "query",
+    "value_var",
+]

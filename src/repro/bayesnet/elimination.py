@@ -1,0 +1,112 @@
+"""Variable elimination (bucket elimination, Dechter 1996).
+
+The inference routine the paper cites for generic query answering on the
+Bayesian network induced by a probabilistic instance.  A greedy
+min-degree ordering keeps intermediate factors small on the tree-like
+networks PXML produces ("if the network is tree structured, the inference
+will be linear in the number of nodes").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.bayesnet.factors import Factor, VarName
+from repro.bayesnet.network import BayesianNetwork
+from repro.errors import QueryError
+
+
+def _min_degree_order(
+    factors: Sequence[Factor], eliminate: set[VarName]
+) -> list[VarName]:
+    """Greedy min-degree elimination ordering on the interaction graph."""
+    neighbors: dict[VarName, set[VarName]] = {v: set() for v in eliminate}
+    for factor in factors:
+        scope = [v for v in factor.variables if v in eliminate]
+        for var in scope:
+            neighbors[var].update(u for u in factor.variables if u != var)
+    order: list[VarName] = []
+    remaining = set(eliminate)
+    while remaining:
+        var = min(remaining, key=lambda v: (len(neighbors[v] & remaining), v))
+        order.append(var)
+        remaining.discard(var)
+        linked = neighbors[var] & remaining
+        for u in linked:
+            neighbors[u].update(linked - {u})
+    return order
+
+
+def eliminate_all(
+    factors: Sequence[Factor], keep: set[VarName] | None = None
+) -> Factor:
+    """Multiply the factors, summing out every variable not in ``keep``."""
+    keep = keep or set()
+    working = list(factors)
+    to_eliminate = {
+        v for factor in working for v in factor.variables if v not in keep
+    }
+    for var in _min_degree_order(working, to_eliminate):
+        bucket = [f for f in working if var in f.variables]
+        working = [f for f in working if var not in f.variables]
+        if not bucket:
+            continue
+        product = bucket[0]
+        for factor in bucket[1:]:
+            product = product.multiply(factor)
+        working.append(product.sum_out(var))
+    result = Factor.constant(1.0)
+    for factor in working:
+        result = result.multiply(factor)
+    return result
+
+
+def query(
+    network: BayesianNetwork,
+    targets: Sequence[VarName],
+    evidence: Mapping[VarName, object] | None = None,
+) -> Factor:
+    """``P(targets | evidence)`` as a normalized factor over ``targets``."""
+    evidence = dict(evidence or {})
+    factors = [f.restrict(evidence) for f in network.factors()]
+    joint = eliminate_all(factors, keep=set(targets))
+    if not joint.table:
+        raise QueryError("evidence has probability zero")
+    return joint.normalize()
+
+
+def event_probability(
+    network: BayesianNetwork,
+    indicators: Sequence[tuple[VarName, Callable[[object], bool]]],
+    evidence: Mapping[VarName, object] | None = None,
+) -> float:
+    """The probability of a conjunction of per-variable predicates.
+
+    Each indicator ``(variable, predicate)`` multiplies in a 0/1 factor;
+    the result is the total remaining mass (optionally conditioned on hard
+    ``evidence``).
+    """
+    evidence = dict(evidence or {})
+    factors = [f.restrict(evidence) for f in network.factors()]
+    weighted: list[Factor] = []
+    indicator_map: dict[VarName, list[Callable[[object], bool]]] = {}
+    for variable, predicate in indicators:
+        indicator_map.setdefault(variable, []).append(predicate)
+    applied: set[VarName] = set()
+    for factor in factors:
+        for variable in factor.variables:
+            if variable in indicator_map and variable not in applied:
+                for predicate in indicator_map[variable]:
+                    factor = factor.weight(predicate, variable)
+                applied.add(variable)
+        weighted.append(factor)
+    missing = set(indicator_map) - applied
+    if missing:
+        raise QueryError(f"indicator variables not in any factor: {sorted(missing)}")
+    numerator = eliminate_all(weighted).total()
+    if evidence:
+        denominator = eliminate_all(factors).total()
+        if denominator <= 0.0:
+            raise QueryError("evidence has probability zero")
+        return numerator / denominator
+    return numerator

@@ -1,0 +1,135 @@
+"""Discrete factors for Bayesian-network inference.
+
+A :class:`Factor` maps assignments of a tuple of named variables to
+non-negative reals, stored sparsely (zero entries omitted).  Factors
+support the three operations variable elimination needs: pointwise
+product, summing a variable out, and restriction to evidence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.errors import QueryError
+
+Assignment = tuple
+VarName = str
+
+
+class Factor:
+    """A sparse factor over named discrete variables."""
+
+    __slots__ = ("variables", "table")
+
+    def __init__(
+        self, variables: Iterable[VarName], table: Mapping[Assignment, float]
+    ) -> None:
+        self.variables: tuple[VarName, ...] = tuple(variables)
+        arity = len(self.variables)
+        cleaned: dict[Assignment, float] = {}
+        for assignment, value in table.items():
+            if len(assignment) != arity:
+                raise QueryError(
+                    f"assignment {assignment!r} has arity {len(assignment)}, "
+                    f"factor expects {arity}"
+                )
+            if value < 0.0:
+                raise QueryError(f"negative factor entry {value!r}")
+            if value != 0.0:
+                cleaned[tuple(assignment)] = float(value)
+        self.table = cleaned
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __repr__(self) -> str:
+        return f"Factor({self.variables!r}, {len(self.table)} entries)"
+
+    @classmethod
+    def constant(cls, value: float = 1.0) -> "Factor":
+        """The zero-variable factor with a single entry."""
+        return cls((), {(): value})
+
+    def total(self) -> float:
+        """The sum of all entries (the partition function when no
+        variables remain)."""
+        return sum(self.table.values())
+
+    # ------------------------------------------------------------------
+    def multiply(self, other: "Factor") -> "Factor":
+        """The pointwise product, joining on shared variables."""
+        shared = [v for v in self.variables if v in other.variables]
+        self_shared_idx = [self.variables.index(v) for v in shared]
+        other_shared_idx = [other.variables.index(v) for v in shared]
+        other_extra_idx = [
+            i for i, v in enumerate(other.variables) if v not in self.variables
+        ]
+        out_vars = self.variables + tuple(other.variables[i] for i in other_extra_idx)
+
+        # Index the smaller operand's entries by their shared-variable key.
+        index: dict[Assignment, list[tuple[Assignment, float]]] = {}
+        for assignment, value in other.table.items():
+            key = tuple(assignment[i] for i in other_shared_idx)
+            index.setdefault(key, []).append((assignment, value))
+
+        out: dict[Assignment, float] = {}
+        for assignment, value in self.table.items():
+            key = tuple(assignment[i] for i in self_shared_idx)
+            for other_assignment, other_value in index.get(key, ()):
+                extra = tuple(other_assignment[i] for i in other_extra_idx)
+                out_assignment = assignment + extra
+                out[out_assignment] = (
+                    out.get(out_assignment, 0.0) + value * other_value
+                )
+        return Factor(out_vars, out)
+
+    def sum_out(self, variable: VarName) -> "Factor":
+        """Marginalize ``variable`` away."""
+        if variable not in self.variables:
+            return self
+        index = self.variables.index(variable)
+        out_vars = tuple(v for v in self.variables if v != variable)
+        out: dict[Assignment, float] = {}
+        for assignment, value in self.table.items():
+            reduced = assignment[:index] + assignment[index + 1:]
+            out[reduced] = out.get(reduced, 0.0) + value
+        return Factor(out_vars, out)
+
+    def restrict(self, evidence: Mapping[VarName, object]) -> "Factor":
+        """Drop entries inconsistent with ``evidence`` and project the
+        evidence variables away."""
+        positions = [
+            (i, evidence[v]) for i, v in enumerate(self.variables) if v in evidence
+        ]
+        if not positions:
+            return self
+        keep_idx = [i for i, v in enumerate(self.variables) if v not in evidence]
+        out_vars = tuple(self.variables[i] for i in keep_idx)
+        out: dict[Assignment, float] = {}
+        for assignment, value in self.table.items():
+            if all(assignment[i] == wanted for i, wanted in positions):
+                reduced = tuple(assignment[i] for i in keep_idx)
+                out[reduced] = out.get(reduced, 0.0) + value
+        return Factor(out_vars, out)
+
+    def weight(self, predicate: Callable[[object], bool], variable: VarName) -> "Factor":
+        """Zero out entries whose value of ``variable`` fails ``predicate``.
+
+        Unlike :meth:`restrict` the variable stays in scope — this encodes
+        soft/indicator evidence such as "child in C_parent".
+        """
+        index = self.variables.index(variable)
+        kept = {
+            assignment: value
+            for assignment, value in self.table.items()
+            if predicate(assignment[index])
+        }
+        return Factor(self.variables, kept)
+
+    def normalize(self) -> "Factor":
+        """Scale entries to total one."""
+        mass = self.total()
+        if mass <= 0.0:
+            raise QueryError("cannot normalize a zero factor")
+        return Factor(self.variables, {a: v / mass for a, v in self.table.items()})

@@ -1,0 +1,214 @@
+"""The probabilistic-instance → Bayesian-network mapping (Section 6).
+
+Theorem 1's product semantics is exactly a Bayesian-network
+factorization; this module makes the mapping concrete:
+
+* ``E:o`` — a boolean *existence* variable per object (the root exists
+  with probability one).
+* ``C:o`` — a *children-choice* variable per non-leaf object whose domain
+  is the OPF's support plus an ``ABSENT`` sentinel; given ``E:o`` the
+  choice follows the OPF, otherwise it is ``ABSENT``.
+* ``E:o'`` of a non-root object is the deterministic OR "some potential
+  parent's choice contains ``o'``".
+* ``V:o`` — a *value* variable per valued leaf following the VPF.
+
+Unlike the local algorithms of Section 6 (which require trees), inference
+on this network is exact for **any acyclic** weak instance, so it serves
+as the DAG-capable engine and as an independent cross-check.  Path
+queries add deterministic *reach* variables ``R:i:o`` ("o is reached at
+path level i") layer by layer along the path match.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+from repro.bayesnet.elimination import query as bn_query
+from repro.bayesnet.network import BayesianNetwork
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import QueryError
+from repro.semistructured.graph import Oid
+from repro.semistructured.paths import PathExpression, match_path
+
+#: Sentinel value for "the object does not occur in this world".
+ABSENT = "__absent__"
+
+
+def existence_var(oid: Oid) -> str:
+    """The name of the existence variable of ``oid``."""
+    return f"E:{oid}"
+
+
+def choice_var(oid: Oid) -> str:
+    """The name of the children-choice variable of ``oid``."""
+    return f"C:{oid}"
+
+
+def value_var(oid: Oid) -> str:
+    """The name of the value variable of ``oid``."""
+    return f"V:{oid}"
+
+
+def _reach_var(level: int, oid: Oid) -> str:
+    return f"R:{level}:{oid}"
+
+
+class PXMLBayesianNetwork:
+    """A Bayesian network equivalent to a probabilistic instance."""
+
+    def __init__(self, pi: ProbabilisticInstance) -> None:
+        self.pi = pi
+        self.network = BayesianNetwork()
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        weak = self.pi.weak
+        net = self.network
+        graph = weak.graph()
+
+        for oid in sorted(weak.objects):
+            net.add_variable(existence_var(oid), (False, True))
+        for oid in sorted(weak.non_leaves()):
+            opf = self.pi.opf(oid)
+            if opf is None:
+                raise QueryError(f"non-leaf object {oid!r} has no OPF")
+            support = sorted((c for c, _ in opf.support()), key=sorted)
+            net.add_variable(choice_var(oid), (*support, ABSENT))
+            net.add_cpt(
+                choice_var(oid),
+                (existence_var(oid),),
+                {
+                    (True,): {c: p for c, p in opf.support()},
+                    (False,): {ABSENT: 1.0},
+                },
+            )
+        for oid in sorted(weak.leaves()):
+            vpf = self.pi.effective_vpf(oid)
+            if vpf is None:
+                continue
+            values = sorted((v for v, _ in vpf.support()), key=repr)
+            net.add_variable(value_var(oid), (*values, ABSENT))
+            net.add_cpt(
+                value_var(oid),
+                (existence_var(oid),),
+                {
+                    (True,): {v: p for v, p in vpf.support()},
+                    (False,): {ABSENT: 1.0},
+                },
+            )
+
+        net.add_cpt(existence_var(weak.root), (), {(): {True: 1.0}})
+        for oid in sorted(weak.objects):
+            if oid == weak.root:
+                continue
+            parents = sorted(graph.parents(oid))
+            parent_vars = tuple(choice_var(p) for p in parents)
+            cpt: dict[tuple, dict[object, float]] = {}
+            domains = [net.domain(v) for v in parent_vars]
+            for assignment in iter_product(*domains):
+                present = any(
+                    choice != ABSENT and oid in choice for choice in assignment
+                )
+                cpt[assignment] = {present: 1.0}
+            net.add_cpt(existence_var(oid), parent_vars, cpt)
+
+    # ------------------------------------------------------------------
+    # Query helpers
+    # ------------------------------------------------------------------
+    def prob_exists(self, oid: Oid) -> float:
+        """``P(o occurs in a compatible world)``."""
+        marginal = bn_query(self.network, [existence_var(oid)])
+        return marginal.table.get((True,), 0.0)
+
+    def prob_value(self, oid: Oid, value: object) -> float:
+        """``P(o occurs and val(o) = value)``."""
+        marginal = bn_query(self.network, [value_var(oid)])
+        return marginal.table.get((value,), 0.0)
+
+    def chain_probability(self, chain: list[Oid]) -> float:
+        """``P(r.o1...on)`` via indicator evidence on the choice variables."""
+        from repro.bayesnet.elimination import event_probability
+
+        if not chain or chain[0] != self.pi.root:
+            raise QueryError("chain must start at the instance root")
+        indicators = []
+        for parent, child in zip(chain, chain[1:]):
+            indicators.append(
+                (
+                    choice_var(parent),
+                    lambda c, _child=child: c != ABSENT and _child in c,
+                )
+            )
+        return event_probability(self.network, indicators)
+
+    def point_query(self, path: PathExpression | str, oid: Oid) -> float:
+        """``P(o in p)`` — exact on any acyclic instance."""
+        return self._reach_marginal(path, lambda matched: matched == oid)
+
+    def existential_query(self, path: PathExpression | str) -> float:
+        """``P(exists o: o in p)`` — exact on any acyclic instance."""
+        return self._reach_marginal(path, lambda matched: True)
+
+    # ------------------------------------------------------------------
+    def _reach_marginal(self, path: PathExpression | str, is_goal) -> float:
+        """Augment the network with reach variables and query the top OR.
+
+        ``is_goal`` selects which matched (deepest-level) objects count;
+        a predicate keeps the two public queries uniform.
+        """
+        if isinstance(path, str):
+            path = PathExpression.parse(path)
+        if path.root != self.pi.root:
+            return 0.0
+        weak = self.pi.weak
+        match = match_path(weak.graph(), path)
+        if match.is_empty:
+            return 0.0
+        depth = len(match.levels) - 1
+        goal = sorted(o for o in match.levels[depth] if is_goal(o))
+        if not goal:
+            return 0.0
+
+        net = self._network_with_reach_layer(match, depth)
+        or_parents = tuple(
+            _reach_var(depth, oid) if depth > 0 else existence_var(oid)
+            for oid in goal
+        )
+        net.add_variable("R:any", (False, True))
+        cpt: dict[tuple, dict[object, float]] = {}
+        for assignment in iter_product(*[(False, True)] * len(or_parents)):
+            cpt[assignment] = {any(assignment): 1.0}
+        net.add_cpt("R:any", or_parents, cpt)
+        marginal = bn_query(net, ["R:any"])
+        return marginal.table.get((True,), 0.0)
+
+    def _network_with_reach_layer(self, match, depth: int) -> BayesianNetwork:
+        """A copy of the network extended with ``R:i:o`` reach variables."""
+        net = self.network.copy()
+        for level in range(1, depth + 1):
+            edges = match.level_edges[level - 1]
+            for oid in sorted(match.levels[level]):
+                parents = sorted(src for src, dst in edges if dst == oid)
+                parent_vars: list[str] = []
+                for parent in parents:
+                    reach_parent = (
+                        _reach_var(level - 1, parent)
+                        if level - 1 > 0
+                        else existence_var(parent)
+                    )
+                    parent_vars.extend((reach_parent, choice_var(parent)))
+                net.add_variable(_reach_var(level, oid), (False, True))
+                domains = [net.domain(v) for v in parent_vars]
+                cpt: dict[tuple, dict[object, float]] = {}
+                for assignment in iter_product(*domains):
+                    reached = False
+                    for index in range(0, len(assignment), 2):
+                        parent_reached = assignment[index]
+                        choice = assignment[index + 1]
+                        if parent_reached and choice != ABSENT and oid in choice:
+                            reached = True
+                            break
+                    cpt[assignment] = {reached: 1.0}
+                net.add_cpt(_reach_var(level, oid), tuple(parent_vars), cpt)
+        return net

@@ -1,0 +1,113 @@
+"""A minimal discrete Bayesian network with CPT factors.
+
+The paper observes (Section 6) that "there is a mapping between a
+probabilistic instance and a Bayesian network" and appeals to standard
+inference.  This module is that substrate: variables with finite domains,
+one CPT factor per variable, and enough structure for the variable
+elimination engine in :mod:`repro.bayesnet.elimination`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.bayesnet.factors import Factor, VarName
+from repro.errors import QueryError
+
+
+class BayesianNetwork:
+    """Variables, domains and one CPT factor per variable."""
+
+    def __init__(self) -> None:
+        self._domains: dict[VarName, tuple] = {}
+        self._cpts: dict[VarName, Factor] = {}
+        self._parents: dict[VarName, tuple[VarName, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def add_variable(self, name: VarName, domain: Iterable) -> None:
+        """Declare a variable with a finite domain."""
+        values = tuple(domain)
+        if not values:
+            raise QueryError(f"variable {name!r} needs a nonempty domain")
+        if name in self._domains:
+            raise QueryError(f"variable {name!r} already declared")
+        self._domains[name] = values
+
+    def add_cpt(
+        self,
+        child: VarName,
+        parents: Sequence[VarName],
+        cpt: Mapping[tuple, Mapping[object, float]],
+    ) -> None:
+        """Attach ``P(child | parents)``.
+
+        ``cpt`` maps each full parent assignment (a tuple following the
+        order of ``parents``) to a distribution over the child's domain.
+        Missing parent assignments are treated as impossible (their rows
+        never arise given the rest of the network).
+        """
+        self._require(child)
+        for parent in parents:
+            self._require(parent)
+        table: dict[tuple, float] = {}
+        for parent_assignment, distribution in cpt.items():
+            total = 0.0
+            for value, probability in distribution.items():
+                if value not in self._domains[child]:
+                    raise QueryError(
+                        f"value {value!r} outside the domain of {child!r}"
+                    )
+                total += probability
+                if probability != 0.0:
+                    table[tuple(parent_assignment) + (value,)] = probability
+            if abs(total - 1.0) > 1e-9:
+                raise QueryError(
+                    f"CPT row {parent_assignment!r} of {child!r} sums to {total!r}"
+                )
+        self._cpts[child] = Factor(tuple(parents) + (child,), table)
+        self._parents[child] = tuple(parents)
+
+    # ------------------------------------------------------------------
+    def domain(self, name: VarName) -> tuple:
+        """The domain of a variable."""
+        self._require(name)
+        return self._domains[name]
+
+    def variables(self) -> list[VarName]:
+        """All declared variables."""
+        return list(self._domains)
+
+    def parents(self, name: VarName) -> tuple[VarName, ...]:
+        """The CPT parents of a variable (empty for priors)."""
+        return self._parents.get(name, ())
+
+    def cpt(self, name: VarName) -> Factor:
+        """The CPT factor of a variable."""
+        if name not in self._cpts:
+            raise QueryError(f"variable {name!r} has no CPT")
+        return self._cpts[name]
+
+    def factors(self) -> list[Factor]:
+        """All CPT factors (the joint's factorization)."""
+        missing = [v for v in self._domains if v not in self._cpts]
+        if missing:
+            raise QueryError(f"variables without CPTs: {missing}")
+        return list(self._cpts.values())
+
+    def copy(self) -> "BayesianNetwork":
+        """A copy sharing the (immutable) CPT factors."""
+        clone = BayesianNetwork()
+        clone._domains = dict(self._domains)
+        clone._cpts = dict(self._cpts)
+        clone._parents = dict(self._parents)
+        return clone
+
+    def _require(self, name: VarName) -> None:
+        if name not in self._domains:
+            raise QueryError(f"unknown variable: {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def __repr__(self) -> str:
+        return f"BayesianNetwork({len(self._domains)} variables)"

@@ -1,0 +1,31 @@
+"""The Section 7 experiment harness: component timing and sweep runner."""
+
+from repro.bench.runner import (
+    DEFAULT_GRID,
+    QUICK_GRID,
+    SweepConfig,
+    SweepRecord,
+    format_series,
+    records_to_dicts,
+    run_projection_sweep,
+    run_selection_sweep,
+)
+from repro.bench.timing import (
+    TimingBreakdown,
+    timed_ancestor_projection,
+    timed_selection,
+)
+
+__all__ = [
+    "DEFAULT_GRID",
+    "QUICK_GRID",
+    "SweepConfig",
+    "SweepRecord",
+    "TimingBreakdown",
+    "format_series",
+    "records_to_dicts",
+    "run_projection_sweep",
+    "run_selection_sweep",
+    "timed_ancestor_projection",
+    "timed_selection",
+]

@@ -1,0 +1,130 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig7a [--quick] [--json OUT.json]
+    python -m repro.bench fig7b [--quick]
+    python -m repro.bench fig7c [--quick]
+    python -m repro.bench all   [--quick] [--json OUT.json]
+
+``fig7a``/``fig7b`` share one ancestor-projection sweep (total time and
+p-update time are two views of the same measurements); ``fig7c`` runs the
+selection sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.runner import (
+    DEFAULT_GRID,
+    QUICK_GRID,
+    SweepConfig,
+    format_series,
+    records_to_dicts,
+    run_projection_sweep,
+    run_selection_sweep,
+)
+
+
+def _config(quick: bool, opf_kind: str = "tabular") -> SweepConfig:
+    grid = dict(QUICK_GRID if quick else DEFAULT_GRID)
+    if quick:
+        return SweepConfig(grid=grid, instances_per_config=1,
+                           queries_per_instance=3, opf_kind=opf_kind)
+    return SweepConfig(grid=grid, opf_kind=opf_kind)
+
+
+def _report(path: str) -> int:
+    """Re-render the figure tables from previously saved raw records."""
+    from repro.bench.runner import SweepRecord
+    from repro.bench.timing import TimingBreakdown
+
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    by_operation: dict[str, list[SweepRecord]] = {}
+    for entry in raw:
+        record = SweepRecord(
+            operation=entry["operation"],
+            labeling=entry["labeling"],
+            branching=entry["branching"],
+            depth=entry["depth"],
+            objects=entry["objects"],
+            entries=entry["entries"],
+            queries=entry["queries"],
+            timing=TimingBreakdown(
+                copy=entry["copy_s"], locate=entry["locate_s"],
+                structure=entry["structure_s"], update=entry["update_s"],
+                write=entry["write_s"],
+            ),
+        )
+        by_operation.setdefault(record.operation, []).append(record)
+    if "projection" in by_operation:
+        print("Figure 7(a): ancestor projection — total query time (ms)")
+        print(format_series(by_operation["projection"], "total"))
+        print()
+        print("Figure 7(b): ancestor projection — update p time (ms)")
+        print(format_series(by_operation["projection"], "update"))
+        print()
+    if "selection" in by_operation:
+        print("Figure 7(c): selection — total query time (ms)")
+        print(format_series(by_operation["selection"], "total"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the PXML paper's Figure 7 experiment series.",
+    )
+    parser.add_argument(
+        "figure", choices=("fig7a", "fig7b", "fig7c", "all", "report")
+    )
+    parser.add_argument("--quick", action="store_true", help="use the small grid")
+    parser.add_argument(
+        "--independent", action="store_true",
+        help="use compact independent OPFs instead of the paper's 2^b tables",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also dump raw records")
+    args = parser.parse_args(argv)
+
+    if args.figure == "report":
+        if not args.json:
+            parser.error("report needs --json PATH pointing at saved records")
+        return _report(args.json)
+
+    config = _config(args.quick, "independent" if args.independent else "tabular")
+    all_records = []
+
+    if args.figure in ("fig7a", "fig7b", "all"):
+        records = run_projection_sweep(config)
+        all_records.extend(records_to_dicts(records))
+        if args.figure in ("fig7a", "all"):
+            print("Figure 7(a): ancestor projection — total query time (ms)")
+            print(format_series(records, "total"))
+            print()
+        if args.figure in ("fig7b", "all"):
+            print("Figure 7(b): ancestor projection — update p time (ms)")
+            print(format_series(records, "update"))
+            print()
+    if args.figure in ("fig7c", "all"):
+        records = run_selection_sweep(config)
+        all_records.extend(records_to_dicts(records))
+        print("Figure 7(c): selection — total query time (ms)")
+        print(format_series(records, "total"))
+        print()
+        print("Figure 7(c) detail: selection — disk-write component (ms)")
+        print(format_series(records, "write"))
+        print()
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(all_records, handle, indent=2)
+        print(f"raw records written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Sweep runner that regenerates the paper's Figure 7 series.
+
+For every combination of branching factor, depth and labeling scheme the
+runner generates ``instances_per_config`` random instances, draws
+``queries_per_instance`` accepted queries per instance (as in Section
+7.1), measures each query with the five-component decomposition of
+:mod:`repro.bench.timing`, and averages.
+
+Scale substitution (documented in DESIGN.md): the paper's C prototype
+reached ~300k objects; this pure-Python sweep keeps the same grid shape
+with instance sizes capped so the full sweep completes in minutes.  The
+reported quantities (time vs object count, growth with branching factor,
+SL vs FR ordering, which component dominates) are the figure's content.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.timing import (
+    TimingBreakdown,
+    timed_ancestor_projection,
+    timed_selection,
+)
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+    random_selection_target,
+)
+
+#: The default sweep grid: branching factor -> depths.  The shape follows
+#: the paper (branching 2-8, depth 3-9); depths are trimmed per branching
+#: factor to keep pure-Python instance sizes tractable.
+DEFAULT_GRID: dict[int, tuple[int, ...]] = {
+    2: (3, 4, 5, 6, 7, 8, 9),
+    4: (3, 4, 5, 6),
+    6: (3, 4, 5),
+    8: (3, 4),
+}
+
+#: A fast grid for smoke runs and pytest-benchmark.
+QUICK_GRID: dict[int, tuple[int, ...]] = {
+    2: (3, 5, 7),
+    4: (3, 4),
+    8: (3,),
+}
+
+LABELINGS = ("SL", "FR")
+
+
+@dataclass
+class SweepConfig:
+    """Parameters of one experiment sweep."""
+
+    grid: dict[int, tuple[int, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_GRID)
+    )
+    labelings: tuple[str, ...] = LABELINGS
+    instances_per_config: int = 2
+    queries_per_instance: int = 5
+    seed: int = 7
+    write_results: bool = True
+    opf_kind: str = "tabular"
+
+
+@dataclass
+class SweepRecord:
+    """The averaged measurement for one (operation, labeling, b, d) cell."""
+
+    operation: str
+    labeling: str
+    branching: int
+    depth: int
+    objects: int
+    entries: int
+    queries: int
+    timing: TimingBreakdown
+
+    @property
+    def total(self) -> float:
+        """Average total query time (seconds)."""
+        return self.timing.total
+
+    @property
+    def update(self) -> float:
+        """Average local-interpretation update time (seconds)."""
+        return self.timing.update
+
+
+def _iter_workloads(config: SweepConfig, labeling: str, branching: int, depth: int):
+    for index in range(config.instances_per_config):
+        seed = hash((config.seed, labeling, branching, depth, index)) & 0x7FFFFFFF
+        spec = WorkloadSpec(
+            depth=depth, branching=branching, labeling=labeling, seed=seed,
+            opf_kind=config.opf_kind,
+        )
+        yield generate_workload(spec)
+
+
+def run_projection_sweep(config: SweepConfig | None = None) -> list[SweepRecord]:
+    """The ancestor-projection sweep behind Figures 7(a) and 7(b)."""
+    return _run_sweep("projection", config)
+
+
+def run_selection_sweep(config: SweepConfig | None = None) -> list[SweepRecord]:
+    """The selection sweep behind Figure 7(c)."""
+    return _run_sweep("selection", config)
+
+
+def _run_sweep(operation: str, config: SweepConfig | None) -> list[SweepRecord]:
+    config = config or SweepConfig()
+    records: list[SweepRecord] = []
+    with tempfile.TemporaryDirectory(prefix="pxml-bench-") as tmp:
+        out_path = Path(tmp) / "result.json" if config.write_results else None
+        for labeling in config.labelings:
+            for branching, depths in sorted(config.grid.items()):
+                for depth in depths:
+                    record = _measure_cell(
+                        operation, config, labeling, branching, depth, out_path
+                    )
+                    records.append(record)
+    return records
+
+
+def _measure_cell(
+    operation: str,
+    config: SweepConfig,
+    labeling: str,
+    branching: int,
+    depth: int,
+    out_path: Path | None,
+) -> SweepRecord:
+    total = TimingBreakdown()
+    queries = 0
+    objects = 0
+    entries = 0
+    for workload in _iter_workloads(config, labeling, branching, depth):
+        objects = workload.num_objects
+        entries = workload.total_entries
+        rng = random.Random(workload.spec.seed + 1)
+        for _ in range(config.queries_per_instance):
+            timing = _measure_query(operation, workload, rng, out_path)
+            total.add(timing)
+            queries += 1
+    return SweepRecord(
+        operation=operation,
+        labeling=labeling,
+        branching=branching,
+        depth=depth,
+        objects=objects,
+        entries=entries,
+        queries=queries,
+        timing=total.scaled(1.0 / queries),
+    )
+
+
+def _measure_query(
+    operation: str,
+    workload: GeneratedWorkload,
+    rng: random.Random,
+    out_path: Path | None,
+) -> TimingBreakdown:
+    if operation == "projection":
+        path = random_projection_path(workload, rng)
+        _, timing = timed_ancestor_projection(workload.instance, path, out_path)
+        return timing
+    path, target = random_selection_target(workload, rng)
+    _, timing = timed_selection(workload.instance, path, target, out_path)
+    return timing
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def format_series(
+    records: list[SweepRecord], component: str = "total", unit: float = 1e-3
+) -> str:
+    """Render one Figure 7 panel as an aligned text table.
+
+    One row per (labeling, branching) series — the lines of the paper's
+    log-log plots — with object counts as columns.  ``component`` selects
+    the reported time ("total", "update", "copy", "locate", "structure",
+    "write"); values are in milliseconds by default.
+    """
+    series: dict[tuple[str, int], dict[int, float]] = {}
+    for record in records:
+        value = (
+            record.timing.total
+            if component == "total"
+            else getattr(record.timing, component)
+        )
+        series.setdefault((record.labeling, record.branching), {})[
+            record.objects
+        ] = value / unit
+
+    all_sizes = sorted({size for cells in series.values() for size in cells})
+    header = ["series".ljust(10)] + [f"{size:>10}" for size in all_sizes]
+    lines = ["  ".join(header)]
+    for (labeling, branching), cells in sorted(series.items()):
+        row = [f"b={branching} {labeling}".ljust(10)]
+        for size in all_sizes:
+            value = cells.get(size)
+            row.append(f"{value:>10.3f}" if value is not None else " " * 10)
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def records_to_dicts(records: list[SweepRecord]) -> list[dict]:
+    """Machine-readable form of the sweep results."""
+    return [
+        {
+            "operation": r.operation,
+            "labeling": r.labeling,
+            "branching": r.branching,
+            "depth": r.depth,
+            "objects": r.objects,
+            "entries": r.entries,
+            "queries": r.queries,
+            "copy_s": r.timing.copy,
+            "locate_s": r.timing.locate,
+            "structure_s": r.timing.structure,
+            "update_s": r.timing.update,
+            "write_s": r.timing.write,
+            "total_s": r.timing.total,
+        }
+        for r in records
+    ]

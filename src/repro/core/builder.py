@@ -1,0 +1,130 @@
+"""A fluent builder for probabilistic instances.
+
+The raw model classes are deliberately explicit; this builder provides the
+compact construction style used by the examples and tests:
+
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"], card=(2, 3))
+    builder.opf("R", {("B1", "B2"): 0.2, ("B1", "B2", "B3"): 0.8})
+    builder.leaf("T1", "title-type", ["VQDB", "Lore"], {"VQDB": 1.0})
+    instance = builder.build()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.cardinality import CardinalityInterval
+from repro.core.distributions import (
+    ObjectProbabilityFunction,
+    TabularOPF,
+    TabularVPF,
+    ValueProbabilityFunction,
+)
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.weak_instance import WeakInstance
+from repro.semistructured.graph import Label, Oid
+from repro.semistructured.types import LeafType, TypeRegistry, Value
+
+
+class InstanceBuilder:
+    """Builds a :class:`ProbabilisticInstance` step by step."""
+
+    def __init__(self, root: Oid, types: TypeRegistry | None = None) -> None:
+        self._weak = WeakInstance(root)
+        self._interp = LocalInterpretation()
+        self._types = types if types is not None else TypeRegistry()
+
+    @property
+    def types(self) -> TypeRegistry:
+        """The type registry the builder registers leaf types into."""
+        return self._types
+
+    def children(
+        self,
+        oid: Oid,
+        label: Label,
+        children: Iterable[Oid],
+        card: tuple[int, int] | CardinalityInterval | None = None,
+    ) -> "InstanceBuilder":
+        """Declare ``lch(oid, label)`` and optionally ``card(oid, label)``."""
+        self._weak.add_object(oid)
+        self._weak.set_lch(oid, label, children)
+        if card is not None:
+            if not isinstance(card, CardinalityInterval):
+                card = CardinalityInterval(*card)
+            self._weak.set_card(oid, label, card)
+        return self
+
+    def card(self, oid: Oid, label: Label, low: int, high: int) -> "InstanceBuilder":
+        """Declare ``card(oid, label) = [low, high]``."""
+        self._weak.set_card(oid, label, CardinalityInterval(low, high))
+        return self
+
+    def opf(
+        self,
+        oid: Oid,
+        table: Mapping[Iterable[Oid], float] | ObjectProbabilityFunction,
+    ) -> "InstanceBuilder":
+        """Assign the OPF of a non-leaf; dict keys may be any iterables."""
+        if not isinstance(table, ObjectProbabilityFunction):
+            table = TabularOPF({frozenset(key): p for key, p in table.items()})
+        self._interp.set_opf(oid, table)
+        return self
+
+    def leaf(
+        self,
+        oid: Oid,
+        type_name: str,
+        domain: Iterable[Value] | None = None,
+        vpf: Mapping[Value, float] | ValueProbabilityFunction | None = None,
+    ) -> "InstanceBuilder":
+        """Declare a typed leaf with an optional VPF.
+
+        ``domain`` may be omitted when the type was registered previously.
+        Without a ``vpf`` the leaf gets a uniform distribution over its
+        domain.
+        """
+        self._weak.add_object(oid)
+        if domain is not None:
+            leaf_type = self._types.define(type_name, domain)
+        else:
+            leaf_type = self._types[type_name]
+        self._weak.set_type(oid, leaf_type)
+        if vpf is None:
+            vpf = TabularVPF.uniform(leaf_type.domain)
+        elif not isinstance(vpf, ValueProbabilityFunction):
+            vpf = TabularVPF(vpf)
+        self._interp.set_vpf(oid, vpf)
+        return self
+
+    def value(self, oid: Oid, type_name: str, value: Value,
+              domain: Iterable[Value] | None = None) -> "InstanceBuilder":
+        """Declare a typed leaf with a certain (point-mass) value."""
+        if domain is None and type_name in self._types:
+            domain = self._types[type_name].domain
+        if domain is None:
+            domain = [value]
+        if value not in set(domain):
+            domain = [*domain, value]
+        return self.leaf(oid, type_name, domain, {value: 1.0})
+
+    def uniform_opfs(self) -> "InstanceBuilder":
+        """Give every OPF-less non-leaf a uniform OPF over ``PC(o)``.
+
+        Convenient for quickly making a weak instance coherent in tests.
+        """
+        for oid in self._weak.non_leaves():
+            if self._interp.opf(oid) is None:
+                self._interp.set_opf(
+                    oid, TabularOPF.uniform(self._weak.potential_child_sets(oid))
+                )
+        return self
+
+    def build(self, validate: bool = True) -> ProbabilisticInstance:
+        """Finish building; validates coherence by default."""
+        instance = ProbabilisticInstance(self._weak, self._interp)
+        if validate:
+            instance.validate()
+        return instance

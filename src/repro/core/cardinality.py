@@ -1,0 +1,77 @@
+"""Cardinality intervals (Definition 3.4, item 5).
+
+``card(o, l) = [min, max]`` constrains how many ``l``-labeled children an
+object may have in any compatible instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CardinalityError
+
+
+@dataclass(frozen=True, order=True)
+class CardinalityInterval:
+    """An integer interval ``[min, max]`` with ``0 <= min <= max``."""
+
+    min: int
+    max: int
+
+    def __post_init__(self) -> None:
+        if self.min < 0:
+            raise CardinalityError(f"card.min must be >= 0, got {self.min}")
+        if self.max < self.min:
+            raise CardinalityError(
+                f"card.max ({self.max}) must be >= card.min ({self.min})"
+            )
+
+    def __contains__(self, count: int) -> bool:
+        return self.min <= count <= self.max
+
+    def __str__(self) -> str:
+        return f"[{self.min}, {self.max}]"
+
+    @classmethod
+    def exactly(cls, count: int) -> "CardinalityInterval":
+        """The degenerate interval ``[count, count]``."""
+        return cls(count, count)
+
+    @classmethod
+    def optional(cls) -> "CardinalityInterval":
+        """``[0, 1]`` — at most one child."""
+        return cls(0, 1)
+
+    @classmethod
+    def required(cls) -> "CardinalityInterval":
+        """``[1, 1]`` — exactly one child."""
+        return cls(1, 1)
+
+    @classmethod
+    def unconstrained(cls, universe_size: int) -> "CardinalityInterval":
+        """``[0, n]`` for a potential-children set of size ``n``.
+
+        This is the "no cardinality constraint" setting of the paper's
+        experiments (Section 7.1), under which an object with ``b``
+        potential children has ``2^b`` potential child sets per label.
+        """
+        if universe_size < 0:
+            raise CardinalityError("universe size must be >= 0")
+        return cls(0, universe_size)
+
+    def intersect(self, other: "CardinalityInterval") -> "CardinalityInterval":
+        """The intersection interval; raises if the intervals are disjoint."""
+        low = max(self.min, other.min)
+        high = min(self.max, other.max)
+        if low > high:
+            raise CardinalityError(f"empty intersection of {self} and {other}")
+        return CardinalityInterval(low, high)
+
+    def clamp_to(self, universe_size: int) -> "CardinalityInterval":
+        """Clamp the upper bound to the available number of children."""
+        if self.min > universe_size:
+            raise CardinalityError(
+                f"card.min ({self.min}) exceeds number of potential children "
+                f"({universe_size})"
+            )
+        return CardinalityInterval(self.min, min(self.max, universe_size))

@@ -1,0 +1,178 @@
+"""Potential child sets: ``PL(o, l)`` and ``PC(o)`` (Definitions 3.5–3.6).
+
+``PL(o, l)`` is the family of *potential l-child sets*: subsets of
+``lch(o, l)`` whose size lies in ``card(o, l)``.  A *potential child set*
+of ``o`` is the union of a hitting set of ``{PL(o, l) | lch(o, l) != {}}``;
+because this library requires ``lch`` sets of distinct labels to be
+disjoint (see :class:`repro.errors.OverlappingLabelError`), ``PC(o)`` is
+exactly the set of per-label unions ``{U_l c_l | c_l in PL(o, l)}`` and
+each potential child set decomposes uniquely per label.
+
+The module provides both the efficient per-label product enumeration and a
+literal hitting-set construction (used by tests to confirm the two agree
+under the disjointness assumption).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from itertools import combinations
+from math import comb
+
+from repro.core.cardinality import CardinalityInterval
+from repro.semistructured.graph import Label, Oid
+
+ChildSet = frozenset[Oid]
+
+
+def potential_l_child_sets(
+    candidates: Iterable[Oid], card: CardinalityInterval
+) -> list[ChildSet]:
+    """Enumerate ``PL(o, l)``: subsets of ``candidates`` sized within ``card``.
+
+    Subsets are produced in deterministic order (by size, then by the
+    sorted order of the candidate ids) so that enumeration, serialization
+    and tests are reproducible.
+    """
+    pool = sorted(set(candidates))
+    upper = min(card.max, len(pool))
+    sets: list[ChildSet] = []
+    for size in range(card.min, upper + 1):
+        sets.extend(frozenset(combo) for combo in combinations(pool, size))
+    return sets
+
+
+def count_potential_l_child_sets(universe_size: int, card: CardinalityInterval) -> int:
+    """``|PL(o, l)|`` without enumeration."""
+    upper = min(card.max, universe_size)
+    return sum(comb(universe_size, size) for size in range(card.min, upper + 1))
+
+
+def potential_child_sets(
+    lch_by_label: Mapping[Label, Iterable[Oid]],
+    card_by_label: Mapping[Label, CardinalityInterval],
+) -> Iterator[ChildSet]:
+    """Enumerate ``PC(o)`` as per-label unions, in deterministic order.
+
+    Labels with an empty ``lch`` set are skipped (Definition 3.6 only hits
+    the ``PL(o, l)`` of labels with at least one potential child).  With no
+    labels at all the sole potential child set is the empty set, matching
+    the convention that a childless object contributes nothing.
+    """
+    labels = sorted(label for label, children in lch_by_label.items() if children)
+    per_label: list[list[ChildSet]] = []
+    for label in labels:
+        card = card_by_label[label]
+        per_label.append(potential_l_child_sets(lch_by_label[label], card))
+
+    def expand(index: int, acc: ChildSet) -> Iterator[ChildSet]:
+        if index == len(per_label):
+            yield acc
+            return
+        for choice in per_label[index]:
+            yield from expand(index + 1, acc | choice)
+
+    yield from expand(0, frozenset())
+
+
+def count_potential_child_sets(
+    lch_by_label: Mapping[Label, Iterable[Oid]],
+    card_by_label: Mapping[Label, CardinalityInterval],
+) -> int:
+    """``|PC(o)|`` without enumeration (valid under label-disjointness)."""
+    total = 1
+    for label, children in lch_by_label.items():
+        pool = set(children)
+        if pool:
+            total *= count_potential_l_child_sets(len(pool), card_by_label[label])
+    return total
+
+
+def split_by_label(
+    child_set: ChildSet, lch_by_label: Mapping[Label, Iterable[Oid]]
+) -> dict[Label, ChildSet]:
+    """Decompose a potential child set into its per-label components.
+
+    Requires the label-disjointness assumption; children not belonging to
+    any label are reported under the pseudo-label ``""`` so callers can
+    detect them.
+    """
+    remaining = set(child_set)
+    parts: dict[Label, ChildSet] = {}
+    for label, children in lch_by_label.items():
+        hit = remaining & set(children)
+        if hit:
+            parts[label] = frozenset(hit)
+            remaining -= hit
+    if remaining:
+        parts[""] = frozenset(remaining)
+    return parts
+
+
+def hitting_sets(families: Sequence[Iterable[ChildSet]]) -> Iterator[tuple[ChildSet, ...]]:
+    """Enumerate the minimal hitting sets of a family of set-families.
+
+    This is the literal Definition 3.6 construction: a hitting set ``H`` of
+    ``{PL(o, l1), ..., PL(o, lk)}`` picks at least one member of each
+    ``PL(o, li)``, with no proper subset of ``H`` doing so.  When the
+    families are pairwise disjoint (the case this library enforces), the
+    minimal hitting sets pick exactly one member per family.
+    """
+    materialized = [list(dict.fromkeys(family)) for family in families]
+    if not materialized:
+        yield ()
+        return
+    seen: set[frozenset[ChildSet]] = set()
+
+    def expand(index: int, acc: tuple[ChildSet, ...]) -> Iterator[tuple[ChildSet, ...]]:
+        if index == len(materialized):
+            # Minimality: drop candidates where removing any element still hits.
+            as_set = frozenset(acc)
+            if as_set in seen:
+                return
+            for member in as_set:
+                reduced = as_set - {member}
+                if all(any(c in reduced for c in fam) for fam in materialized):
+                    return
+            seen.add(as_set)
+            yield tuple(sorted(as_set, key=sorted))
+            return
+        for choice in materialized[index]:
+            yield from expand(index + 1, acc + ((choice,) if choice not in acc else ()))
+
+    yield from expand(0, ())
+
+
+def potential_child_sets_via_hitting(
+    lch_by_label: Mapping[Label, Iterable[Oid]],
+    card_by_label: Mapping[Label, CardinalityInterval],
+) -> set[ChildSet]:
+    """``PC(o)`` computed through the hitting-set construction of Def. 3.6.
+
+    One subtlety the paper glosses over: the *empty* child set can belong
+    to ``PL(o, l)`` of several labels at once (whenever two labels both
+    allow zero children), and then a literal minimal hitting set would let
+    a single shared empty set "hit" every such family, collapsing choices
+    that ought to stay independent.  We therefore tag each potential
+    l-child set with its label before hitting — which is clearly the
+    intended reading, and makes the construction agree with the per-label
+    product for all inputs (property-tested).
+    """
+    labels = sorted(label for label, children in lch_by_label.items() if children)
+    families = [
+        [
+            frozenset({(label, child_set)})
+            for child_set in potential_l_child_sets(
+                lch_by_label[label], card_by_label[label]
+            )
+        ]
+        for label in labels
+    ]
+    results: set[ChildSet] = set()
+    for hitting in hitting_sets(families):
+        union: set[Oid] = set()
+        for member in hitting:
+            for _, child_set in member:
+                union.update(child_set)
+        results.add(frozenset(union))
+    return results

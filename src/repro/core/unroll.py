@@ -1,0 +1,116 @@
+"""Cyclic models via bounded unrolling (the paper's stated future work).
+
+Definition 4.3 requires the weak instance graph to be acyclic; the
+conclusion names "extending our model to allow cycles" as future work.
+This module provides the standard finite-horizon semantics: a cyclic
+specification (e.g. a ``person`` whose ``friend`` children are again
+persons) is *unrolled* to a chosen depth, producing an ordinary acyclic
+probabilistic instance on which every algorithm in this library applies.
+
+Each copy of object ``o`` reached at unrolling depth ``d`` gets the id
+``o@d`` (the root keeps depth 0 and its original id).  OPFs and VPFs are
+transported by renaming; copies at the horizon have their children cut
+(they deterministically become leaves), which is sound as long as no
+child is mandatory there — a mandatory out-of-horizon child raises
+:class:`repro.errors.EmptyResultError` instead of silently truncating.
+
+The unrolled semantics converges: quantities that stop depending on the
+horizon (e.g. the probability that a bounded-length path exists) are
+exact once the horizon passes the path length, which
+``tests/test_unroll.py`` verifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import EmptyResultError, ModelError
+from repro.semistructured.graph import Oid
+
+
+def copy_id(oid: Oid, depth: int) -> Oid:
+    """The id of the depth-``d`` copy of ``oid`` (depth 0 keeps the id)."""
+    return oid if depth == 0 else f"{oid}@{depth}"
+
+
+def unroll(pi: ProbabilisticInstance, horizon: int) -> ProbabilisticInstance:
+    """Unroll a (possibly cyclic) probabilistic instance to ``horizon``.
+
+    Args:
+        pi: the instance; its weak instance graph may contain cycles
+            (self-loops included) but every non-leaf still needs an OPF.
+        horizon: the maximum depth; copies at this depth have their
+            children cut.
+
+    Returns:
+        An acyclic (in fact layered) probabilistic instance whose depth-d
+        object ``o@d`` stands for "o reached after d steps".
+
+    Raises:
+        EmptyResultError: when cutting the horizon contradicts a
+            mandatory child (an OPF whose every child set needs an
+            out-of-horizon child).
+    """
+    if horizon < 0:
+        raise ModelError("horizon must be >= 0")
+    weak = WeakInstance(pi.root)
+    interp = LocalInterpretation()
+    frontier: list[tuple[Oid, int]] = [(pi.root, 0)]
+    seen: set[tuple[Oid, int]] = {(pi.root, 0)}
+    while frontier:
+        oid, depth = frontier.pop()
+        this_copy = copy_id(oid, depth)
+        weak.add_object(this_copy)
+        leaf_type = pi.weak.tau(oid)
+        if leaf_type is not None:
+            weak.set_type(this_copy, leaf_type)
+        default = pi.weak.val(oid)
+        if default is not None:
+            weak.set_val(this_copy, default)
+        vpf = pi.vpf(oid)
+        if vpf is not None and pi.weak.is_leaf(oid):
+            interp.set_vpf(this_copy, vpf)
+        if pi.weak.is_leaf(oid):
+            continue
+        if depth >= horizon:
+            # Horizon reached: this copy keeps no children.  Its OPF mass
+            # is irrelevant (it becomes a structural leaf), so nothing to
+            # install — but a mandatory child would make the cut unsound.
+            opf = pi.opf(oid)
+            if opf is not None and all(c for c, _ in opf.support()):
+                raise EmptyResultError(
+                    f"cannot cut {oid!r} at the horizon: every potential "
+                    "child set is non-empty (a child is mandatory)"
+                )
+            continue
+        for label, children in pi.weak.lch_map(oid).items():
+            renamed = {copy_id(child, depth + 1) for child in children}
+            weak.set_lch(this_copy, label, renamed)
+            if pi.weak.has_explicit_card(oid, label):
+                weak.set_card(this_copy, label, pi.weak.card(oid, label))
+        opf = pi.opf(oid)
+        if opf is None:
+            raise ModelError(f"non-leaf object {oid!r} has no OPF")
+        interp.set_opf(this_copy, _rename_opf(opf, depth))
+        for child in pi.weak.potential_children(oid):
+            key = (child, depth + 1)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+    return ProbabilisticInstance(weak, interp)
+
+
+def _rename_opf(opf, depth: int) -> TabularOPF:
+    table: dict[ChildSet, float] = {}
+    for child_set, probability in opf.support():
+        renamed = frozenset(copy_id(child, depth + 1) for child in child_set)
+        table[renamed] = table.get(renamed, 0.0) + probability
+    return TabularOPF(table)
+
+
+def is_cyclic(pi: ProbabilisticInstance) -> bool:
+    """Whether the instance's weak instance graph has a cycle."""
+    return not pi.weak.graph().is_acyclic()

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the PXML reproduction library.
+
+All library-raised exceptions derive from :class:`PXMLError` so callers can
+catch a single base class.  Subclasses are organized by the layer that raises
+them: model construction, semantics, algebra, queries, and IO.
+"""
+
+from __future__ import annotations
+
+
+class PXMLError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ModelError(PXMLError):
+    """A probabilistic or semistructured instance is malformed."""
+
+
+class UnknownObjectError(ModelError):
+    """An object id was referenced that does not exist in the instance."""
+
+    def __init__(self, oid: str) -> None:
+        super().__init__(f"unknown object id: {oid!r}")
+        self.oid = oid
+
+
+class UnknownLabelError(ModelError):
+    """A label was referenced that is not used by the given object."""
+
+    def __init__(self, oid: str, label: str) -> None:
+        super().__init__(f"object {oid!r} has no potential children with label {label!r}")
+        self.oid = oid
+        self.label = label
+
+
+class CardinalityError(ModelError):
+    """A cardinality interval is malformed or violated."""
+
+
+class TypeDomainError(ModelError):
+    """A leaf value falls outside its declared type domain."""
+
+
+class DistributionError(ModelError):
+    """A probability function is not a legal distribution."""
+
+
+class CyclicModelError(ModelError):
+    """The weak instance graph contains a cycle (Definition 4.3 forbids this)."""
+
+
+class IncoherentModelError(ModelError):
+    """A probabilistic instance fails a coherence check (Theorem 1 preconditions)."""
+
+
+class OverlappingLabelError(ModelError):
+    """Two labels of the same object share potential children.
+
+    The paper's ``PC(o)`` construction flattens label information, so like
+    the journal version of PXML we require ``lch(o, l1)`` and ``lch(o, l2)``
+    to be disjoint for ``l1 != l2``.
+    """
+
+
+class SemanticsError(PXMLError):
+    """Raised by the semantics layer (enumeration, factorization)."""
+
+
+class NotFactorizableError(SemanticsError):
+    """A global interpretation does not satisfy the weak instance (Theorem 2)."""
+
+
+class AlgebraError(PXMLError):
+    """Raised by algebraic operators."""
+
+
+class PathSyntaxError(AlgebraError):
+    """A path expression string could not be parsed."""
+
+
+class EmptyResultError(AlgebraError):
+    """An operation conditioned on an event of probability zero."""
+
+
+class NonTreeInstanceError(AlgebraError):
+    """An efficient (local) algorithm requires a tree-structured instance."""
+
+
+class QueryError(PXMLError):
+    """Raised by the query engine."""
+
+
+class CodecError(PXMLError):
+    """Raised when (de)serialization of an instance fails."""

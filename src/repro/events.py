@@ -1,0 +1,229 @@
+"""A boolean event algebra over compatible worlds.
+
+Section 6's queries each compute the probability of one *atomic* event
+(an object satisfies a path; some object satisfies a path; a chain
+exists).  Real questions compose: "a book by Hung exists AND no book by
+Getoor does", "B1 is present OR B2 is".  This module provides event
+objects closed under ``&``, ``|`` and ``~``, with three evaluation
+routes:
+
+* :func:`probability` — exact, by world enumeration (small instances);
+* :func:`estimate` — unbiased Monte-Carlo with standard errors (any
+  acyclic instance, any size);
+* :func:`conditional_probability` — exact ``P(event | given)``.
+
+Atoms: :class:`ObjectExists`, :class:`Reaches` (the point query's
+event), :class:`PathNonEmpty` (the existential's), :class:`HasValue` and
+:class:`ChainExists`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import QueryError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.paths import PathExpression, evaluate_path
+from repro.semistructured.types import Value
+
+
+class Event(ABC):
+    """A predicate over semistructured worlds, closed under &, |, ~."""
+
+    @abstractmethod
+    def holds(self, world: SemistructuredInstance) -> bool:
+        """Whether the event holds in ``world``."""
+
+    def __and__(self, other: "Event") -> "Event":
+        return And(self, other)
+
+    def __or__(self, other: "Event") -> "Event":
+        return Or(self, other)
+
+    def __invert__(self) -> "Event":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class ObjectExists(Event):
+    """``o`` occurs in the world."""
+
+    oid: Oid
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return self.oid in world
+
+    def __str__(self) -> str:
+        return f"exists({self.oid})"
+
+
+@dataclass(frozen=True)
+class Reaches(Event):
+    """``o in p`` — the point query's event."""
+
+    path: PathExpression
+    oid: Oid
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return self.oid in evaluate_path(world.graph, self.path)
+
+    def __str__(self) -> str:
+        return f"{self.oid} in {self.path}"
+
+
+@dataclass(frozen=True)
+class PathNonEmpty(Event):
+    """``exists o: o in p`` — the existential query's event."""
+
+    path: PathExpression
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return bool(evaluate_path(world.graph, self.path))
+
+    def __str__(self) -> str:
+        return f"nonempty({self.path})"
+
+
+@dataclass(frozen=True)
+class HasValue(Event):
+    """``o`` occurs with value ``v``."""
+
+    oid: Oid
+    value: Value
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return self.oid in world and world.val(self.oid) == self.value
+
+    def __str__(self) -> str:
+        return f"val({self.oid}) = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ChainExists(Event):
+    """The explicit object chain exists."""
+
+    chain: tuple[Oid, ...]
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        for parent, child in zip(self.chain, self.chain[1:]):
+            if parent not in world or child not in world.children(parent):
+                return False
+        return bool(self.chain) and self.chain[0] in world
+
+    def __str__(self) -> str:
+        return ".".join(self.chain)
+
+
+@dataclass(frozen=True)
+class And(Event):
+    left: Event
+    right: Event
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return self.left.holds(world) and self.right.holds(world)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Event):
+    left: Event
+    right: Event
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return self.left.holds(world) or self.right.holds(world)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Event):
+    inner: Event
+
+    def holds(self, world: SemistructuredInstance) -> bool:
+        return not self.inner.holds(world)
+
+    def __str__(self) -> str:
+        return f"not {self.inner}"
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def probability(pi: ProbabilisticInstance, event: Event) -> float:
+    """Exact ``P(event)`` by world enumeration."""
+    return GlobalInterpretation.from_local(pi).event_probability(event.holds)
+
+
+def conditional_probability(
+    pi: ProbabilisticInstance, event: Event, given: Event
+) -> float:
+    """Exact ``P(event | given)``; raises when ``P(given) = 0``."""
+    interpretation = GlobalInterpretation.from_local(pi)
+    denominator = interpretation.event_probability(given.holds)
+    if denominator <= 0.0:
+        raise QueryError(f"conditioning event has probability zero: {given}")
+    joint = interpretation.event_probability(
+        lambda world: event.holds(world) and given.holds(world)
+    )
+    return joint / denominator
+
+
+def estimate(
+    pi: ProbabilisticInstance,
+    event: Event,
+    samples: int = 1000,
+    seed: int | None = None,
+):
+    """Monte-Carlo ``P(event)`` (returns an ``Estimate``)."""
+    from repro.semantics.sampling import estimate_probability
+
+    return estimate_probability(pi, event.holds, samples, seed)
+
+
+def estimate_conditional(
+    pi: ProbabilisticInstance,
+    event: Event,
+    given: Event,
+    samples: int = 1000,
+    seed: int | None = None,
+):
+    """Monte-Carlo ``P(event | given)`` by rejection sampling.
+
+    Draws worlds until ``samples`` of them satisfy ``given`` (with a
+    10x-oversampling cap to avoid spinning on rare evidence) and reports
+    the conditional frequency.  Raises :class:`QueryError` when no
+    accepted sample is found within the cap — the evidence is then too
+    rare for rejection sampling; condition exactly instead.
+    """
+    import math
+
+    from repro.semantics.sampling import Estimate, WorldSampler
+
+    if samples <= 0:
+        raise QueryError("need a positive sample count")
+    sampler = WorldSampler(pi, seed)
+    accepted = 0
+    hits = 0
+    for _ in range(samples * 10):
+        world = sampler.sample()
+        if not given.holds(world):
+            continue
+        accepted += 1
+        if event.holds(world):
+            hits += 1
+        if accepted >= samples:
+            break
+    if accepted == 0:
+        raise QueryError(
+            f"no sample satisfied the evidence {given} within {samples * 10} draws"
+        )
+    probability_value = hits / accepted
+    stderr = math.sqrt(probability_value * (1.0 - probability_value) / accepted)
+    return Estimate(probability_value, stderr, accepted)

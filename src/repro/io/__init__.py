@@ -1,0 +1,31 @@
+"""Serialization: a lossless JSON codec for probabilistic instances and an
+XML codec for semistructured worlds."""
+
+from repro.io import compact_codec, json_codec, xml_codec
+from repro.io.corpus import iter_corpus, read_corpus, write_corpus
+from repro.io.json_codec import (
+    decode_instance,
+    decode_semistructured,
+    encode_instance,
+    encode_semistructured,
+    read_instance,
+    write_instance,
+)
+from repro.io.xml_codec import read_world, write_world
+
+__all__ = [
+    "compact_codec",
+    "decode_instance",
+    "decode_semistructured",
+    "encode_instance",
+    "encode_semistructured",
+    "iter_corpus",
+    "json_codec",
+    "read_corpus",
+    "read_instance",
+    "read_world",
+    "write_corpus",
+    "write_instance",
+    "write_world",
+    "xml_codec",
+]

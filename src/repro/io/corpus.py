@@ -1,0 +1,43 @@
+"""JSON-lines corpora of semistructured worlds.
+
+The learning module consumes corpora of observed worlds; this codec
+streams them to and from disk, one world per line (the
+``encode_semistructured`` format), so corpora larger than memory can be
+processed incrementally with :func:`iter_corpus`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.io.json_codec import decode_semistructured, encode_semistructured
+from repro.semistructured.instance import SemistructuredInstance
+
+
+def write_corpus(
+    worlds: Iterable[SemistructuredInstance], path: str | Path
+) -> int:
+    """Write worlds as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for world in worlds:
+            handle.write(json.dumps(encode_semistructured(world)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_corpus(path: str | Path) -> Iterator[SemistructuredInstance]:
+    """Stream worlds back from a JSON-lines corpus file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield decode_semistructured(json.loads(line))
+
+
+def read_corpus(path: str | Path) -> list[SemistructuredInstance]:
+    """Load an entire corpus into memory."""
+    return list(iter_corpus(path))

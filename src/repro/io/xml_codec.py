@@ -1,0 +1,116 @@
+"""XML (de)serialization of semistructured worlds.
+
+Compatible worlds are ordinary semistructured instances — exactly the
+data classic XML tooling consumes — so this codec renders them as XML and
+parses them back.  Because instances may be DAGs, an object shared by
+several parents is emitted in full once and referenced afterwards with a
+``<pxml-ref oid="..." label="..."/>`` element (the OEM convention).
+
+Element tags are the *incoming edge labels*; the root uses the fixed tag
+``pxml-root``.  Object ids, types and values travel in attributes.
+Values are stringified on write, so reading yields string values; the
+codec is meant for interchange and display, while the JSON codec is the
+lossless round-trip format.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.errors import CodecError
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType, TypeRegistry
+
+ROOT_TAG = "pxml-root"
+REF_TAG = "pxml-ref"
+
+
+def to_element(instance: SemistructuredInstance) -> ET.Element:
+    """Render a semistructured instance as an ElementTree element."""
+    emitted: set[Oid] = set()
+
+    def emit(oid: Oid, tag: str) -> ET.Element:
+        if oid in emitted:
+            return ET.Element(REF_TAG, {"oid": oid, "label": tag})
+        emitted.add(oid)
+        element = ET.Element(tag, {"oid": oid})
+        leaf_type = instance.tau(oid)
+        if leaf_type is not None:
+            element.set("type", leaf_type.name)
+            element.set("domain", "|".join(str(v) for v in leaf_type.domain))
+        value = instance.val(oid)
+        if value is not None:
+            element.set("value", str(value))
+        for child in sorted(instance.children(oid)):
+            element.append(emit(child, instance.label(oid, child)))
+        return element
+
+    return emit(instance.root, ROOT_TAG)
+
+
+def dumps(instance: SemistructuredInstance) -> str:
+    """Serialize a semistructured instance to an XML string."""
+    element = to_element(instance)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def from_element(element: ET.Element) -> SemistructuredInstance:
+    """Rebuild a semistructured instance from an element tree."""
+    if element.tag != ROOT_TAG:
+        raise CodecError(f"expected root tag {ROOT_TAG!r}, got {element.tag!r}")
+    root_oid = element.get("oid")
+    if root_oid is None:
+        raise CodecError("root element lacks an oid attribute")
+    registry = TypeRegistry()
+    instance = SemistructuredInstance(root_oid)
+
+    def annotate(node: ET.Element, oid: Oid) -> None:
+        type_name = node.get("type")
+        if type_name is not None:
+            domain = node.get("domain", "").split("|")
+            if type_name not in registry:
+                registry.add(LeafType(type_name, domain))
+            instance.set_type(oid, registry[type_name])
+        value = node.get("value")
+        if value is not None:
+            instance.set_value(oid, value)
+
+    def walk(node: ET.Element, oid: Oid) -> None:
+        annotate(node, oid)
+        for child in node:
+            child_oid = child.get("oid")
+            if child_oid is None:
+                raise CodecError("element without oid attribute")
+            if child.tag == REF_TAG:
+                label = child.get("label")
+                if label is None:
+                    raise CodecError(f"reference to {child_oid!r} lacks a label")
+                instance.add_edge(oid, child_oid, label)
+            else:
+                instance.add_edge(oid, child_oid, child.tag)
+                walk(child, child_oid)
+
+    walk(element, root_oid)
+    return instance
+
+
+def loads(text: str) -> SemistructuredInstance:
+    """Deserialize a semistructured instance from an XML string."""
+    return from_element(ET.fromstring(text))
+
+
+def write_world(instance: SemistructuredInstance, path: str | Path) -> int:
+    """Write a world to ``path`` as XML; returns characters written."""
+    payload = dumps(instance)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def read_world(path: str | Path) -> SemistructuredInstance:
+    """Read a world from an XML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,182 @@
+"""Learning a probabilistic instance from observed worlds.
+
+The paper's motivation is data produced by noisy processes (extraction,
+sensors); in practice one often has a *corpus of observed semistructured
+instances* and wants the probabilistic instance that explains it.  For
+fully-observed worlds this is closed-form maximum likelihood, and it is
+exactly the empirical counterpart of the Theorem 2 factorization:
+
+* the weak instance is the union of everything observed (``lch`` from
+  observed labeled edges, ``card`` from the observed per-label count
+  ranges, types from observed leaf types);
+* each object's OPF is the frequency of its child sets *among the worlds
+  containing the object* (Definition 4.5's conditional);
+* each leaf's VPF is the frequency of its observed values.
+
+``smoothing`` adds Laplace pseudo-counts over the *observed* support
+(PXML's ``PC(o)`` can be astronomically large, so smoothing over all of
+it would be both intractable and statistically silly).
+
+Consistency — learning from samples of a known instance recovers it as
+the sample count grows — is verified in ``tests/test_learn.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.cardinality import CardinalityInterval
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import ModelError
+from repro.semistructured.graph import Label, Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType, Value
+
+WeightedWorld = tuple[SemistructuredInstance, float]
+
+
+def _normalize_corpus(
+    worlds: Iterable[SemistructuredInstance | WeightedWorld],
+) -> list[WeightedWorld]:
+    corpus: list[WeightedWorld] = []
+    for entry in worlds:
+        if isinstance(entry, SemistructuredInstance):
+            corpus.append((entry, 1.0))
+        else:
+            world, weight = entry
+            if weight < 0.0:
+                raise ModelError("world weights must be non-negative")
+            corpus.append((world, float(weight)))
+    if not corpus or sum(weight for _, weight in corpus) <= 0.0:
+        raise ModelError("the corpus must contain positively weighted worlds")
+    roots = {world.root for world, _ in corpus}
+    if len(roots) != 1:
+        raise ModelError(f"worlds disagree on the root: {sorted(roots)}")
+    return corpus
+
+
+def learn_instance(
+    worlds: Iterable[SemistructuredInstance | WeightedWorld],
+    smoothing: float = 0.0,
+) -> ProbabilisticInstance:
+    """Maximum-likelihood probabilistic instance for a corpus of worlds.
+
+    Args:
+        worlds: observed semistructured instances, optionally weighted
+            (pass ``(world, weight)`` pairs; plain worlds weigh 1).  All
+            must share the same root object id.
+        smoothing: Laplace pseudo-count added to every *observed* child
+            set / value of an object before normalizing.
+
+    Raises:
+        ModelError: on empty corpora, disagreeing roots, conflicting edge
+            labels, or conflicting leaf types.
+    """
+    corpus = _normalize_corpus(worlds)
+    root = corpus[0][0].root
+
+    weak = WeakInstance(root)
+    edge_labels: dict[tuple[Oid, Oid], Label] = {}
+    lch: dict[Oid, dict[Label, set[Oid]]] = {}
+    leaf_types: dict[Oid, LeafType] = {}
+    presence: dict[Oid, float] = {}
+    choice_counts: dict[Oid, dict[ChildSet, float]] = {}
+    value_counts: dict[Oid, dict[Value, float]] = {}
+    label_counts: dict[tuple[Oid, Label], list[int]] = {}
+
+    # Pass 1: structure — every observed labeled edge and leaf type.
+    for world, _ in corpus:
+        for src, dst, label in world.edges():
+            previous = edge_labels.get((src, dst))
+            if previous is not None and previous != label:
+                raise ModelError(
+                    f"edge ({src!r}, {dst!r}) observed with labels "
+                    f"{previous!r} and {label!r}"
+                )
+            edge_labels[(src, dst)] = label
+            lch.setdefault(src, {}).setdefault(label, set()).add(dst)
+        for oid, leaf_type, _value in world.typed_leaves():
+            previous_type = leaf_types.get(oid)
+            if previous_type is not None and previous_type != leaf_type:
+                raise ModelError(f"leaf {oid!r} observed with two types")
+            leaf_types[oid] = leaf_type
+
+    # Pass 2: statistics — child-set choices, values, per-label counts.
+    for world, weight in corpus:
+        if weight == 0.0:
+            continue
+        for oid in world.objects:
+            presence[oid] = presence.get(oid, 0.0) + weight
+            children = world.children(oid)
+            if oid in lch:  # a non-leaf of the learned weak instance
+                choice = frozenset(children)
+                by_choice = choice_counts.setdefault(oid, {})
+                by_choice[choice] = by_choice.get(choice, 0.0) + weight
+            value = world.val(oid)
+            if value is not None:
+                by_value = value_counts.setdefault(oid, {})
+                by_value[value] = by_value.get(value, 0.0) + weight
+            by_label: dict[Label, int] = {}
+            for child in children:
+                label = world.label(oid, child)
+                by_label[label] = by_label.get(label, 0) + 1
+            for label in lch.get(oid, {}):
+                count = by_label.get(label, 0)
+                bounds = label_counts.setdefault((oid, label), [count, count])
+                bounds[0] = min(bounds[0], count)
+                bounds[1] = max(bounds[1], count)
+
+    # -- assemble the weak instance --------------------------------------
+    for oid, by_label in lch.items():
+        weak.add_object(oid)
+        for label, children in by_label.items():
+            weak.set_lch(oid, label, children)
+    for (oid, label), (low, high) in label_counts.items():
+        weak.set_card(oid, label, CardinalityInterval(low, high))
+    for oid, leaf_type in leaf_types.items():
+        if oid in weak:
+            weak.set_type(oid, leaf_type)
+
+    # -- local interpretation (conditional frequencies) -------------------
+    interp = LocalInterpretation()
+    for oid, by_choice in choice_counts.items():
+        if oid not in weak or weak.is_leaf(oid):
+            continue  # objects only ever seen childless stay leaves
+        table = {
+            choice: count + smoothing for choice, count in by_choice.items()
+        }
+        total = sum(table.values())
+        interp.set_opf(
+            oid, TabularOPF({c: n / total for c, n in table.items()})
+        )
+    for oid, by_value in value_counts.items():
+        if oid not in weak:
+            continue
+        table = {value: count + smoothing for value, count in by_value.items()}
+        total = sum(table.values())
+        interp.set_vpf(
+            oid, TabularVPF({v: n / total for v, n in table.items()})
+        )
+    return ProbabilisticInstance(weak, interp)
+
+
+def log_likelihood(
+    pi: ProbabilisticInstance,
+    worlds: Sequence[SemistructuredInstance],
+) -> float:
+    """``sum_i log P_p(world_i)`` — ``-inf`` if any world is impossible."""
+    import math
+
+    from repro.semantics.compatible import world_probability
+
+    total = 0.0
+    for world in worlds:
+        probability = world_probability(pi, world)
+        if probability <= 0.0:
+            return -math.inf
+        total += math.log(probability)
+    return total

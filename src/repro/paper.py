@@ -1,0 +1,164 @@
+"""The paper's running bibliographic example, as reusable fixtures.
+
+* :func:`figure1_instance` — the ordinary semistructured instance of
+  Figure 1 / Example 3.1.
+* :func:`figure2_instance` — the probabilistic instance of Figure 2 /
+  Example 3.3 (the one Example 4.1 computes ``P(S1) = 0.00448`` on).
+* :func:`example52_instance` — the simplified four-world instance behind
+  Figure 6 / Example 5.2 (selection ``R.book = B1``).
+
+These are used by the tests, the examples and the documentation; keeping
+them here guarantees every consumer reproduces exactly the paper's data.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import InstanceBuilder
+from repro.core.instance import ProbabilisticInstance
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType
+
+TITLE_TYPE = LeafType("title-type", ["VQDB", "Lore"])
+INSTITUTION_TYPE = LeafType("institution-type", ["Stanford", "UMD"])
+
+
+def figure1_instance() -> SemistructuredInstance:
+    """The semistructured instance of Figure 1 (bibliographic domain).
+
+    ``R`` has three book children; books carry title/author children;
+    authors carry institution children.  Ancestor projection of
+    ``R.book.author`` on this instance yields Figure 4.
+    """
+    return SemistructuredInstance.from_edges(
+        root="R",
+        edges=[
+            ("R", "B1", "book"),
+            ("R", "B2", "book"),
+            ("R", "B3", "book"),
+            ("B1", "T1", "title"),
+            ("B1", "A1", "author"),
+            ("B2", "A1", "author"),
+            ("B2", "A2", "author"),
+            ("B3", "T2", "title"),
+            ("B3", "A3", "author"),
+            ("A1", "I1", "institution"),
+            ("A2", "I1", "institution"),
+            ("A3", "I2", "institution"),
+        ],
+        leaves=[
+            ("T1", TITLE_TYPE, "VQDB"),
+            ("T2", TITLE_TYPE, "Lore"),
+            ("I1", INSTITUTION_TYPE, "Stanford"),
+            ("I2", INSTITUTION_TYPE, "UMD"),
+        ],
+    )
+
+
+def figure2_instance() -> ProbabilisticInstance:
+    """The probabilistic instance of Figure 2, exactly as printed.
+
+    All ``lch``, ``card`` and OPF tables follow the figure; the leaf
+    objects get point-mass VPFs on the Figure 1 values (the paper does not
+    print VPF tables for this example, and Example 4.1's arithmetic treats
+    the leaf values as certain).
+    """
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2", "B3"], card=(2, 3))
+    builder.children("B1", "title", ["T1"], card=(0, 1))
+    builder.children("B1", "author", ["A1", "A2"], card=(1, 2))
+    builder.children("B2", "author", ["A1", "A2", "A3"], card=(2, 2))
+    builder.children("B3", "title", ["T2"], card=(1, 1))
+    builder.children("B3", "author", ["A3"], card=(1, 1))
+    builder.children("A1", "institution", ["I1"], card=(0, 1))
+    builder.children("A2", "institution", ["I1", "I2"], card=(1, 1))
+    builder.children("A3", "institution", ["I2"], card=(1, 1))
+
+    builder.opf("R", {
+        ("B1", "B2"): 0.2,
+        ("B1", "B3"): 0.2,
+        ("B2", "B3"): 0.2,
+        ("B1", "B2", "B3"): 0.4,
+    })
+    builder.opf("B1", {
+        ("A1",): 0.3,
+        ("A1", "T1"): 0.35,
+        ("A2",): 0.1,
+        ("A2", "T1"): 0.15,
+        ("A1", "A2"): 0.05,
+        ("A1", "A2", "T1"): 0.05,
+    })
+    builder.opf("B2", {
+        ("A1", "A2"): 0.4,
+        ("A1", "A3"): 0.4,
+        ("A2", "A3"): 0.2,
+    })
+    builder.opf("B3", {("A3", "T2"): 1.0})
+    builder.opf("A1", {(): 0.2, ("I1",): 0.8})
+    builder.opf("A2", {("I1",): 0.5, ("I2",): 0.5})
+    builder.opf("A3", {("I2",): 1.0})
+
+    builder.leaf("T1", "title-type", ["VQDB", "Lore"], {"VQDB": 1.0})
+    builder.leaf("T2", "title-type", vpf={"Lore": 1.0})
+    builder.leaf("I1", "institution-type", ["Stanford", "UMD"], {"Stanford": 1.0})
+    builder.leaf("I2", "institution-type", vpf={"UMD": 1.0})
+    return builder.build()
+
+
+def example41_s1() -> SemistructuredInstance:
+    """The compatible instance ``S1`` of Example 4.1 / Figure 3.
+
+    ``S1`` contains books B1 (with A1 and T1) and B2 (with A1 and A2);
+    authors A1 and A2 both have institution I1.  Its probability under the
+    Figure 2 instance is ``P(B1,B2|R) * P(A1,T1|B1) * P(A1,A2|B2) *
+    P(I1|A1) * P(I1|A2) = 0.2 * 0.35 * 0.4 * 0.8 * 0.5 = 0.0112``.
+
+    Note: the paper prints ``0.00448`` for this product, but the five
+    factors it lists multiply to ``0.0112`` (0.00448 would need an extra
+    factor of 0.4).  We treat the printed total as an arithmetic typo and
+    assert the value implied by the factors.
+    """
+    return SemistructuredInstance.from_edges(
+        root="R",
+        edges=[
+            ("R", "B1", "book"),
+            ("R", "B2", "book"),
+            ("B1", "T1", "title"),
+            ("B1", "A1", "author"),
+            ("B2", "A1", "author"),
+            ("B2", "A2", "author"),
+            ("A1", "I1", "institution"),
+            ("A2", "I1", "institution"),
+        ],
+        leaves=[
+            ("T1", TITLE_TYPE, "VQDB"),
+            ("I1", INSTITUTION_TYPE, "Stanford"),
+        ],
+    )
+
+
+def example52_instance() -> ProbabilisticInstance:
+    """The simplified instance behind Figure 6 / Example 5.2.
+
+    Four compatible worlds: {B1} (0.4), {B2} (0.2), {B1, B2} with B2
+    having/not having further structure... The paper only prints the four
+    world probabilities (0.4, 0.2, 0.2, 0.2) and that exactly S1, S3 and S4
+    contain ``B1``.  We realize this with a root whose OPF is:
+
+        {B1}: 0.4   {B2}: 0.2   {B1, B2}: 0.2   {B1, B3}: 0.2
+
+    so that selection ``R.book = B1`` keeps mass 0.8 and the normalized
+    probability of the first world is 0.4 / 0.8 = 0.5 (the paper's printed
+    ``0.4`` is an arithmetic typo).
+    """
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2", "B3"], card=(1, 2))
+    builder.opf("R", {
+        ("B1",): 0.4,
+        ("B2",): 0.2,
+        ("B1", "B2"): 0.2,
+        ("B1", "B3"): 0.2,
+    })
+    builder.leaf("B1", "book-type", ["b1"], {"b1": 1.0})
+    builder.leaf("B2", "book-type", vpf={"b1": 1.0})
+    builder.leaf("B3", "book-type", vpf={"b1": 1.0})
+    return builder.build()

@@ -1,0 +1,18 @@
+"""The PIXML interval-probability extension (companion-paper direction)."""
+
+from repro.pixml.intervals import ProbInterval
+from repro.pixml.ipf import IntervalOPF, IntervalProbabilisticInstance
+from repro.pixml.queries import (
+    interval_chain_probability,
+    interval_existential_query,
+    interval_point_query,
+)
+
+__all__ = [
+    "IntervalOPF",
+    "IntervalProbabilisticInstance",
+    "ProbInterval",
+    "interval_chain_probability",
+    "interval_existential_query",
+    "interval_point_query",
+]

@@ -1,0 +1,81 @@
+"""Probability intervals for the PIXML extension.
+
+The companion paper ("Probabilistic Interval XML", ICDT 2003) replaces
+point probabilities with intervals.  :class:`ProbInterval` is a closed
+subinterval of ``[0, 1]`` with the arithmetic interval queries need:
+product (for chains of independent events), complement, convex
+combination, intersection and containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DistributionError
+
+
+@dataclass(frozen=True, order=True)
+class ProbInterval:
+    """A closed probability interval ``[lo, hi] ⊆ [0, 1]``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lo <= self.hi <= 1.0:
+            raise DistributionError(
+                f"invalid probability interval [{self.lo}, {self.hi}]"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, probability: float) -> "ProbInterval":
+        """The degenerate interval ``[p, p]``."""
+        return cls(probability, probability)
+
+    @classmethod
+    def vacuous(cls) -> "ProbInterval":
+        """The uninformative interval ``[0, 1]``."""
+        return cls(0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, probability: float) -> bool:
+        return self.lo <= probability <= self.hi
+
+    def is_point(self, tolerance: float = 1e-12) -> bool:
+        """Whether the interval is (numerically) a single point."""
+        return self.hi - self.lo <= tolerance
+
+    def width(self) -> float:
+        """``hi - lo``."""
+        return self.hi - self.lo
+
+    # ------------------------------------------------------------------
+    def product(self, other: "ProbInterval") -> "ProbInterval":
+        """The interval of products of independent probabilities."""
+        return ProbInterval(self.lo * other.lo, self.hi * other.hi)
+
+    def complement(self) -> "ProbInterval":
+        """The interval of ``1 - p``."""
+        return ProbInterval(1.0 - self.hi, 1.0 - self.lo)
+
+    def add(self, other: "ProbInterval") -> "ProbInterval":
+        """Sum of probabilities of disjoint events, clamped to 1."""
+        return ProbInterval(min(1.0, self.lo + other.lo), min(1.0, self.hi + other.hi))
+
+    def intersect(self, other: "ProbInterval") -> "ProbInterval":
+        """The common subinterval; raises when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            raise DistributionError(
+                f"disjoint probability intervals {self} and {other}"
+            )
+        return ProbInterval(lo, hi)
+
+    def contains_interval(self, other: "ProbInterval") -> bool:
+        """Whether ``other`` lies entirely within ``self``."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo:.6g}, {self.hi:.6g}]"

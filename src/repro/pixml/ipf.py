@@ -1,0 +1,200 @@
+"""Interval probability functions and interval probabilistic instances.
+
+An :class:`IntervalOPF` maps each potential child set to a probability
+interval.  It is *consistent* when some point OPF fits inside it:
+``sum lo <= 1 <= sum hi``.  :func:`IntervalOPF.tighten` performs the
+standard bound-propagation step: given that the entries of a distribution
+sum to one,
+
+    lo'(c) = max(lo(c), 1 - sum_{c' != c} hi(c'))
+    hi'(c) = min(hi(c), 1 - sum_{c' != c} lo(c'))
+
+An :class:`IntervalProbabilisticInstance` pairs a weak instance with
+interval OPFs; it generalizes :class:`repro.core.ProbabilisticInstance`
+(every point instance embeds via point intervals) and supports interval
+chain/point queries in :mod:`repro.pixml.queries`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.distributions import ObjectProbabilityFunction, TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import DistributionError, ModelError
+from repro.pixml.intervals import ProbInterval
+from repro.semistructured.graph import Oid
+
+
+class IntervalOPF:
+    """A distribution over potential child sets with interval weights."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: Mapping[Iterable[Oid] | ChildSet, ProbInterval]) -> None:
+        self._table: dict[ChildSet, ProbInterval] = {}
+        for child_set, interval in table.items():
+            key = child_set if isinstance(child_set, frozenset) else frozenset(child_set)
+            if key in self._table:
+                raise DistributionError(f"duplicate entry for {sorted(key)!r}")
+            self._table[key] = interval
+
+    @classmethod
+    def from_point(cls, opf: ObjectProbabilityFunction) -> "IntervalOPF":
+        """Embed an ordinary OPF as degenerate intervals."""
+        return cls({c: ProbInterval.point(p) for c, p in opf.support()})
+
+    def interval(self, child_set: ChildSet) -> ProbInterval:
+        """The interval of ``child_set`` (``[0, 0]`` outside the support)."""
+        return self._table.get(frozenset(child_set), ProbInterval.point(0.0))
+
+    def support(self) -> Iterator[tuple[ChildSet, ProbInterval]]:
+        """Iterate the stored entries."""
+        return iter(self._table.items())
+
+    def entry_count(self) -> int:
+        """The number of stored entries."""
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    def is_consistent(self) -> bool:
+        """Whether some legal point OPF fits inside the intervals."""
+        lo_sum = sum(interval.lo for interval in self._table.values())
+        hi_sum = sum(interval.hi for interval in self._table.values())
+        return lo_sum <= 1.0 + 1e-12 and hi_sum >= 1.0 - 1e-12
+
+    def validate(self) -> None:
+        """Raise :class:`DistributionError` when inconsistent."""
+        if not self.is_consistent():
+            lo_sum = sum(interval.lo for interval in self._table.values())
+            hi_sum = sum(interval.hi for interval in self._table.values())
+            raise DistributionError(
+                f"inconsistent interval OPF: sum lo = {lo_sum}, sum hi = {hi_sum}"
+            )
+
+    def tighten(self) -> "IntervalOPF":
+        """Propagate the sum-to-one constraint into each entry's bounds."""
+        self.validate()
+        lo_sum = sum(interval.lo for interval in self._table.values())
+        hi_sum = sum(interval.hi for interval in self._table.values())
+        tightened: dict[ChildSet, ProbInterval] = {}
+        for child_set, interval in self._table.items():
+            other_hi = hi_sum - interval.hi
+            other_lo = lo_sum - interval.lo
+            lo = max(interval.lo, 1.0 - other_hi)
+            hi = min(interval.hi, 1.0 - other_lo)
+            if lo > hi:
+                raise DistributionError(
+                    f"entry {sorted(child_set)!r} admits no probability"
+                )
+            tightened[child_set] = ProbInterval(max(0.0, lo), min(1.0, hi))
+        return IntervalOPF(tightened)
+
+    def contains(self, opf: ObjectProbabilityFunction) -> bool:
+        """Whether a point OPF lies within all intervals."""
+        support = dict(opf.support())
+        for child_set, interval in self._table.items():
+            if support.pop(child_set, 0.0) not in interval:
+                return False
+        return all(p == 0.0 for p in support.values())
+
+    def marginal_inclusion(self, oid: Oid) -> ProbInterval:
+        """The interval of ``P(oid in c)``.
+
+        Lower bound: every entry containing ``oid`` at its ``lo`` — but
+        since entries must jointly sum to one, the exact bounds come from
+        the linear program; we return the standard conservative bounds
+        ``[sum lo(containing), min(1, sum hi(containing))]``.
+        """
+        lo = sum(i.lo for c, i in self._table.items() if oid in c)
+        hi = sum(i.hi for c, i in self._table.items() if oid in c)
+        return ProbInterval(min(1.0, lo), min(1.0, hi))
+
+    def __repr__(self) -> str:
+        return f"IntervalOPF({len(self._table)} entries)"
+
+
+class IntervalProbabilisticInstance:
+    """A weak instance with interval OPFs on its non-leaf objects."""
+
+    def __init__(self, weak: WeakInstance) -> None:
+        self.weak = weak
+        self._iopfs: dict[Oid, IntervalOPF] = {}
+
+    @classmethod
+    def from_point_instance(
+        cls, pi: ProbabilisticInstance
+    ) -> "IntervalProbabilisticInstance":
+        """Embed an ordinary probabilistic instance (point intervals)."""
+        instance = cls(pi.weak.copy())
+        for oid, opf in pi.interpretation.opf_items():
+            instance.set_iopf(oid, IntervalOPF.from_point(opf))
+        return instance
+
+    @property
+    def root(self) -> Oid:
+        """The root object id."""
+        return self.weak.root
+
+    def set_iopf(self, oid: Oid, iopf: IntervalOPF) -> None:
+        """Assign the interval OPF of a non-leaf object."""
+        if self.weak.is_leaf(oid):
+            raise ModelError(f"object {oid!r} is a leaf")
+        self._iopfs[oid] = iopf
+
+    def iopf(self, oid: Oid) -> IntervalOPF | None:
+        """The interval OPF of ``oid`` (``None`` when unassigned)."""
+        return self._iopfs.get(oid)
+
+    def validate(self) -> None:
+        """Weak-instance structure plus per-object interval consistency."""
+        self.weak.validate()
+        for oid in self.weak.non_leaves():
+            iopf = self._iopfs.get(oid)
+            if iopf is None:
+                raise ModelError(f"non-leaf object {oid!r} has no interval OPF")
+            iopf.validate()
+            for child_set, _ in iopf.support():
+                if not self.weak.is_potential_child_set(oid, child_set):
+                    raise ModelError(
+                        f"interval OPF of {oid!r} mentions {sorted(child_set)!r} "
+                        "outside PC(o)"
+                    )
+
+    def contains_point_instance(self, pi: ProbabilisticInstance) -> bool:
+        """Whether an ordinary instance's OPFs all fit inside the intervals."""
+        for oid in self.weak.non_leaves():
+            iopf = self._iopfs.get(oid)
+            opf = pi.opf(oid)
+            if iopf is None or opf is None or not iopf.contains(opf):
+                return False
+        return True
+
+    def tighten(self) -> "IntervalProbabilisticInstance":
+        """Tighten every interval OPF in place-free fashion."""
+        out = IntervalProbabilisticInstance(self.weak.copy())
+        for oid, iopf in self._iopfs.items():
+            out.set_iopf(oid, iopf.tighten())
+        return out
+
+    def midpoint_instance(self) -> ProbabilisticInstance:
+        """A point instance at the (normalized) interval midpoints.
+
+        Useful as a representative selection; midpoints are renormalized
+        to sum to one per object.
+        """
+        pi = ProbabilisticInstance(self.weak.copy())
+        for oid, iopf in self._iopfs.items():
+            midpoints = {
+                c: (interval.lo + interval.hi) / 2.0 for c, interval in iopf.support()
+            }
+            mass = sum(midpoints.values())
+            if mass <= 0.0:
+                raise DistributionError(f"object {oid!r} has zero midpoint mass")
+            pi.set_opf(oid, TabularOPF({c: p / mass for c, p in midpoints.items()}))
+        return pi
+
+    def __repr__(self) -> str:
+        return f"IntervalProbabilisticInstance(root={self.root!r}, |V|={len(self.weak)})"

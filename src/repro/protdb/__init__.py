@@ -1,0 +1,24 @@
+"""The ProTDB baseline model and its translation into PXML (Section 8)."""
+
+from repro.protdb.model import ProTDBInstance, ProTDBNode
+from repro.protdb.patterns import (
+    PatternNode,
+    pattern_probability,
+    world_has_witness,
+)
+from repro.protdb.translate import (
+    iter_protdb_worlds,
+    protdb_world_distribution,
+    to_pxml,
+)
+
+__all__ = [
+    "PatternNode",
+    "ProTDBInstance",
+    "ProTDBNode",
+    "iter_protdb_worlds",
+    "pattern_probability",
+    "protdb_world_distribution",
+    "to_pxml",
+    "world_has_witness",
+]

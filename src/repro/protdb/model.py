@@ -1,0 +1,94 @@
+"""The ProTDB baseline model (Nierman & Jagadish, VLDB 2002).
+
+ProTDB attaches an *independent* existence probability to each individual
+child of a node and requires the dependency structure to be a tree.  The
+paper's related-work section argues PXML strictly subsumes it; the
+translation in :mod:`repro.protdb.translate` makes that claim executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DistributionError, ModelError
+from repro.semistructured.graph import Label, Oid
+from repro.semistructured.types import LeafType, Value
+
+
+@dataclass
+class ProTDBNode:
+    """A ProTDB tree node.
+
+    Attributes:
+        oid: the node's object id (unique within the instance).
+        children: ``(label, child, probability)`` triples; each child
+            exists independently with its probability, conditional on this
+            node existing.
+        leaf_type: the type of a leaf node (optional).
+        value: the certain value of a leaf node (ProTDB leaves carry
+            plain values; distributions over values are a PXML extension).
+    """
+
+    oid: Oid
+    children: list[tuple[Label, "ProTDBNode", float]] = field(default_factory=list)
+    leaf_type: LeafType | None = None
+    value: Value | None = None
+
+    def add_child(
+        self, label: Label, child: "ProTDBNode", probability: float
+    ) -> "ProTDBNode":
+        """Attach a child with its independent existence probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise DistributionError(
+                f"child probability must be in [0, 1], got {probability!r}"
+            )
+        self.children.append((label, child, probability))
+        return child
+
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+
+class ProTDBInstance:
+    """A ProTDB probabilistic tree database."""
+
+    def __init__(self, root: ProTDBNode) -> None:
+        self.root = root
+        self._check_tree()
+
+    def _check_tree(self) -> None:
+        seen: set[Oid] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.oid in seen:
+                raise ModelError(
+                    f"object id {node.oid!r} appears twice: ProTDB requires a tree"
+                )
+            seen.add(node.oid)
+            for _, child, _ in node.children:
+                stack.append(child)
+        self._oids = seen
+
+    @property
+    def objects(self) -> frozenset[Oid]:
+        """All object ids in the tree."""
+        return frozenset(self._oids)
+
+    def nodes(self) -> list[ProTDBNode]:
+        """All nodes in pre-order."""
+        out: list[ProTDBNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            for _, child, _ in reversed(node.children):
+                stack.append(child)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._oids)
+
+    def __repr__(self) -> str:
+        return f"ProTDBInstance(root={self.root.oid!r}, |V|={len(self)})"

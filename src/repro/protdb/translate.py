@@ -1,0 +1,116 @@
+"""Translating ProTDB into PXML (the subsumption of Section 8).
+
+Each ProTDB node's independent per-child probabilities become an
+:class:`repro.core.compact.IndependentOPF` over its children; leaves keep
+their types and (certain) values.  The induced distribution over possible
+worlds is identical, which ``tests/test_protdb.py`` verifies by comparing
+against a direct enumeration of the ProTDB worlds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import chain as iter_chain
+from itertools import combinations
+
+from repro.core.compact import IndependentOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.weak_instance import WeakInstance
+from repro.protdb.model import ProTDBInstance, ProTDBNode
+from repro.semistructured.instance import SemistructuredInstance
+
+
+def to_pxml(instance: ProTDBInstance) -> ProbabilisticInstance:
+    """The PXML probabilistic instance with the same world distribution."""
+    weak = WeakInstance(instance.root.oid)
+    interp = LocalInterpretation()
+    for node in instance.nodes():
+        weak.add_object(node.oid)
+        if node.is_leaf():
+            if node.leaf_type is not None:
+                weak.set_type(node.oid, node.leaf_type)
+            if node.value is not None:
+                weak.set_val(node.oid, node.value)
+            continue
+        by_label: dict[str, set[str]] = {}
+        inclusion: dict[str, float] = {}
+        for label, child, probability in node.children:
+            by_label.setdefault(label, set()).add(child.oid)
+            inclusion[child.oid] = probability
+        for label, children in by_label.items():
+            weak.set_lch(node.oid, label, children)
+        interp.set_opf(node.oid, IndependentOPF(inclusion))
+    return ProbabilisticInstance(weak, interp)
+
+
+def iter_protdb_worlds(
+    instance: ProTDBInstance,
+) -> Iterator[tuple[SemistructuredInstance, float]]:
+    """Enumerate ProTDB's possible worlds directly (no PXML involved).
+
+    Each present node's children flip independently; descendants of absent
+    children contribute no factors.  The recursion keeps a frontier of
+    present nodes whose child flips are still pending.
+    """
+
+    def annotate(world: SemistructuredInstance, node: ProTDBNode) -> None:
+        if node.leaf_type is not None:
+            world.set_type(node.oid, node.leaf_type)
+        if node.value is not None:
+            world.set_value(node.oid, node.value)
+
+    def rec(
+        frontier: list[ProTDBNode], world: SemistructuredInstance, probability: float
+    ) -> Iterator[tuple[SemistructuredInstance, float]]:
+        if probability == 0.0:
+            return
+        if not frontier:
+            yield world.copy(), probability
+            return
+        node, rest = frontier[0], frontier[1:]
+        if node.is_leaf():
+            yield from rec(rest, world, probability)
+            return
+        for subset, p_subset in _child_subsets(node):
+            added: list[ProTDBNode] = []
+            for label, child, _ in node.children:
+                if child.oid in subset:
+                    world.add_edge(node.oid, child.oid, label)
+                    annotate(world, child)
+                    added.append(child)
+            yield from rec(rest + added, world, probability * p_subset)
+            for child in added:
+                world.remove_object(child.oid)
+
+    root_world = SemistructuredInstance(instance.root.oid)
+    annotate(root_world, instance.root)
+    yield from rec([instance.root], root_world, 1.0)
+
+
+def _child_subsets(node: ProTDBNode) -> list[tuple[frozenset[str], float]]:
+    """All subsets of a node's children with their joint probabilities."""
+    ids = [child.oid for _, child, _ in node.children]
+    probs = {child.oid: p for _, child, p in node.children}
+    out: list[tuple[frozenset[str], float]] = []
+    for subset in iter_chain.from_iterable(
+        combinations(ids, size) for size in range(len(ids) + 1)
+    ):
+        chosen = frozenset(subset)
+        probability = 1.0
+        for oid in ids:
+            probability *= probs[oid] if oid in chosen else 1.0 - probs[oid]
+        if probability > 0.0:
+            out.append((chosen, probability))
+    return out
+
+
+def protdb_world_distribution(
+    instance: ProTDBInstance,
+) -> dict[SemistructuredInstance, float]:
+    """``{world: probability}`` for a ProTDB instance, identical worlds
+    merged."""
+    distribution: dict[SemistructuredInstance, float] = {}
+    for world, probability in iter_protdb_worlds(instance):
+        distribution[world] = distribution.get(world, 0.0) + probability
+    return distribution

@@ -1,0 +1,25 @@
+"""PXQL: a small textual query language over PXML probabilistic instances.
+
+Statements map one-to-one onto the paper's algebra and queries::
+
+    PROJECT ANCESTOR R.book.author FROM bib AS authors
+    SELECT R.book = B1 FROM bib AS sure
+    SELECT R.book.author = A1 AND VALUE = "Hung" FROM bib
+    PRODUCT bib, other ROOT lib AS combined
+    POINT R.book.author : A1 IN bib
+    EXISTS R.book.author IN bib
+    CHAIN R.B1.A1 IN bib
+    PROB A1 IN bib
+    WORLDS bib LIMIT 10
+    SHOW bib
+    LIST / DROP name / LOAD name FROM "f.json" / SAVE name [TO "f.json"]
+
+See :mod:`repro.pxql.ast` for the grammar and
+``python -m repro.pxql --help`` for the command-line shell.
+"""
+
+from repro.pxql.interpreter import Interpreter, Result
+from repro.pxql.lexer import PXQLSyntaxError, tokenize
+from repro.pxql.parser import parse
+
+__all__ = ["Interpreter", "PXQLSyntaxError", "Result", "parse", "tokenize"]

@@ -1,0 +1,66 @@
+"""The PXQL command-line shell.
+
+Usage::
+
+    python -m repro.pxql -d ./mydb 'POINT R.book.author : A1 IN bib'
+    python -m repro.pxql -d ./mydb            # interactive REPL
+    echo 'LIST' | python -m repro.pxql -d ./mydb
+
+With ``-d DIR`` instances persist across invocations (one JSON file per
+instance).  With no statement arguments the shell reads statements from
+stdin, one per line; blank lines and ``#`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import PXMLError
+from repro.pxql.interpreter import Interpreter
+from repro.storage.database import Database
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pxql",
+        description="Run PXQL statements against a PXML instance database.",
+    )
+    parser.add_argument("-d", "--database", metavar="DIR",
+                        help="backing directory for named instances")
+    parser.add_argument("statements", nargs="*",
+                        help="statements to run (default: read stdin)")
+    args = parser.parse_args(argv)
+
+    database = Database(args.database) if args.database else Database()
+    interpreter = Interpreter(database)
+
+    def run_one(line: str) -> bool:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return True
+        try:
+            result = interpreter.execute(line)
+        except PXMLError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return False
+        print(result.text)
+        return True
+
+    ok = True
+    if args.statements:
+        for statement in args.statements:
+            ok = run_one(statement) and ok
+    else:
+        interactive = sys.stdin.isatty()
+        if interactive:
+            print("PXQL shell — end with Ctrl-D. Try: LIST")
+        for line in sys.stdin:
+            if interactive:
+                print("pxql> ", end="", flush=True)
+            ok = run_one(line) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

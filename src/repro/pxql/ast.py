@@ -1,0 +1,159 @@
+"""PXQL abstract syntax.
+
+One dataclass per statement kind.  The grammar (EBNF-ish):
+
+    statement   := project | select | product | point | exists | chain
+                 | prob | count | dist | worlds | show | list | drop
+                 | load | save
+
+    project     := "PROJECT" [kind] path "FROM" name ["AS" name]
+    kind        := "ANCESTOR" | "DESCENDANT" | "SINGLE"
+    select      := "SELECT" path "=" oid ["AND" "VALUE" "=" literal]
+                   ["AND" "CARD" "(" label ")" "IN" "[" int "," int "]"]
+                   "FROM" name ["AS" name]
+    product     := "PRODUCT" name "," name ["ROOT" oid] ["AS" name]
+    point       := "POINT" path ":" oid "IN" name
+    exists      := "EXISTS" path "IN" name
+    chain       := "CHAIN" dotted-oids "IN" name
+    prob        := "PROB" oid "IN" name
+    count       := "COUNT" path "IN" name          (expected #matches)
+    dist        := "DIST" path "IN" name           (match-count distribution)
+    unroll      := "UNROLL" name "HORIZON" int ["AS" name]
+    estimate    := "ESTIMATE" path [":" oid] "IN" name ["SAMPLES" int]
+    worlds      := "WORLDS" name ["LIMIT" int]
+    show        := "SHOW" name
+    list        := "LIST"
+    drop        := "DROP" name
+    load        := "LOAD" name "FROM" string
+    save        := "SAVE" name ["TO" string]
+
+Paths are the paper's dotted form (``R.book.author``); a bare object id
+is a zero-label path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semistructured.paths import PathExpression
+
+
+@dataclass(frozen=True)
+class ProjectStatement:
+    kind: str                      # "ancestor" | "descendant" | "single"
+    path: PathExpression
+    source: str
+    target: str | None
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    path: PathExpression
+    oid: str
+    value: object | None           # AND VALUE = ...
+    card_label: str | None         # AND CARD(label) IN [lo, hi]
+    card_bounds: tuple[int, int] | None
+    source: str
+    target: str | None
+
+
+@dataclass(frozen=True)
+class ProductStatement:
+    left: str
+    right: str
+    new_root: str | None
+    target: str | None
+
+
+@dataclass(frozen=True)
+class PointStatement:
+    path: PathExpression
+    oid: str
+    source: str
+
+
+@dataclass(frozen=True)
+class ExistsStatement:
+    path: PathExpression
+    source: str
+
+
+@dataclass(frozen=True)
+class ChainStatement:
+    chain: tuple[str, ...]
+    source: str
+
+
+@dataclass(frozen=True)
+class ProbStatement:
+    oid: str
+    source: str
+
+
+@dataclass(frozen=True)
+class CountStatement:
+    path: PathExpression
+    source: str
+
+
+@dataclass(frozen=True)
+class DistStatement:
+    path: PathExpression
+    source: str
+
+
+@dataclass(frozen=True)
+class UnrollStatement:
+    source: str
+    horizon: int
+    target: str | None
+
+
+@dataclass(frozen=True)
+class EstimateStatement:
+    path: PathExpression
+    oid: str | None          # None = existential
+    source: str
+    samples: int
+
+
+@dataclass(frozen=True)
+class WorldsStatement:
+    source: str
+    limit: int
+
+
+@dataclass(frozen=True)
+class ShowStatement:
+    source: str
+
+
+@dataclass(frozen=True)
+class ListStatement:
+    pass
+
+
+@dataclass(frozen=True)
+class DropStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class LoadStatement:
+    name: str
+    path: str
+
+
+@dataclass(frozen=True)
+class SaveStatement:
+    name: str
+    path: str | None
+
+
+Statement = (
+    ProjectStatement | SelectStatement | ProductStatement | PointStatement
+    | ExistsStatement | ChainStatement | ProbStatement | CountStatement
+    | DistStatement | UnrollStatement | EstimateStatement | WorldsStatement
+    | ShowStatement | ListStatement | DropStatement | LoadStatement
+    | SaveStatement
+)

@@ -1,0 +1,248 @@
+"""The PXQL interpreter: executes parsed statements against a Database.
+
+Algebra statements (PROJECT / SELECT / PRODUCT) produce new probabilistic
+instances — registered under the ``AS`` name when given, otherwise under
+an auto-generated ``_resultN`` name — so queries compose across
+statements exactly the way Section 2's situations chain operations.
+Query statements (POINT / EXISTS / CHAIN / PROB) return probabilities.
+
+Efficient algorithms are used on tree-structured instances; DAGs fall
+back to the exact Bayesian-network / global engines automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.projection_more import (
+    descendant_projection_local,
+    single_projection_local,
+)
+from repro.algebra.projection_prob import ancestor_projection_local
+from repro.algebra.product import cartesian_product
+from repro.algebra.selection import (
+    ObjectCardinalityCondition,
+    ObjectCondition,
+    ObjectValueCondition,
+    select_local,
+)
+from repro.core.cardinality import CardinalityInterval
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import PXMLError
+from repro.pxql import ast
+from repro.pxql.parser import parse
+from repro.queries.engine import QueryEngine
+from repro.render import render_distribution, render_instance
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.storage.database import Database
+
+
+@dataclass
+class Result:
+    """The outcome of one statement.
+
+    Attributes:
+        value: a probability (float), a rendered string, a list of names,
+            or ``None`` for pure side effects.
+        instance_name: set when the statement produced/registered an
+            instance.
+        text: a human-readable rendering of the outcome.
+    """
+
+    value: object
+    instance_name: str | None
+    text: str
+
+
+class Interpreter:
+    """Executes PXQL statements against a :class:`Database`."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database if database is not None else Database()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, text: str) -> Result:
+        """Parse and run one statement."""
+        return self.run(parse(text))
+
+    def run(self, statement: ast.Statement) -> Result:
+        handler = getattr(self, f"_run_{type(statement).__name__}", None)
+        if handler is None:
+            raise PXMLError(f"unsupported statement: {statement!r}")
+        return handler(statement)
+
+    # ------------------------------------------------------------------
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"_result{self._counter}"
+
+    def _register(self, target: str | None, instance: ProbabilisticInstance) -> str:
+        name = target if target is not None else self._fresh_name()
+        self.database.register(name, instance, replace=True)
+        return name
+
+    def _engine(self, name: str) -> QueryEngine:
+        return QueryEngine(self.database.get(name))
+
+    # ------------------------------------------------------------------
+    def _run_ProjectStatement(self, stmt: ast.ProjectStatement) -> Result:
+        source = self.database.get(stmt.source)
+        operator = {
+            "ancestor": ancestor_projection_local,
+            "descendant": descendant_projection_local,
+            "single": single_projection_local,
+        }[stmt.kind]
+        projected = operator(source, stmt.path)
+        name = self._register(stmt.target, projected)
+        return Result(
+            projected, name,
+            f"{stmt.kind} projection of {stmt.path} -> {name} "
+            f"({len(projected)} objects)",
+        )
+
+    def _run_SelectStatement(self, stmt: ast.SelectStatement) -> Result:
+        source = self.database.get(stmt.source)
+        if stmt.card_label is not None:
+            low, high = stmt.card_bounds
+            condition = ObjectCardinalityCondition(
+                stmt.path, stmt.oid, stmt.card_label, CardinalityInterval(low, high)
+            )
+        elif stmt.value is not None:
+            condition = ObjectValueCondition(stmt.path, stmt.oid, stmt.value)
+        else:
+            condition = ObjectCondition(stmt.path, stmt.oid)
+        selection = select_local(source, condition)
+        name = self._register(stmt.target, selection.instance)
+        return Result(
+            selection.instance, name,
+            f"selection [{condition}] -> {name} "
+            f"(condition probability {selection.probability:.6g})",
+        )
+
+    def _run_ProductStatement(self, stmt: ast.ProductStatement) -> Result:
+        product = cartesian_product(
+            self.database.get(stmt.left),
+            self.database.get(stmt.right),
+            stmt.new_root,
+        )
+        name = self._register(stmt.target, product)
+        return Result(
+            product, name,
+            f"product of {stmt.left} and {stmt.right} -> {name} "
+            f"({len(product)} objects)",
+        )
+
+    def _run_PointStatement(self, stmt: ast.PointStatement) -> Result:
+        probability = self._engine(stmt.source).point(stmt.path, stmt.oid)
+        return Result(
+            probability, None,
+            f"P({stmt.oid} in {stmt.path}) = {probability:.6g}",
+        )
+
+    def _run_ExistsStatement(self, stmt: ast.ExistsStatement) -> Result:
+        probability = self._engine(stmt.source).exists(stmt.path)
+        return Result(
+            probability, None,
+            f"P(exists {stmt.path}) = {probability:.6g}",
+        )
+
+    def _run_ChainStatement(self, stmt: ast.ChainStatement) -> Result:
+        probability = self._engine(stmt.source).chain(list(stmt.chain))
+        return Result(
+            probability, None,
+            f"P({'.'.join(stmt.chain)}) = {probability:.6g}",
+        )
+
+    def _run_ProbStatement(self, stmt: ast.ProbStatement) -> Result:
+        probability = self._engine(stmt.source).object_exists(stmt.oid)
+        return Result(
+            probability, None,
+            f"P({stmt.oid} exists) = {probability:.6g}",
+        )
+
+    def _run_CountStatement(self, stmt: ast.CountStatement) -> Result:
+        from repro.queries.aggregates import expected_match_count
+
+        expectation = expected_match_count(self.database.get(stmt.source), stmt.path)
+        return Result(
+            expectation, None,
+            f"E[#objects in {stmt.path}] = {expectation:.6g}",
+        )
+
+    def _run_DistStatement(self, stmt: ast.DistStatement) -> Result:
+        from repro.queries.aggregates import match_count_distribution
+
+        distribution = match_count_distribution(
+            self.database.get(stmt.source), stmt.path
+        )
+        rows = "\n".join(
+            f"  {count}: {probability:.6g}"
+            for count, probability in sorted(distribution.items())
+        )
+        return Result(
+            distribution, None,
+            f"#objects in {stmt.path}:\n{rows}",
+        )
+
+    def _run_UnrollStatement(self, stmt: ast.UnrollStatement) -> Result:
+        from repro.core.unroll import unroll
+
+        unrolled = unroll(self.database.get(stmt.source), stmt.horizon)
+        name = self._register(stmt.target, unrolled)
+        return Result(
+            unrolled, name,
+            f"unrolled {stmt.source} to horizon {stmt.horizon} -> {name} "
+            f"({len(unrolled)} objects)",
+        )
+
+    def _run_EstimateStatement(self, stmt: ast.EstimateStatement) -> Result:
+        from repro.semantics.sampling import (
+            estimate_existential_query,
+            estimate_point_query,
+        )
+
+        source = self.database.get(stmt.source)
+        if stmt.oid is None:
+            estimate = estimate_existential_query(source, stmt.path, stmt.samples)
+            label = f"P(exists {stmt.path})"
+        else:
+            estimate = estimate_point_query(source, stmt.path, stmt.oid,
+                                            stmt.samples)
+            label = f"P({stmt.oid} in {stmt.path})"
+        return Result(estimate, None, f"{label} ~= {estimate}")
+
+    def _run_WorldsStatement(self, stmt: ast.WorldsStatement) -> Result:
+        interpretation = GlobalInterpretation.from_local(
+            self.database.get(stmt.source)
+        )
+        text = render_distribution(interpretation, limit=stmt.limit)
+        return Result(interpretation, None, text)
+
+    def _run_ShowStatement(self, stmt: ast.ShowStatement) -> Result:
+        text = render_instance(self.database.get(stmt.source))
+        return Result(text, None, text)
+
+    def _run_ListStatement(self, stmt: ast.ListStatement) -> Result:
+        names = self.database.names()
+        return Result(names, None, "\n".join(names) if names else "(empty)")
+
+    def _run_DropStatement(self, stmt: ast.DropStatement) -> Result:
+        self.database.drop(stmt.name)
+        return Result(None, None, f"dropped {stmt.name}")
+
+    def _run_LoadStatement(self, stmt: ast.LoadStatement) -> Result:
+        instance = self.database.load_file(stmt.name, stmt.path)
+        return Result(
+            instance, stmt.name,
+            f"loaded {stmt.name} from {stmt.path} ({len(instance)} objects)",
+        )
+
+    def _run_SaveStatement(self, stmt: ast.SaveStatement) -> Result:
+        if stmt.path is not None:
+            from repro.io.json_codec import write_instance
+
+            write_instance(self.database.get(stmt.name), stmt.path)
+            return Result(None, stmt.name, f"saved {stmt.name} to {stmt.path}")
+        path = self.database.save(stmt.name)
+        return Result(None, stmt.name, f"saved {stmt.name} to {path}")

@@ -1,0 +1,82 @@
+"""Tokenizer for PXQL, the small query language over PXML instances.
+
+The token set is deliberately tiny: keywords, identifiers (object ids /
+instance names), dotted path expressions, string and number literals, and
+a little punctuation.  Keywords are case-insensitive; identifiers are
+case-sensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PXMLError
+
+
+class PXQLSyntaxError(PXMLError):
+    """Raised for malformed PXQL input."""
+
+
+KEYWORDS = frozenset({
+    "PROJECT", "ANCESTOR", "DESCENDANT", "SINGLE",
+    "SELECT", "WHERE", "VALUE", "CARD",
+    "PRODUCT", "ROOT",
+    "POINT", "EXISTS", "CHAIN", "PROB",
+    "IN", "FROM", "AS", "AND",
+    "WORLDS", "LIMIT", "SHOW", "LIST", "DROP", "COUNT", "DIST",
+    "LOAD", "SAVE", "TO", "UNROLL", "HORIZON", "ESTIMATE", "SAMPLES",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # KEYWORD, IDENT, STRING, NUMBER, PUNCT, EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-@]*(?:\.[A-Za-z0-9_\-@]+)*)
+  | (?P<punct>[=:,()\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn a PXQL statement into a token list ending in EOF."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PXQLSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "string":
+            tokens.append(Token("STRING", value[1:-1].replace('\\"', '"'),
+                                match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("NUMBER", value, match.start()))
+        elif match.lastgroup == "ident":
+            upper = value.upper()
+            if upper in KEYWORDS and "." not in value:
+                tokens.append(Token("KEYWORD", upper, match.start()))
+            else:
+                tokens.append(Token("IDENT", value, match.start()))
+        else:
+            tokens.append(Token("PUNCT", value, match.start()))
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,232 @@
+"""Recursive-descent parser for PXQL (grammar in :mod:`repro.pxql.ast`)."""
+
+from __future__ import annotations
+
+from repro.pxql import ast
+from repro.pxql.lexer import PXQLSyntaxError, Token, tokenize
+from repro.semistructured.paths import PathExpression
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> str:
+        token = self._advance()
+        if token.kind != "KEYWORD" or token.value not in keywords:
+            raise PXQLSyntaxError(
+                f"expected {' or '.join(keywords)}, got {token.value!r}"
+            )
+        return token.value
+
+    def _accept_keyword(self, *keywords: str) -> str | None:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value in keywords:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._advance()
+        if token.kind != "PUNCT" or token.value != symbol:
+            raise PXQLSyntaxError(f"expected {symbol!r}, got {token.value!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind != "IDENT":
+            raise PXQLSyntaxError(f"expected an identifier, got {token.value!r}")
+        return token.value
+
+    def _expect_name(self) -> str:
+        name = self._expect_ident()
+        if "." in name:
+            raise PXQLSyntaxError(f"expected a plain name, got path {name!r}")
+        return name
+
+    def _expect_path(self) -> PathExpression:
+        return PathExpression.parse(self._expect_ident())
+
+    def _expect_literal(self) -> object:
+        token = self._advance()
+        if token.kind == "STRING":
+            return token.value
+        if token.kind == "NUMBER":
+            value = float(token.value)
+            return int(value) if value.is_integer() else value
+        if token.kind == "IDENT":
+            return token.value
+        raise PXQLSyntaxError(f"expected a literal, got {token.value!r}")
+
+    def _expect_int(self) -> int:
+        token = self._advance()
+        if token.kind != "NUMBER" or "." in token.value:
+            raise PXQLSyntaxError(f"expected an integer, got {token.value!r}")
+        return int(token.value)
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "EOF":
+            raise PXQLSyntaxError(f"trailing input from {token.value!r}")
+
+    def _optional_target(self) -> str | None:
+        if self._accept_keyword("AS"):
+            return self._expect_name()
+        return None
+
+    # -- statements ------------------------------------------------------
+    def parse(self) -> ast.Statement:
+        keyword = self._expect_keyword(
+            "PROJECT", "SELECT", "PRODUCT", "POINT", "EXISTS", "CHAIN",
+            "PROB", "COUNT", "DIST", "WORLDS", "SHOW", "LIST", "DROP",
+            "LOAD", "SAVE", "UNROLL", "ESTIMATE",
+        )
+        statement = getattr(self, f"_parse_{keyword.lower()}")()
+        self._expect_eof()
+        return statement
+
+    def _parse_project(self) -> ast.ProjectStatement:
+        kind = self._accept_keyword("ANCESTOR", "DESCENDANT", "SINGLE") or "ANCESTOR"
+        path = self._expect_path()
+        self._expect_keyword("FROM")
+        source = self._expect_name()
+        return ast.ProjectStatement(kind.lower(), path, source, self._optional_target())
+
+    def _parse_select(self) -> ast.SelectStatement:
+        path = self._expect_path()
+        self._expect_punct("=")
+        oid = self._expect_ident()
+        value = None
+        card_label = None
+        card_bounds = None
+        while self._accept_keyword("AND"):
+            clause = self._expect_keyword("VALUE", "CARD")
+            if clause == "VALUE":
+                self._expect_punct("=")
+                value = self._expect_literal()
+            else:
+                self._expect_punct("(")
+                card_label = self._expect_ident()
+                self._expect_punct(")")
+                self._expect_keyword("IN")
+                self._expect_punct("[")
+                low = self._expect_int()
+                self._expect_punct(",")
+                high = self._expect_int()
+                self._expect_punct("]")
+                card_bounds = (low, high)
+        self._expect_keyword("FROM")
+        source = self._expect_name()
+        return ast.SelectStatement(
+            path, oid, value, card_label, card_bounds, source,
+            self._optional_target(),
+        )
+
+    def _parse_product(self) -> ast.ProductStatement:
+        left = self._expect_name()
+        self._expect_punct(",")
+        right = self._expect_name()
+        new_root = None
+        if self._accept_keyword("ROOT"):
+            new_root = self._expect_ident()
+        return ast.ProductStatement(left, right, new_root, self._optional_target())
+
+    def _parse_point(self) -> ast.PointStatement:
+        path = self._expect_path()
+        self._expect_punct(":")
+        oid = self._expect_ident()
+        self._expect_keyword("IN")
+        return ast.PointStatement(path, oid, self._expect_name())
+
+    def _parse_exists(self) -> ast.ExistsStatement:
+        path = self._expect_path()
+        self._expect_keyword("IN")
+        return ast.ExistsStatement(path, self._expect_name())
+
+    def _parse_chain(self) -> ast.ChainStatement:
+        dotted = self._expect_ident()
+        self._expect_keyword("IN")
+        return ast.ChainStatement(tuple(dotted.split(".")), self._expect_name())
+
+    def _parse_prob(self) -> ast.ProbStatement:
+        oid = self._expect_ident()
+        self._expect_keyword("IN")
+        return ast.ProbStatement(oid, self._expect_name())
+
+    def _parse_count(self) -> ast.CountStatement:
+        path = self._expect_path()
+        self._expect_keyword("IN")
+        return ast.CountStatement(path, self._expect_name())
+
+    def _parse_dist(self) -> ast.DistStatement:
+        path = self._expect_path()
+        self._expect_keyword("IN")
+        return ast.DistStatement(path, self._expect_name())
+
+    def _parse_unroll(self) -> ast.UnrollStatement:
+        source = self._expect_name()
+        self._expect_keyword("HORIZON")
+        horizon = self._expect_int()
+        return ast.UnrollStatement(source, horizon, self._optional_target())
+
+    def _parse_estimate(self) -> ast.EstimateStatement:
+        path = self._expect_path()
+        oid = None
+        token = self._peek()
+        if token.kind == "PUNCT" and token.value == ":":
+            self._advance()
+            oid = self._expect_ident()
+        self._expect_keyword("IN")
+        source = self._expect_name()
+        samples = 1000
+        if self._accept_keyword("SAMPLES"):
+            samples = self._expect_int()
+        return ast.EstimateStatement(path, oid, source, samples)
+
+    def _parse_worlds(self) -> ast.WorldsStatement:
+        source = self._expect_name()
+        limit = 20
+        if self._accept_keyword("LIMIT"):
+            limit = self._expect_int()
+        return ast.WorldsStatement(source, limit)
+
+    def _parse_show(self) -> ast.ShowStatement:
+        return ast.ShowStatement(self._expect_name())
+
+    def _parse_list(self) -> ast.ListStatement:
+        return ast.ListStatement()
+
+    def _parse_drop(self) -> ast.DropStatement:
+        return ast.DropStatement(self._expect_name())
+
+    def _parse_load(self) -> ast.LoadStatement:
+        name = self._expect_name()
+        self._expect_keyword("FROM")
+        token = self._advance()
+        if token.kind != "STRING":
+            raise PXQLSyntaxError("LOAD needs a quoted file path")
+        return ast.LoadStatement(name, token.value)
+
+    def _parse_save(self) -> ast.SaveStatement:
+        name = self._expect_name()
+        path = None
+        if self._accept_keyword("TO"):
+            token = self._advance()
+            if token.kind != "STRING":
+                raise PXQLSyntaxError("SAVE ... TO needs a quoted file path")
+            path = token.value
+        return ast.SaveStatement(name, path)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse one PXQL statement."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,28 @@
+"""Probabilistic queries (Section 6.2), aggregates, and the engine."""
+
+from repro.queries.aggregates import (
+    child_count_distribution,
+    expected_chain_extensions,
+    expected_child_count,
+    expected_match_count,
+    match_count_distribution,
+    value_distribution_at,
+    value_point_query,
+)
+from repro.queries.chain import chain_probability
+from repro.queries.engine import QueryEngine
+from repro.queries.point import existential_query, point_query
+
+__all__ = [
+    "QueryEngine",
+    "chain_probability",
+    "child_count_distribution",
+    "existential_query",
+    "expected_chain_extensions",
+    "expected_child_count",
+    "expected_match_count",
+    "match_count_distribution",
+    "point_query",
+    "value_distribution_at",
+    "value_point_query",
+]

@@ -1,0 +1,134 @@
+"""A strategy-selecting facade over the three query engines.
+
+The same question — "what is the probability that object ``o`` satisfies
+path ``p``?" — can be answered three ways:
+
+* ``"local"`` — the Section 6 algorithms (fast; tree-structured
+  instances only);
+* ``"bayes"`` — variable elimination on the induced Bayesian network
+  (any acyclic instance);
+* ``"enumerate"`` — brute-force marginalization over ``Domain(I)``
+  (exponential; the reference the others are tested against);
+* ``"sample"`` — Monte-Carlo forward sampling (unbiased estimates with
+  standard errors; the only engine for huge DAG instances).
+
+``"auto"`` picks ``local`` for trees and ``bayes`` otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.bayesnet.mapping import PXMLBayesianNetwork
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import QueryError
+from repro.queries.chain import chain_probability
+from repro.queries.point import existential_query, point_query
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.graph import Oid
+from repro.semistructured.paths import PathExpression
+
+_STRATEGIES = ("auto", "local", "bayes", "enumerate", "sample")
+
+
+class QueryEngine:
+    """Answers probabilistic point/existential/chain queries."""
+
+    def __init__(
+        self,
+        pi: ProbabilisticInstance,
+        strategy: str = "auto",
+        samples: int = 2000,
+        seed: int | None = None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r}; choose one of {_STRATEGIES}"
+            )
+        self.pi = pi
+        if strategy == "auto":
+            strategy = "local" if pi.weak.graph().is_tree(pi.root) else "bayes"
+        self.strategy = strategy
+        self.samples = samples
+        self.seed = seed
+        self._bn: PXMLBayesianNetwork | None = None
+        self._global: GlobalInterpretation | None = None
+
+    # ------------------------------------------------------------------
+    def _bayes(self) -> PXMLBayesianNetwork:
+        if self._bn is None:
+            self._bn = PXMLBayesianNetwork(self.pi)
+        return self._bn
+
+    def _enumeration(self) -> GlobalInterpretation:
+        if self._global is None:
+            self._global = GlobalInterpretation.from_local(self.pi)
+        return self._global
+
+    @staticmethod
+    def _as_path(path: PathExpression | str) -> PathExpression:
+        return PathExpression.parse(path) if isinstance(path, str) else path
+
+    # ------------------------------------------------------------------
+    def point(self, path: PathExpression | str, oid: Oid) -> float:
+        """``P(o in p)`` (Definition 6.1)."""
+        path = self._as_path(path)
+        if self.strategy == "local":
+            return point_query(self.pi, path, oid)
+        if self.strategy == "bayes":
+            return self._bayes().point_query(path, oid)
+        if self.strategy == "sample":
+            from repro.semantics.sampling import estimate_point_query
+
+            return estimate_point_query(
+                self.pi, path, oid, self.samples, self.seed
+            ).probability
+        return self._enumeration().prob_object_at_path(path, oid)
+
+    def exists(self, path: PathExpression | str) -> float:
+        """``P(exists o: o in p)``."""
+        path = self._as_path(path)
+        if self.strategy == "local":
+            return existential_query(self.pi, path)
+        if self.strategy == "bayes":
+            return self._bayes().existential_query(path)
+        if self.strategy == "sample":
+            from repro.semantics.sampling import estimate_existential_query
+
+            return estimate_existential_query(
+                self.pi, path, self.samples, self.seed
+            ).probability
+        return self._enumeration().prob_path_nonempty(path)
+
+    def chain(self, chain: list[Oid]) -> float:
+        """``P(r.o1...on)`` for an explicit object chain."""
+        if self.strategy == "local":
+            return chain_probability(self.pi, chain)
+        if self.strategy == "bayes":
+            return self._bayes().chain_probability(chain)
+
+        def has_chain(world) -> bool:
+            for parent, child in zip(chain, chain[1:]):
+                if parent not in world or child not in world.children(parent):
+                    return False
+            return True
+
+        if self.strategy == "sample":
+            from repro.semantics.sampling import estimate_probability
+
+            return estimate_probability(
+                self.pi, has_chain, self.samples, self.seed
+            ).probability
+        return self._enumeration().event_probability(has_chain)
+
+    def object_exists(self, oid: Oid) -> float:
+        """``P(o occurs in a compatible world)`` — situation 4 of Section 2."""
+        if self.strategy in ("bayes", "local"):
+            # The local algorithms have no direct form for bare existence
+            # on DAGs; the BN marginal is cheap and exact either way.
+            return self._bayes().prob_exists(oid)
+        if self.strategy == "sample":
+            from repro.semantics.sampling import estimate_probability
+
+            return estimate_probability(
+                self.pi, lambda world: oid in world, self.samples, self.seed
+            ).probability
+        return self._enumeration().prob_object_exists(oid)

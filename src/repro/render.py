@@ -1,0 +1,178 @@
+"""Human-readable rendering of instances (Figure 1 / Figure 2 style).
+
+Produces the two views the paper's figures use: an indented tree of the
+graph structure (with edge labels, types and values), and the tabular
+listing of ``lch`` / ``card`` / OPF / VPF entries that Figure 2 prints.
+Intended for examples, debugging and doctest-style documentation — the
+output is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import ProbabilisticInstance
+from repro.semistructured.graph import EdgeLabeledGraph, Oid
+from repro.semistructured.instance import SemistructuredInstance
+
+
+def _format_child_set(child_set: frozenset) -> str:
+    if not child_set:
+        return "{}"
+    return "{" + ", ".join(sorted(child_set)) + "}"
+
+
+def render_tree(
+    instance: SemistructuredInstance, max_depth: int | None = None
+) -> str:
+    """An indented tree view of a semistructured instance.
+
+    Shared objects (DAGs) are expanded once and referenced afterwards
+    with ``*`` (the rendering equivalent of the XML codec's refs).
+    """
+    lines: list[str] = []
+    seen: set[Oid] = set()
+
+    def describe(oid: Oid) -> str:
+        parts = [oid]
+        leaf_type = instance.tau(oid)
+        if leaf_type is not None:
+            parts.append(f": {leaf_type.name}")
+        value = instance.val(oid)
+        if value is not None:
+            parts.append(f" = {value!r}")
+        return "".join(parts)
+
+    def walk(oid: Oid, prefix: str, label: str | None, depth: int) -> None:
+        tag = f"--{label}--> " if label is not None else ""
+        if oid in seen:
+            lines.append(f"{prefix}{tag}{oid} *")
+            return
+        seen.add(oid)
+        lines.append(f"{prefix}{tag}{describe(oid)}")
+        if max_depth is not None and depth >= max_depth:
+            if instance.children(oid):
+                lines.append(f"{prefix}  ...")
+            return
+        for child in sorted(instance.children(oid)):
+            walk(child, prefix + "  ", instance.label(oid, child), depth + 1)
+
+    walk(instance.root, "", None, 0)
+    return "\n".join(lines)
+
+
+def render_weak_graph(graph: EdgeLabeledGraph, root: Oid) -> str:
+    """An indented view of a weak instance graph."""
+    helper = SemistructuredInstance(root)
+    for src, dst, label in graph.edges():
+        helper.add_edge(src, dst, label)
+    return render_tree(helper)
+
+
+def render_tables(pi: ProbabilisticInstance) -> str:
+    """The Figure 2 tabular view: lch, card, OPFs and VPFs."""
+    weak = pi.weak
+    lines: list[str] = []
+
+    lines.append("o          l            lch(o, l)")
+    for oid in sorted(weak.objects):
+        for label in sorted(weak.labels_of(oid)):
+            children = _format_child_set(weak.lch(oid, label))
+            lines.append(f"{oid:<10} {label:<12} {children}")
+
+    lines.append("")
+    lines.append("o          l            card(o, l)")
+    any_card = False
+    for oid in sorted(weak.objects):
+        for label in sorted(weak.labels_of(oid)):
+            if weak.has_explicit_card(oid, label):
+                any_card = True
+                lines.append(f"{oid:<10} {label:<12} {weak.card(oid, label)}")
+    if not any_card:
+        lines.append("(all unconstrained)")
+
+    for oid in sorted(weak.non_leaves()):
+        opf = pi.opf(oid)
+        if opf is None:
+            continue
+        lines.append("")
+        lines.append(f"c in PC({oid})          p({oid})(c)")
+        for child_set, probability in opf.to_tabular().items_sorted():
+            lines.append(f"{_format_child_set(child_set):<22} {probability:.6g}")
+
+    for oid in sorted(weak.leaves()):
+        vpf = pi.effective_vpf(oid)
+        if vpf is None:
+            continue
+        lines.append("")
+        lines.append(f"v in dom(tau({oid}))    p({oid})(v)")
+        for value, probability in vpf.to_tabular().items_sorted():
+            lines.append(f"{value!r:<22} {probability:.6g}")
+
+    return "\n".join(lines)
+
+
+def render_instance(pi: ProbabilisticInstance) -> str:
+    """Structure view plus probability tables, separated by a rule."""
+    structure = render_weak_graph(pi.weak.graph(), pi.root)
+    return f"{structure}\n{'-' * 40}\n{render_tables(pi)}"
+
+
+def to_dot(pi: ProbabilisticInstance) -> str:
+    """Graphviz DOT of the weak instance graph, annotated with marginals.
+
+    Nodes show the object id (and type/default value for leaves); edges
+    show the label and the child's marginal inclusion probability under
+    its parent's OPF.  Paste into ``dot -Tpng`` or any DOT viewer.
+    """
+    weak = pi.weak
+    lines = ["digraph pxml {", "  rankdir=TB;", "  node [shape=box];"]
+    for oid in sorted(weak.objects):
+        attributes = [f'label="{oid}']
+        leaf_type = weak.tau(oid)
+        if leaf_type is not None:
+            attributes[0] += f"\\n{leaf_type.name}"
+        if weak.is_leaf(oid):
+            vpf = pi.effective_vpf(oid)
+            if vpf is not None:
+                entries = sorted(vpf.support(), key=lambda kv: -kv[1])
+                if len(entries) == 1:
+                    attributes[0] += f" = {entries[0][0]}"
+                else:
+                    attributes[0] += f" ~ {len(entries)} values"
+        attributes[0] += '"'
+        if weak.is_leaf(oid):
+            attributes.append("style=rounded")
+        lines.append(f'  "{oid}" [{", ".join(attributes)}];')
+    for oid in sorted(weak.non_leaves()):
+        opf = pi.opf(oid)
+        for label in sorted(weak.labels_of(oid)):
+            for child in sorted(weak.lch(oid, label)):
+                marginal = opf.marginal_inclusion(child) if opf else None
+                text = label if marginal is None else f"{label}\\np={marginal:.3f}"
+                lines.append(f'  "{oid}" -> "{child}" [label="{text}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_distribution(
+    distribution, limit: int = 20, min_probability: float = 0.0
+) -> str:
+    """Render a :class:`GlobalInterpretation` as a ranked world list."""
+    rows = sorted(distribution.support(), key=lambda kv: -kv[1])
+    lines = []
+    shown = 0
+    for world, probability in rows:
+        if probability < min_probability or shown >= limit:
+            break
+        objects = ", ".join(sorted(world.objects - {world.root}))
+        values = ", ".join(
+            f"{oid}={world.val(oid)!r}"
+            for oid in sorted(world.objects)
+            if world.val(oid) is not None
+        )
+        detail = f" [{values}]" if values else ""
+        lines.append(f"{probability:8.5f}  {{{objects}}}{detail}")
+        shown += 1
+    remaining = len(rows) - shown
+    if remaining > 0:
+        lines.append(f"... and {remaining} more worlds")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Probabilistic semantics (Section 4): worlds, global interpretations,
+Theorem 1 coherence checking and Theorem 2 factorization."""
+
+from repro.semantics.compatible import (
+    count_worlds,
+    domain_distribution,
+    is_compatible,
+    iter_compatible_instances,
+    world_probability,
+)
+from repro.semantics.factorization import factorize
+from repro.semantics.sampling import (
+    Estimate,
+    WorldSampler,
+    estimate_existential_query,
+    estimate_point_query,
+    estimate_probability,
+)
+from repro.semantics.global_interpretation import GlobalInterpretation, verify_theorem1
+from repro.semantics.map_world import map_world, top_k_worlds
+
+__all__ = [
+    "Estimate",
+    "GlobalInterpretation",
+    "WorldSampler",
+    "count_worlds",
+    "domain_distribution",
+    "estimate_existential_query",
+    "estimate_point_query",
+    "estimate_probability",
+    "factorize",
+    "is_compatible",
+    "map_world",
+    "iter_compatible_instances",
+    "top_k_worlds",
+    "verify_theorem1",
+    "world_probability",
+]

@@ -1,0 +1,210 @@
+"""Compatible instances and ``Domain(W)`` enumeration (Definition 4.1).
+
+A semistructured instance ``S`` is compatible with a weak instance ``W``
+when it contains ``W``'s root, only uses ``W``'s objects, its edges follow
+``lch`` with matching labels, each object's per-label child counts lie in
+``card``, and leaves of ``W`` appearing in ``S`` keep their type with a
+value in the domain.
+
+Note on the paper's leaf clause: Definition 4.1 literally states "if o is
+a leaf in S then o is also a leaf in W", but Figure 2 itself gives ``A1``
+(a non-leaf of ``W``) a potential child set of probability 0.2 whose
+choice makes ``A1`` a leaf of the compatible instance.  Following the
+figure (and the journal version of PXML), we treat the clause as applying
+to leaves of ``W`` only.
+
+Enumeration walks the weak instance graph in topological order; each
+reachable non-leaf picks a potential child set (weighted by its OPF) and
+each reachable valued leaf picks a value (weighted by its VPF).  The
+per-instance probability is the product of the choices — i.e. the global
+interpretation ``P_p`` of Definition 4.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.instance import ProbabilisticInstance
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import CyclicModelError, SemanticsError
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import Value
+
+
+def is_compatible(instance: SemistructuredInstance, weak: WeakInstance) -> bool:
+    """Whether ``instance`` is compatible with ``weak`` (Definition 4.1)."""
+    if instance.root != weak.root or weak.root not in instance:
+        return False
+    for oid in instance.objects:
+        if oid not in weak:
+            return False
+        if weak.is_leaf(oid):
+            if not instance.is_leaf(oid):
+                return False
+            weak_type = weak.tau(oid)
+            inst_type = instance.tau(oid)
+            if weak_type is not None:
+                if inst_type != weak_type:
+                    return False
+                value = instance.val(oid)
+                if value is not None and value not in weak_type:
+                    return False
+        else:
+            counts: dict[str, int] = {}
+            for child in instance.children(oid):
+                label = instance.label(oid, child)
+                if child not in weak.lch(oid, label):
+                    return False
+                counts[label] = counts.get(label, 0) + 1
+            for label in weak.labels_of(oid):
+                count = counts.pop(label, 0)
+                if count not in weak.card(oid, label):
+                    return False
+            if counts:
+                return False  # edges with labels W does not allow for oid
+    # Rootedness: every object reachable from the root.
+    return len(instance.graph.reachable_from(instance.root)) == len(instance)
+
+
+def iter_compatible_instances(
+    pi: ProbabilisticInstance,
+) -> Iterator[tuple[SemistructuredInstance, float]]:
+    """Enumerate ``Domain(I)`` with the probability ``P_p(S)`` of each world.
+
+    Worlds are generated without duplication: the reachable objects'
+    choices determine the instance uniquely, and unreachable objects make
+    no choice (their OPF mass marginalizes to one).  Worlds of probability
+    zero are skipped.
+
+    This is exponential in the instance size and intended for the *global*
+    reference semantics, tests and small examples; the efficient local
+    algorithms of Section 6 never call it.
+    """
+    weak = pi.weak
+    order = weak.graph().topological_order()
+    if order is None:
+        raise CyclicModelError("cannot enumerate worlds of a cyclic weak instance")
+    parents: dict[Oid, list[Oid]] = {oid: [] for oid in order}
+    for src, dst, _ in weak.graph().edges():
+        parents[dst].append(src)
+
+    root = weak.root
+    position = {oid: index for index, oid in enumerate(order)}
+
+    def included(oid: Oid, chosen: dict[Oid, ChildSet]) -> bool:
+        if oid == root:
+            return True
+        return any(
+            parent in chosen and oid in chosen[parent] for parent in parents[oid]
+        )
+
+    def expand(
+        index: int,
+        chosen: dict[Oid, ChildSet],
+        values: dict[Oid, Value],
+        probability: float,
+    ) -> Iterator[tuple[SemistructuredInstance, float]]:
+        if probability == 0.0:
+            return
+        if index == len(order):
+            yield _build_world(pi, chosen, values), probability
+            return
+        oid = order[index]
+        if not included(oid, chosen):
+            yield from expand(index + 1, chosen, values, probability)
+            return
+        if weak.is_leaf(oid):
+            vpf = pi.effective_vpf(oid)
+            if vpf is None:
+                yield from expand(index + 1, chosen, values, probability)
+                return
+            for value, p_value in vpf.support():
+                values[oid] = value
+                yield from expand(index + 1, chosen, values, probability * p_value)
+            del values[oid]
+            return
+        opf = pi.opf(oid)
+        if opf is None:
+            raise SemanticsError(f"non-leaf object {oid!r} has no OPF")
+        for child_set, p_children in opf.support():
+            chosen[oid] = child_set
+            yield from expand(index + 1, chosen, values, probability * p_children)
+        del chosen[oid]
+
+    # Ensure deterministic world order regardless of dict insertion order.
+    del position
+    yield from expand(0, {}, {}, 1.0)
+
+
+def _build_world(
+    pi: ProbabilisticInstance,
+    chosen: dict[Oid, ChildSet],
+    values: dict[Oid, Value],
+) -> SemistructuredInstance:
+    weak = pi.weak
+    world = SemistructuredInstance(weak.root)
+    frontier = [weak.root]
+    seen = {weak.root}
+    while frontier:
+        oid = frontier.pop()
+        for child in chosen.get(oid, frozenset()):
+            world.add_edge(oid, child, weak.label_of_child(oid, child))
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    for oid in seen:
+        leaf_type = weak.tau(oid)
+        if leaf_type is not None:
+            world.set_type(oid, leaf_type)
+        if oid in values:
+            world.set_value(oid, values[oid])
+    return world
+
+
+def domain_distribution(
+    pi: ProbabilisticInstance,
+) -> dict[SemistructuredInstance, float]:
+    """``Domain(I)`` as a ``{world: probability}`` dict (identical worlds
+    merged)."""
+    distribution: dict[SemistructuredInstance, float] = {}
+    for world, probability in iter_compatible_instances(pi):
+        distribution[world] = distribution.get(world, 0.0) + probability
+    return distribution
+
+
+def world_probability(
+    pi: ProbabilisticInstance, world: SemistructuredInstance
+) -> float:
+    """``P_p(S)`` computed directly from the local interpretation.
+
+    Definition 4.4: the product over objects of ``S`` of the OPF value of
+    the object's child set (non-leaves) or the VPF value of its value
+    (leaves).  Returns 0.0 for worlds that are not compatible.
+    """
+    if not is_compatible(world, pi.weak):
+        return 0.0
+    probability = 1.0
+    for oid in world.objects:
+        if pi.weak.is_leaf(oid):
+            vpf = pi.effective_vpf(oid)
+            if vpf is None:
+                continue
+            value = world.val(oid)
+            if value is None:
+                return 0.0
+            probability *= vpf.prob(value)
+        else:
+            opf = pi.opf(oid)
+            if opf is None:
+                raise SemanticsError(f"non-leaf object {oid!r} has no OPF")
+            probability *= opf.prob(world.children(oid))
+        if probability == 0.0:
+            return 0.0
+    return probability
+
+
+def count_worlds(pi: ProbabilisticInstance) -> int:
+    """The number of distinct positive-probability worlds (by enumeration)."""
+    return len(domain_distribution(pi))

@@ -1,0 +1,104 @@
+"""Theorem 2: factoring a global interpretation into a local one.
+
+Given a weak instance ``W`` and a global interpretation ``P`` over
+``Domain(W)`` that *satisfies* ``W`` (Definition 4.5 — each object's
+child-set choice is independent of its non-descendants given the object
+occurs), there is a local interpretation ``p`` with ``P_p = P``.
+
+The construction is the conditional-frequency estimate::
+
+    p(o)(c) = P(c_S(o) = c | o in S)
+            = sum_{S : o in S, c_S(o) = c} P(S) / sum_{S : o in S} P(S)
+
+and analogously over leaf values.  Objects that never occur get a uniform
+local function (their choice is irrelevant to ``P_p``).  When ``check`` is
+true we rebuild ``P_p`` from the recovered local interpretation and verify
+it reproduces ``P`` — if it does not, ``P`` did not satisfy ``W`` and
+:class:`repro.errors.NotFactorizableError` is raised.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.potential import ChildSet
+from repro.core.weak_instance import WeakInstance
+from repro.errors import NotFactorizableError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.graph import Oid
+from repro.semistructured.types import Value
+
+
+def factorize(
+    weak: WeakInstance,
+    interpretation: GlobalInterpretation,
+    check: bool = True,
+    tolerance: float = 1e-9,
+) -> ProbabilisticInstance:
+    """Recover a probabilistic instance whose ``P_p`` equals ``interpretation``.
+
+    Args:
+        weak: the weak instance whose structure the distribution follows.
+        interpretation: a distribution over semistructured worlds.
+        check: verify the round-trip ``P_p == P`` and raise
+            :class:`NotFactorizableError` on mismatch.
+        tolerance: per-world tolerance for the round-trip check.
+    """
+    local = LocalInterpretation()
+    for oid in sorted(weak.non_leaves()):
+        local.set_opf(oid, _recover_opf(weak, interpretation, oid))
+    for oid in sorted(weak.leaves()):
+        vpf = _recover_vpf(weak, interpretation, oid)
+        if vpf is not None:
+            local.set_vpf(oid, vpf)
+    recovered = ProbabilisticInstance(weak, local)
+    if check:
+        rebuilt = GlobalInterpretation.from_local(recovered)
+        if not rebuilt.is_close_to(interpretation, tolerance):
+            raise NotFactorizableError(
+                "the global interpretation does not satisfy the weak instance: "
+                "P_p of the recovered local interpretation differs from P"
+            )
+    return recovered
+
+
+def _recover_opf(
+    weak: WeakInstance, interpretation: GlobalInterpretation, oid: Oid
+) -> TabularOPF:
+    mass_present = 0.0
+    mass_by_choice: dict[ChildSet, float] = {}
+    for world, probability in interpretation.support():
+        if oid not in world:
+            continue
+        mass_present += probability
+        choice = world.children(oid)
+        mass_by_choice[choice] = mass_by_choice.get(choice, 0.0) + probability
+    if mass_present <= 0.0:
+        return TabularOPF.uniform(weak.potential_child_sets(oid))
+    return TabularOPF(
+        {choice: mass / mass_present for choice, mass in mass_by_choice.items()}
+    )
+
+
+def _recover_vpf(
+    weak: WeakInstance, interpretation: GlobalInterpretation, oid: Oid
+) -> TabularVPF | None:
+    mass_present = 0.0
+    mass_by_value: dict[Value, float] = {}
+    for world, probability in interpretation.support():
+        if oid not in world:
+            continue
+        value = world.val(oid)
+        if value is None:
+            continue
+        mass_present += probability
+        mass_by_value[value] = mass_by_value.get(value, 0.0) + probability
+    if mass_present <= 0.0:
+        leaf_type = weak.tau(oid)
+        if leaf_type is None:
+            return None
+        return TabularVPF.uniform(leaf_type.domain)
+    return TabularVPF(
+        {value: mass / mass_present for value, mass in mass_by_value.items()}
+    )

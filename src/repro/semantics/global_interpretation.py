@@ -1,0 +1,141 @@
+"""Global interpretations (Definition 4.2) and Theorem 1 checking.
+
+A :class:`GlobalInterpretation` is an explicit distribution over
+semistructured worlds.  It serves as the *reference semantics*: the
+algebra's global definitions (5.3, 5.6, 5.7) are stated in terms of it,
+and every efficient algorithm in the library is tested against it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator, Mapping
+
+from repro.core.distributions import PROBABILITY_TOLERANCE
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import DistributionError, EmptyResultError
+from repro.semantics.compatible import domain_distribution
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.paths import PathExpression, evaluate_path
+
+
+class GlobalInterpretation:
+    """An explicit ``{world: probability}`` distribution."""
+
+    __slots__ = ("_dist",)
+
+    def __init__(self, distribution: Mapping[SemistructuredInstance, float]) -> None:
+        self._dist = {
+            world: float(p) for world, p in distribution.items() if p != 0.0
+        }
+
+    @classmethod
+    def from_local(cls, pi: ProbabilisticInstance) -> "GlobalInterpretation":
+        """``P_p`` induced by a probabilistic instance (Definition 4.4)."""
+        return cls(domain_distribution(pi))
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+    def prob(self, world: SemistructuredInstance) -> float:
+        """``P(S)``; zero for worlds outside the support."""
+        return self._dist.get(world, 0.0)
+
+    def support(self) -> Iterator[tuple[SemistructuredInstance, float]]:
+        """Iterate positive-probability worlds."""
+        return iter(self._dist.items())
+
+    def worlds(self) -> list[SemistructuredInstance]:
+        """The positive-probability worlds."""
+        return list(self._dist)
+
+    def __len__(self) -> int:
+        return len(self._dist)
+
+    def total_mass(self) -> float:
+        """``sum_S P(S)`` — must be 1 for a legal global interpretation."""
+        return sum(self._dist.values())
+
+    def validate(self) -> None:
+        """Theorem 1 check: the masses must sum to one."""
+        total = self.total_mass()
+        if not math.isclose(total, 1.0, abs_tol=PROBABILITY_TOLERANCE, rel_tol=1e-9):
+            raise DistributionError(
+                f"global interpretation sums to {total!r}, expected 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Event probabilities (brute-force references for the query engine)
+    # ------------------------------------------------------------------
+    def event_probability(
+        self, event: Callable[[SemistructuredInstance], bool]
+    ) -> float:
+        """``P({S | event(S)})``."""
+        return sum(p for world, p in self._dist.items() if event(world))
+
+    def prob_object_exists(self, oid: Oid) -> float:
+        """``P(o in S)``."""
+        return self.event_probability(lambda world: oid in world)
+
+    def prob_object_at_path(self, path: PathExpression, oid: Oid) -> float:
+        """``P(o in p)`` — the probabilistic point query, by enumeration."""
+        return self.event_probability(
+            lambda world: oid in evaluate_path(world.graph, path)
+        )
+
+    def prob_path_nonempty(self, path: PathExpression) -> float:
+        """``P(exists o: o in p)`` — the existential query, by enumeration."""
+        return self.event_probability(
+            lambda world: bool(evaluate_path(world.graph, path))
+        )
+
+    def condition(
+        self, event: Callable[[SemistructuredInstance], bool]
+    ) -> "GlobalInterpretation":
+        """Bayesian conditioning on an event (the algebra's Definition 5.6)."""
+        kept = {world: p for world, p in self._dist.items() if event(world)}
+        mass = sum(kept.values())
+        if mass <= 0.0:
+            raise EmptyResultError("conditioning event has probability zero")
+        return GlobalInterpretation({world: p / mass for world, p in kept.items()})
+
+    def map_worlds(
+        self,
+        transform: Callable[[SemistructuredInstance], SemistructuredInstance],
+    ) -> "GlobalInterpretation":
+        """Push the distribution through a world transformation.
+
+        Identical images have their probabilities summed — the grouping
+        step of Definition 5.3.
+        """
+        image: dict[SemistructuredInstance, float] = {}
+        for world, probability in self._dist.items():
+            new_world = transform(world)
+            image[new_world] = image.get(new_world, 0.0) + probability
+        return GlobalInterpretation(image)
+
+    def is_close_to(
+        self, other: "GlobalInterpretation", tolerance: float = 1e-9
+    ) -> bool:
+        """Whether two distributions agree within ``tolerance`` per world."""
+        worlds = set(self._dist) | set(other._dist)
+        return all(
+            math.isclose(self.prob(w), other.prob(w), abs_tol=tolerance)
+            for w in worlds
+        )
+
+    def __repr__(self) -> str:
+        return f"GlobalInterpretation({len(self._dist)} worlds)"
+
+
+def verify_theorem1(pi: ProbabilisticInstance) -> GlobalInterpretation:
+    """Build ``P_p`` and assert it is a legal global interpretation.
+
+    Returns the interpretation so callers can keep using it.  Raises
+    :class:`repro.errors.DistributionError` when Theorem 1's conclusion
+    fails (which indicates an incoherent local interpretation).
+    """
+    interpretation = GlobalInterpretation.from_local(pi)
+    interpretation.validate()
+    return interpretation

@@ -1,0 +1,170 @@
+"""Monte-Carlo world sampling from a probabilistic instance.
+
+The product semantics of Definition 4.4 is generative: walk the weak
+instance graph from the root, let each reached non-leaf draw a child set
+from its OPF and each reached leaf draw a value from its VPF, and the
+resulting world is distributed exactly as ``P_p``.  Forward sampling
+therefore works on *any* acyclic instance (DAGs included) at any scale,
+and gives unbiased estimators for event probabilities where exact
+enumeration is impossible and the tree-only local algorithms do not
+apply.
+
+:class:`WorldSampler` draws worlds; :func:`estimate_probability` wraps it
+with a standard-error report.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.instance import ProbabilisticInstance
+from repro.core.potential import ChildSet
+from repro.errors import CyclicModelError, SemanticsError
+from repro.semistructured.graph import Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import Value
+
+
+class WorldSampler:
+    """Draws compatible worlds distributed as ``P_p``."""
+
+    def __init__(self, pi: ProbabilisticInstance, seed: int | None = None) -> None:
+        self.pi = pi
+        self._rng = random.Random(seed)
+        order = pi.weak.graph().topological_order()
+        if order is None:
+            raise CyclicModelError("cannot sample from a cyclic weak instance")
+        self._order = order
+        self._parents: dict[Oid, list[Oid]] = {oid: [] for oid in order}
+        for src, dst, _ in pi.weak.graph().edges():
+            self._parents[dst].append(src)
+        # Pre-extract OPF/VPF supports as parallel lists for rng.choices.
+        self._opf_support: dict[Oid, tuple[list[ChildSet], list[float]]] = {}
+        for oid, opf in pi.interpretation.opf_items():
+            sets, weights = [], []
+            for child_set, probability in opf.support():
+                sets.append(child_set)
+                weights.append(probability)
+            self._opf_support[oid] = (sets, weights)
+        self._vpf_support: dict[Oid, tuple[list[Value], list[float]]] = {}
+        for oid in pi.weak.leaves():
+            vpf = pi.effective_vpf(oid)
+            if vpf is not None:
+                values, weights = [], []
+                for value, probability in vpf.support():
+                    values.append(value)
+                    weights.append(probability)
+                self._vpf_support[oid] = (values, weights)
+
+    def sample(self) -> SemistructuredInstance:
+        """Draw one world."""
+        weak = self.pi.weak
+        rng = self._rng
+        world = SemistructuredInstance(weak.root)
+        included: set[Oid] = {weak.root}
+        chosen: dict[Oid, ChildSet] = {}
+        for oid in self._order:
+            if oid != weak.root and not any(
+                parent in chosen and oid in chosen[parent]
+                for parent in self._parents[oid]
+            ):
+                continue
+            included.add(oid)
+            if weak.is_leaf(oid):
+                support = self._vpf_support.get(oid)
+                if support is not None:
+                    (value,) = rng.choices(support[0], weights=support[1])
+                    leaf_type = weak.tau(oid)
+                    if leaf_type is not None:
+                        world.set_type(oid, leaf_type)
+                    world.set_value(oid, value)
+                continue
+            support = self._opf_support.get(oid)
+            if support is None:
+                raise SemanticsError(f"non-leaf object {oid!r} has no OPF")
+            (child_set,) = rng.choices(support[0], weights=support[1])
+            chosen[oid] = child_set
+            for child in child_set:
+                world.add_edge(oid, child, weak.label_of_child(oid, child))
+        return world
+
+    def sample_many(self, count: int) -> list[SemistructuredInstance]:
+        """Draw ``count`` worlds."""
+        return [self.sample() for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo probability estimate.
+
+    Attributes:
+        probability: the sample mean.
+        stderr: the standard error ``sqrt(p(1-p)/n)``.
+        samples: the sample count.
+    """
+
+    probability: float
+    stderr: float
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval, clamped to [0, 1]."""
+        return (
+            max(0.0, self.probability - z * self.stderr),
+            min(1.0, self.probability + z * self.stderr),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.probability:.4f} ± {self.stderr:.4f} (n={self.samples})"
+
+
+def estimate_probability(
+    pi: ProbabilisticInstance,
+    event: Callable[[SemistructuredInstance], bool],
+    samples: int = 1000,
+    seed: int | None = None,
+) -> Estimate:
+    """Estimate ``P(event)`` by forward sampling."""
+    if samples <= 0:
+        raise SemanticsError("need a positive sample count")
+    sampler = WorldSampler(pi, seed)
+    hits = sum(1 for _ in range(samples) if event(sampler.sample()))
+    probability = hits / samples
+    stderr = math.sqrt(probability * (1.0 - probability) / samples)
+    return Estimate(probability, stderr, samples)
+
+
+def estimate_point_query(
+    pi: ProbabilisticInstance,
+    path,
+    oid: Oid,
+    samples: int = 1000,
+    seed: int | None = None,
+) -> Estimate:
+    """Monte-Carlo ``P(o in p)``."""
+    from repro.semistructured.paths import PathExpression, evaluate_path
+
+    if isinstance(path, str):
+        path = PathExpression.parse(path)
+    return estimate_probability(
+        pi, lambda world: oid in evaluate_path(world.graph, path), samples, seed
+    )
+
+
+def estimate_existential_query(
+    pi: ProbabilisticInstance,
+    path,
+    samples: int = 1000,
+    seed: int | None = None,
+) -> Estimate:
+    """Monte-Carlo ``P(exists o: o in p)``."""
+    from repro.semistructured.paths import PathExpression, evaluate_path
+
+    if isinstance(path, str):
+        path = PathExpression.parse(path)
+    return estimate_probability(
+        pi, lambda world: bool(evaluate_path(world.graph, path)), samples, seed
+    )

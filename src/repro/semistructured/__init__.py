@@ -1,0 +1,36 @@
+"""The semistructured data (SD) substrate: graphs, instances, paths, types.
+
+This package implements Section 3.1 of the paper — the OEM-style rooted
+edge-labeled graph model — together with the path expressions of
+Definition 5.1 that the algebra is built on.
+"""
+
+from repro.semistructured.diff import InstanceDiff, diff_instances
+from repro.semistructured.graph import Edge, EdgeLabeledGraph, Label, Oid
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.paths import (
+    PathExpression,
+    PathMatch,
+    evaluate_path,
+    level_sets,
+    match_path,
+)
+from repro.semistructured.types import LeafType, TypeRegistry, Value
+
+__all__ = [
+    "Edge",
+    "EdgeLabeledGraph",
+    "InstanceDiff",
+    "Label",
+    "LeafType",
+    "Oid",
+    "PathExpression",
+    "PathMatch",
+    "SemistructuredInstance",
+    "TypeRegistry",
+    "Value",
+    "diff_instances",
+    "evaluate_path",
+    "level_sets",
+    "match_path",
+]

@@ -1,0 +1,110 @@
+"""Structural diff between two semistructured instances.
+
+Useful for comparing a projection result with its input, two worlds, or
+two versions of a maintained database: reports added/removed objects,
+added/removed/relabeled edges, and changed leaf annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.semistructured.graph import Label, Oid
+from repro.semistructured.instance import SemistructuredInstance
+
+
+@dataclass(frozen=True)
+class InstanceDiff:
+    """The differences from ``old`` to ``new``."""
+
+    added_objects: frozenset[Oid]
+    removed_objects: frozenset[Oid]
+    added_edges: frozenset[tuple[Oid, Oid, Label]]
+    removed_edges: frozenset[tuple[Oid, Oid, Label]]
+    relabeled_edges: frozenset[tuple[Oid, Oid, Label, Label]] = field(
+        default_factory=frozenset
+    )
+    changed_values: frozenset[tuple[Oid, object, object]] = field(
+        default_factory=frozenset
+    )
+
+    def is_empty(self) -> bool:
+        """True when the instances are identical."""
+        return not (
+            self.added_objects or self.removed_objects or self.added_edges
+            or self.removed_edges or self.relabeled_edges or self.changed_values
+        )
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        if self.is_empty():
+            return "identical"
+        parts = []
+        if self.added_objects:
+            parts.append(f"+{len(self.added_objects)} objects")
+        if self.removed_objects:
+            parts.append(f"-{len(self.removed_objects)} objects")
+        if self.added_edges:
+            parts.append(f"+{len(self.added_edges)} edges")
+        if self.removed_edges:
+            parts.append(f"-{len(self.removed_edges)} edges")
+        if self.relabeled_edges:
+            parts.append(f"~{len(self.relabeled_edges)} relabeled")
+        if self.changed_values:
+            parts.append(f"~{len(self.changed_values)} values")
+        return ", ".join(parts)
+
+    def format(self) -> str:
+        """A full line-per-change report."""
+        lines = []
+        for oid in sorted(self.added_objects):
+            lines.append(f"+ object {oid}")
+        for oid in sorted(self.removed_objects):
+            lines.append(f"- object {oid}")
+        for src, dst, label in sorted(self.added_edges):
+            lines.append(f"+ edge {src} --{label}--> {dst}")
+        for src, dst, label in sorted(self.removed_edges):
+            lines.append(f"- edge {src} --{label}--> {dst}")
+        for src, dst, old, new in sorted(self.relabeled_edges):
+            lines.append(f"~ edge {src} -> {dst}: label {old!r} -> {new!r}")
+        for oid, old, new in sorted(self.changed_values, key=lambda t: t[0]):
+            lines.append(f"~ value {oid}: {old!r} -> {new!r}")
+        return "\n".join(lines) if lines else "identical"
+
+
+def diff_instances(
+    old: SemistructuredInstance, new: SemistructuredInstance
+) -> InstanceDiff:
+    """Compute the structural diff from ``old`` to ``new``."""
+    old_objects = old.objects
+    new_objects = new.objects
+
+    old_edges = {(s, d): l for s, d, l in old.edges()}
+    new_edges = {(s, d): l for s, d, l in new.edges()}
+    added_edges = set()
+    removed_edges = set()
+    relabeled = set()
+    for pair, label in new_edges.items():
+        if pair not in old_edges:
+            added_edges.add((*pair, label))
+        elif old_edges[pair] != label:
+            relabeled.add((*pair, old_edges[pair], label))
+    for pair, label in old_edges.items():
+        if pair not in new_edges:
+            removed_edges.add((*pair, label))
+
+    changed_values = set()
+    for oid in old_objects & new_objects:
+        old_value = old.val(oid)
+        new_value = new.val(oid)
+        if old_value != new_value:
+            changed_values.add((oid, old_value, new_value))
+
+    return InstanceDiff(
+        added_objects=frozenset(new_objects - old_objects),
+        removed_objects=frozenset(old_objects - new_objects),
+        added_edges=frozenset(added_edges),
+        removed_edges=frozenset(removed_edges),
+        relabeled_edges=frozenset(relabeled),
+        changed_values=frozenset(changed_values),
+    )

@@ -1,0 +1,256 @@
+"""Edge-labeled directed graphs (Definition 3.1) and graph concepts.
+
+This module provides the graph substrate used by both ordinary
+semistructured instances and the weak-instance graphs of the probabilistic
+model.  It implements the vocabulary of Definition 3.2: children, parents,
+descendants, non-descendants, label-restricted children ``lch(o, l)`` and
+leaves — plus the acyclicity and reachability utilities the rest of the
+library needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import UnknownObjectError
+
+Oid = str
+Label = str
+Edge = tuple[Oid, Oid]
+
+
+class EdgeLabeledGraph:
+    """A rooted, edge-labeled directed graph ``G = (V, E, l)``.
+
+    Vertices are object ids (strings).  Each edge ``(o, o')`` carries exactly
+    one label.  The graph may contain cycles in general (Definition 3.1
+    permits them), but most of the library works with DAGs; use
+    :meth:`is_acyclic` / :meth:`topological_order` for the restriction.
+    """
+
+    __slots__ = ("_vertices", "_out", "_in", "_labels")
+
+    def __init__(self) -> None:
+        self._vertices: set[Oid] = set()
+        self._out: dict[Oid, dict[Oid, Label]] = {}
+        self._in: dict[Oid, set[Oid]] = {}
+        self._labels: set[Label] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, oid: Oid) -> None:
+        """Add a vertex; adding an existing vertex is a no-op."""
+        if oid not in self._vertices:
+            self._vertices.add(oid)
+            self._out[oid] = {}
+            self._in[oid] = set()
+
+    def add_edge(self, src: Oid, dst: Oid, label: Label) -> None:
+        """Add an edge ``(src, dst)`` with the given label.
+
+        Vertices are created on demand.  Re-adding an existing edge
+        overwrites its label (``E subseteq V x V`` admits one edge per pair).
+        """
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self._out[src][dst] = label
+        self._in[dst].add(src)
+        self._labels.add(label)
+
+    def remove_edge(self, src: Oid, dst: Oid) -> None:
+        """Remove the edge ``(src, dst)``; missing edges raise ``KeyError``."""
+        del self._out[src][dst]
+        self._in[dst].discard(src)
+
+    def remove_vertex(self, oid: Oid) -> None:
+        """Remove a vertex together with all incident edges."""
+        self._require(oid)
+        for parent in list(self._in[oid]):
+            del self._out[parent][oid]
+        for child in list(self._out[oid]):
+            self._in[child].discard(oid)
+        del self._out[oid]
+        del self._in[oid]
+        self._vertices.discard(oid)
+
+    def copy(self) -> "EdgeLabeledGraph":
+        """Return a deep, independent copy of the graph."""
+        clone = EdgeLabeledGraph()
+        clone._vertices = set(self._vertices)
+        clone._out = {o: dict(targets) for o, targets in self._out.items()}
+        clone._in = {o: set(sources) for o, sources in self._in.items()}
+        clone._labels = set(self._labels)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> frozenset[Oid]:
+        """The vertex set ``V``."""
+        return frozenset(self._vertices)
+
+    @property
+    def labels(self) -> frozenset[Label]:
+        """All labels that appear on some edge."""
+        return frozenset(self._labels)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        """The number of edges ``|E|``."""
+        return sum(len(targets) for targets in self._out.values())
+
+    def edges(self) -> Iterator[tuple[Oid, Oid, Label]]:
+        """Iterate over ``(src, dst, label)`` triples."""
+        for src, targets in self._out.items():
+            for dst, label in targets.items():
+                yield src, dst, label
+
+    def has_edge(self, src: Oid, dst: Oid) -> bool:
+        """Whether the edge ``(src, dst)`` exists."""
+        return src in self._out and dst in self._out[src]
+
+    def label(self, src: Oid, dst: Oid) -> Label:
+        """The label of edge ``(src, dst)``; raises ``KeyError`` if absent."""
+        return self._out[src][dst]
+
+    # ------------------------------------------------------------------
+    # Definition 3.2 vocabulary
+    # ------------------------------------------------------------------
+    def children(self, oid: Oid) -> frozenset[Oid]:
+        """``C(o) = {o' | (o, o') in E}``."""
+        self._require(oid)
+        return frozenset(self._out[oid])
+
+    def parents(self, oid: Oid) -> frozenset[Oid]:
+        """``parents(o) = {o' | (o', o) in E}``."""
+        self._require(oid)
+        return frozenset(self._in[oid])
+
+    def lch(self, oid: Oid, label: Label) -> frozenset[Oid]:
+        """``lch(o, l)``: children of ``o`` reached by an ``l``-labeled edge."""
+        self._require(oid)
+        return frozenset(
+            child for child, edge_label in self._out[oid].items() if edge_label == label
+        )
+
+    def out_labels(self, oid: Oid) -> frozenset[Label]:
+        """The set of labels on edges leaving ``o``."""
+        self._require(oid)
+        return frozenset(self._out[oid].values())
+
+    def is_leaf(self, oid: Oid) -> bool:
+        """A vertex is a leaf iff ``C(o)`` is empty."""
+        self._require(oid)
+        return not self._out[oid]
+
+    def leaves(self) -> frozenset[Oid]:
+        """All leaf vertices."""
+        return frozenset(o for o in self._vertices if not self._out[o])
+
+    def descendants(self, oid: Oid) -> frozenset[Oid]:
+        """``des(o)``: vertices reachable from ``o`` by a nonempty path."""
+        self._require(oid)
+        seen: set[Oid] = set()
+        frontier = deque(self._out[oid])
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._out[current])
+        return frozenset(seen)
+
+    def non_descendants(self, oid: Oid) -> frozenset[Oid]:
+        """``non-des(o) = V - des(o) - {o}``."""
+        return self.vertices - self.descendants(oid) - {oid}
+
+    def ancestors(self, oid: Oid) -> frozenset[Oid]:
+        """Vertices from which ``o`` is reachable by a nonempty path."""
+        self._require(oid)
+        seen: set[Oid] = set()
+        frontier = deque(self._in[oid])
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._in[current])
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def reachable_from(self, root: Oid) -> frozenset[Oid]:
+        """``{root} union des(root)``."""
+        return self.descendants(root) | {root}
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph is a DAG."""
+        return self.topological_order() is not None
+
+    def topological_order(self) -> list[Oid] | None:
+        """A topological order of the vertices, or ``None`` if cyclic."""
+        in_degree = {o: len(self._in[o]) for o in self._vertices}
+        ready = deque(sorted(o for o, deg in in_degree.items() if deg == 0))
+        order: list[Oid] = []
+        while ready:
+            current = ready.popleft()
+            order.append(current)
+            for child in self._out[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._vertices):
+            return None
+        return order
+
+    def is_tree(self, root: Oid) -> bool:
+        """Whether the graph is a tree rooted at ``root``.
+
+        Every vertex except the root must have exactly one parent, the root
+        must have none, and all vertices must be reachable from the root.
+        """
+        self._require(root)
+        if self._in[root]:
+            return False
+        for oid in self._vertices:
+            if oid != root and len(self._in[oid]) != 1:
+                return False
+        return len(self.reachable_from(root)) == len(self._vertices)
+
+    def roots(self) -> frozenset[Oid]:
+        """Vertices with no incoming edges."""
+        return frozenset(o for o in self._vertices if not self._in[o])
+
+    def induced_subgraph(self, keep: Iterable[Oid]) -> "EdgeLabeledGraph":
+        """The subgraph induced by ``keep`` (edges with both ends kept)."""
+        kept = set(keep)
+        sub = EdgeLabeledGraph()
+        for oid in kept:
+            self._require(oid)
+            sub.add_vertex(oid)
+        for src in kept:
+            for dst, label in self._out[src].items():
+                if dst in kept:
+                    sub.add_edge(src, dst, label)
+        return sub
+
+    def _require(self, oid: Oid) -> None:
+        if oid not in self._vertices:
+            raise UnknownObjectError(oid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeLabeledGraph):
+            return NotImplemented
+        return self._vertices == other._vertices and self._out == other._out
+
+    def __repr__(self) -> str:
+        return f"EdgeLabeledGraph(|V|={len(self._vertices)}, |E|={self.num_edges()})"

@@ -1,0 +1,222 @@
+"""Semistructured instances (Definition 3.3).
+
+A :class:`SemistructuredInstance` is a rooted, edge-labeled directed graph
+in which each leaf object may carry a type ``tau(o)`` and a value
+``val(o) in dom(tau(o))``.
+
+The paper requires every leaf of a *source* instance to be typed and
+valued; however the algebra can produce instances whose structural leaves
+were internal objects of the input (e.g. the ``author`` objects after an
+ancestor projection), so types and values are kept as partial maps here and
+:meth:`validate` offers the strict check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ModelError, TypeDomainError, UnknownObjectError
+from repro.semistructured.graph import EdgeLabeledGraph, Label, Oid
+from repro.semistructured.types import LeafType, Value
+
+
+class SemistructuredInstance:
+    """A rooted semistructured instance ``S = (V, E, l, tau, val)``."""
+
+    __slots__ = ("_graph", "_root", "_tau", "_val")
+
+    def __init__(self, root: Oid) -> None:
+        self._graph = EdgeLabeledGraph()
+        self._graph.add_vertex(root)
+        self._root = root
+        self._tau: dict[Oid, LeafType] = {}
+        self._val: dict[Oid, Value] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_object(self, oid: Oid) -> None:
+        """Add an (initially disconnected) object to ``V``."""
+        self._graph.add_vertex(oid)
+
+    def add_edge(self, src: Oid, dst: Oid, label: Label) -> None:
+        """Add the labeled edge ``(src, dst)``, creating objects on demand."""
+        self._graph.add_edge(src, dst, label)
+
+    def set_type(self, oid: Oid, leaf_type: LeafType) -> None:
+        """Associate type ``tau(oid)`` with a (leaf) object."""
+        if oid not in self._graph:
+            raise UnknownObjectError(oid)
+        self._tau[oid] = leaf_type
+
+    def set_value(self, oid: Oid, value: Value) -> None:
+        """Associate value ``val(oid)``; checked against the type if known."""
+        if oid not in self._graph:
+            raise UnknownObjectError(oid)
+        leaf_type = self._tau.get(oid)
+        if leaf_type is not None:
+            leaf_type.check(value)
+        self._val[oid] = value
+
+    def set_leaf(self, oid: Oid, leaf_type: LeafType, value: Value) -> None:
+        """Set both type and value of a leaf object."""
+        self.set_type(oid, leaf_type)
+        self.set_value(oid, value)
+
+    def remove_object(self, oid: Oid) -> None:
+        """Remove an object, its incident edges, and its annotations."""
+        self._graph.remove_vertex(oid)
+        self._tau.pop(oid, None)
+        self._val.pop(oid, None)
+
+    def copy(self) -> "SemistructuredInstance":
+        """Deep, independent copy."""
+        clone = SemistructuredInstance.__new__(SemistructuredInstance)
+        clone._graph = self._graph.copy()
+        clone._root = self._root
+        clone._tau = dict(self._tau)
+        clone._val = dict(self._val)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Oid:
+        """The root object id."""
+        return self._root
+
+    @property
+    def graph(self) -> EdgeLabeledGraph:
+        """The underlying edge-labeled graph (mutating it mutates ``self``)."""
+        return self._graph
+
+    @property
+    def objects(self) -> frozenset[Oid]:
+        """The object set ``V``."""
+        return self._graph.vertices
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def children(self, oid: Oid) -> frozenset[Oid]:
+        """``C(o)``."""
+        return self._graph.children(oid)
+
+    def parents(self, oid: Oid) -> frozenset[Oid]:
+        """``parents(o)``."""
+        return self._graph.parents(oid)
+
+    def lch(self, oid: Oid, label: Label) -> frozenset[Oid]:
+        """``lch(o, l)``."""
+        return self._graph.lch(oid, label)
+
+    def label(self, src: Oid, dst: Oid) -> Label:
+        """The label on edge ``(src, dst)``."""
+        return self._graph.label(src, dst)
+
+    def edges(self) -> Iterator[tuple[Oid, Oid, Label]]:
+        """Iterate over ``(src, dst, label)`` triples."""
+        return self._graph.edges()
+
+    def is_leaf(self, oid: Oid) -> bool:
+        """Whether ``o`` is a leaf (no children)."""
+        return self._graph.is_leaf(oid)
+
+    def leaves(self) -> frozenset[Oid]:
+        """All leaf objects."""
+        return self._graph.leaves()
+
+    def tau(self, oid: Oid) -> LeafType | None:
+        """``tau(o)``, or ``None`` if the object is untyped."""
+        if oid not in self._graph:
+            raise UnknownObjectError(oid)
+        return self._tau.get(oid)
+
+    def val(self, oid: Oid) -> Value | None:
+        """``val(o)``, or ``None`` if the object has no value."""
+        if oid not in self._graph:
+            raise UnknownObjectError(oid)
+        return self._val.get(oid)
+
+    def typed_leaves(self) -> Iterator[tuple[Oid, LeafType, Value]]:
+        """Iterate ``(oid, tau(oid), val(oid))`` for every valued leaf."""
+        for oid, leaf_type in self._tau.items():
+            if oid in self._val:
+                yield oid, leaf_type, self._val[oid]
+
+    # ------------------------------------------------------------------
+    # Validation / identity
+    # ------------------------------------------------------------------
+    def validate(self, strict_leaves: bool = True) -> None:
+        """Check well-formedness.
+
+        The instance must be rooted (every object reachable from the root)
+        and, when ``strict_leaves`` is true, every leaf must carry a type
+        and a value inside that type's domain (Definition 3.3).
+        """
+        reachable = self._graph.reachable_from(self._root)
+        unreachable = self._graph.vertices - reachable
+        if unreachable:
+            raise ModelError(
+                f"objects unreachable from root {self._root!r}: {sorted(unreachable)}"
+            )
+        if strict_leaves:
+            for leaf in self._graph.leaves():
+                if leaf == self._root and len(self._graph) == 1:
+                    continue  # the degenerate root-only instance
+                leaf_type = self._tau.get(leaf)
+                if leaf_type is None:
+                    raise TypeDomainError(f"leaf {leaf!r} has no type")
+                if leaf not in self._val:
+                    raise TypeDomainError(f"leaf {leaf!r} has no value")
+                leaf_type.check(self._val[leaf])
+
+    def canonical_form(self) -> tuple:
+        """A hashable canonical form identifying the instance.
+
+        Two instances are *identical* (for the algebra's probability-mass
+        grouping, Definition 5.3) iff they have the same root, objects,
+        labeled edges and leaf values.  Types participate via their names.
+        """
+        edges = tuple(sorted((src, dst, label) for src, dst, label in self._graph.edges()))
+        values = tuple(
+            sorted((oid, self._tau[oid].name if oid in self._tau else None, value)
+                   for oid, value in self._val.items() if oid in self._graph)
+        )
+        return (self._root, tuple(sorted(self._graph.vertices)), edges, values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SemistructuredInstance):
+            return NotImplemented
+        return self.canonical_form() == other.canonical_form()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
+
+    def __repr__(self) -> str:
+        return (
+            f"SemistructuredInstance(root={self._root!r}, |V|={len(self._graph)}, "
+            f"|E|={self._graph.num_edges()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        root: Oid,
+        edges: Iterable[tuple[Oid, Oid, Label]],
+        leaves: Iterable[tuple[Oid, LeafType, Value]] = (),
+    ) -> "SemistructuredInstance":
+        """Build an instance from edge triples and leaf annotations."""
+        instance = cls(root)
+        for src, dst, label in edges:
+            instance.add_edge(src, dst, label)
+        for oid, leaf_type, value in leaves:
+            instance.set_leaf(oid, leaf_type, value)
+        return instance

@@ -1,0 +1,170 @@
+"""Path expressions (Definition 5.1) and their evaluation.
+
+A path expression ``p = r.l1.l2...ln`` is a root object id followed by a
+(possibly empty) sequence of edge labels; it denotes the set of objects
+reachable from ``r`` along edges labeled ``l1, ..., ln`` in order.
+
+Besides plain evaluation this module computes the *level sets* and the
+backward-pruned *matched levels* used by ancestor projection and by the
+probabilistic point queries of Section 6: an object belongs to matched
+level ``i`` iff it lies on level ``i`` of the path AND some continuation of
+the remaining labels reaches a level-``n`` object through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PathSyntaxError
+from repro.semistructured.graph import EdgeLabeledGraph, Label, Oid
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """An object id followed by an edge-label sequence."""
+
+    root: Oid
+    labels: tuple[Label, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.root:
+            raise PathSyntaxError("path expression needs a nonempty root object id")
+        if any(not label for label in self.labels):
+            raise PathSyntaxError("path expression labels must be nonempty")
+
+    @classmethod
+    def parse(cls, text: str) -> "PathExpression":
+        """Parse ``"R.book.author"`` into a :class:`PathExpression`.
+
+        The first dot-separated component is the root object id; the rest
+        are edge labels.  Components may not be empty.
+        """
+        parts = text.split(".")
+        if not parts or any(part == "" for part in parts):
+            raise PathSyntaxError(f"malformed path expression: {text!r}")
+        return cls(parts[0], tuple(parts[1:]))
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __str__(self) -> str:
+        return ".".join((self.root, *self.labels))
+
+    def child(self, label: Label) -> "PathExpression":
+        """The path extended by one label."""
+        return PathExpression(self.root, (*self.labels, label))
+
+    def prefix(self, length: int) -> "PathExpression":
+        """The prefix with the first ``length`` labels."""
+        return PathExpression(self.root, self.labels[:length])
+
+
+def evaluate_path(graph: EdgeLabeledGraph, path: PathExpression) -> frozenset[Oid]:
+    """The set of objects denoted by ``path`` (``o in p``).
+
+    Returns the empty set when the path's root is not a vertex of the
+    graph.  A zero-label path denotes ``{root}``.
+    """
+    levels = level_sets(graph, path)
+    return levels[-1] if levels else frozenset()
+
+
+def level_sets(graph: EdgeLabeledGraph, path: PathExpression) -> list[frozenset[Oid]]:
+    """Forward level sets ``L_0 = {r}``, ``L_i = lch(L_{i-1}, l_i)``.
+
+    Returns ``[]`` when the root is absent.  ``L_i`` may be empty, in which
+    case all deeper levels are empty too.
+    """
+    if path.root not in graph:
+        return []
+    levels: list[frozenset[Oid]] = [frozenset({path.root})]
+    for label in path.labels:
+        next_level: set[Oid] = set()
+        for oid in levels[-1]:
+            next_level.update(graph.lch(oid, label))
+        levels.append(frozenset(next_level))
+    return levels
+
+
+@dataclass(frozen=True)
+class PathMatch:
+    """The result of matching a path expression against a graph.
+
+    Attributes:
+        path: the matched path expression.
+        levels: backward-pruned level sets ``M_0..M_n``; ``M_n`` is the set
+            of objects satisfying the path and ``M_i`` contains the level-i
+            objects with at least one matching continuation.
+        edges: the edges ``(src, dst)`` connecting ``M_i`` to ``M_{i+1}``
+            via the level's label, i.e. exactly the edges an ancestor
+            projection keeps.
+    """
+
+    path: PathExpression
+    levels: tuple[frozenset[Oid], ...]
+    edges: frozenset[tuple[Oid, Oid]]
+    level_edges: tuple[frozenset[tuple[Oid, Oid]], ...] = field(repr=False, default=())
+
+    @property
+    def matched(self) -> frozenset[Oid]:
+        """The objects denoted by the path (``M_n``)."""
+        return self.levels[-1] if self.levels else frozenset()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no object satisfies the path."""
+        return not self.matched
+
+    def kept_objects(self) -> frozenset[Oid]:
+        """All objects on some root-to-match path (union of the levels)."""
+        kept: set[Oid] = set()
+        for level in self.levels:
+            kept.update(level)
+        return frozenset(kept)
+
+    def level_of(self) -> dict[Oid, list[int]]:
+        """Map each kept object to the (sorted) levels it appears on.
+
+        On tree-shaped graphs every object appears on at most one level;
+        on DAGs an object can be reached at several depths.
+        """
+        membership: dict[Oid, list[int]] = {}
+        for index, level in enumerate(self.levels):
+            for oid in level:
+                membership.setdefault(oid, []).append(index)
+        return membership
+
+
+def match_path(graph: EdgeLabeledGraph, path: PathExpression) -> PathMatch:
+    """Match ``path`` against ``graph``: forward sweep then backward prune.
+
+    The forward sweep computes the level sets; the backward prune removes
+    from level ``i`` every object without an edge (with the right label)
+    into the pruned level ``i+1``.  The returned match also records the
+    surviving level-to-level edges.
+    """
+    forward = level_sets(graph, path)
+    if not forward or not forward[-1]:
+        empty_levels = tuple(frozenset() for _ in range(len(path.labels) + 1))
+        return PathMatch(path, empty_levels, frozenset(), tuple(
+            frozenset() for _ in range(len(path.labels))))
+
+    pruned: list[frozenset[Oid]] = [frozenset()] * len(forward)
+    pruned[-1] = forward[-1]
+    per_level_edges: list[frozenset[tuple[Oid, Oid]]] = [frozenset()] * len(path.labels)
+    for index in range(len(path.labels) - 1, -1, -1):
+        label = path.labels[index]
+        survivors: set[Oid] = set()
+        edges: set[tuple[Oid, Oid]] = set()
+        for oid in forward[index]:
+            hits = graph.lch(oid, label) & pruned[index + 1]
+            if hits:
+                survivors.add(oid)
+                edges.update((oid, child) for child in hits)
+        pruned[index] = frozenset(survivors)
+        per_level_edges[index] = frozenset(edges)
+
+    all_edges: set[tuple[Oid, Oid]] = set()
+    for edges in per_level_edges:
+        all_edges.update(edges)
+    return PathMatch(path, tuple(pruned), frozenset(all_edges), tuple(per_level_edges))

@@ -1,0 +1,114 @@
+"""Leaf types and their value domains.
+
+Definition 3.3 associates a type ``tau(o)`` with each leaf object and a
+value ``val(o)`` drawn from ``dom(tau(o))``.  A :class:`LeafType` is a named
+finite domain of hashable values; a :class:`TypeRegistry` keeps the set
+``T`` of types used by an instance and checks value membership.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import TypeDomainError
+
+Value = Hashable
+
+
+class LeafType:
+    """A named type with a finite domain, e.g. ``title-type = {VQDB, Lore}``."""
+
+    __slots__ = ("_name", "_domain")
+
+    def __init__(self, name: str, domain: Iterable[Value]) -> None:
+        values = tuple(domain)
+        if not values:
+            raise TypeDomainError(f"type {name!r} must have a nonempty domain")
+        if len(set(values)) != len(values):
+            raise TypeDomainError(f"type {name!r} has duplicate domain values")
+        self._name = name
+        self._domain = values
+
+    @property
+    def name(self) -> str:
+        """The type's name."""
+        return self._name
+
+    @property
+    def domain(self) -> tuple[Value, ...]:
+        """``dom(type)`` as a tuple, in declaration order."""
+        return self._domain
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._domain
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._domain)
+
+    def __len__(self) -> int:
+        return len(self._domain)
+
+    def check(self, value: Value) -> None:
+        """Raise :class:`TypeDomainError` unless ``value`` is in the domain."""
+        if value not in self._domain:
+            raise TypeDomainError(
+                f"value {value!r} is not in dom({self._name}) = {self._domain!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LeafType):
+            return NotImplemented
+        return self._name == other._name and set(self._domain) == set(other._domain)
+
+    def __hash__(self) -> int:
+        return hash((self._name, frozenset(self._domain)))
+
+    def __repr__(self) -> str:
+        return f"LeafType({self._name!r}, {list(self._domain)!r})"
+
+
+class TypeRegistry:
+    """The set ``T`` of types available to an instance, indexed by name."""
+
+    __slots__ = ("_types",)
+
+    def __init__(self, types: Iterable[LeafType] = ()) -> None:
+        self._types: dict[str, LeafType] = {}
+        for leaf_type in types:
+            self.add(leaf_type)
+
+    def add(self, leaf_type: LeafType) -> LeafType:
+        """Register a type; re-registering an equal type is a no-op."""
+        existing = self._types.get(leaf_type.name)
+        if existing is not None and existing != leaf_type:
+            raise TypeDomainError(
+                f"type {leaf_type.name!r} already registered with a different domain"
+            )
+        self._types[leaf_type.name] = leaf_type
+        return leaf_type
+
+    def define(self, name: str, domain: Iterable[Value]) -> LeafType:
+        """Create and register a type in one step."""
+        return self.add(LeafType(name, domain))
+
+    def __getitem__(self, name: str) -> LeafType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise TypeDomainError(f"unknown type: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[LeafType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> frozenset[str]:
+        """The names of all registered types."""
+        return frozenset(self._types)
+
+    def __repr__(self) -> str:
+        return f"TypeRegistry({sorted(self._types)!r})"

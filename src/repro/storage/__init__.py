@@ -1,0 +1,5 @@
+"""Instance catalog and persistence."""
+
+from repro.storage.database import Database, DatabaseError
+
+__all__ = ["Database", "DatabaseError"]

@@ -1,0 +1,119 @@
+"""A simple named-instance database with directory-backed persistence.
+
+The paper's system stores probabilistic instances and runs algebra
+operations that produce new instances; this module provides the catalog
+around that: named instances in memory, persisted one-file-per-instance
+under a directory (the JSON codec's format), with the usual open/save
+/drop/list operations.  The PXQL interpreter executes against one of
+these databases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.instance import ProbabilisticInstance
+from repro.errors import PXMLError
+from repro.io.json_codec import read_instance, write_instance
+
+
+class DatabaseError(PXMLError):
+    """Raised for catalog problems: unknown names, clashes, bad dirs."""
+
+
+_SUFFIX = ".pxml.json"
+
+
+class Database:
+    """A catalog of named probabilistic instances.
+
+    Args:
+        directory: optional backing directory.  When given, instances
+            already stored there are listed lazily (loaded on first use)
+            and :meth:`save` / :meth:`save_all` write back to it.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._instances: dict[str, ProbabilisticInstance] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, instance: ProbabilisticInstance, replace: bool = False
+    ) -> None:
+        """Add an instance under ``name``; refuses clashes unless ``replace``."""
+        if not replace and name in self._instances:
+            raise DatabaseError(f"instance {name!r} already exists")
+        self._instances[name] = instance
+
+    def get(self, name: str) -> ProbabilisticInstance:
+        """Look up an instance, loading from the backing directory if needed."""
+        if name in self._instances:
+            return self._instances[name]
+        if self._directory is not None:
+            path = self._directory / f"{name}{_SUFFIX}"
+            if path.exists():
+                instance = read_instance(path)
+                self._instances[name] = instance
+                return instance
+        raise DatabaseError(f"unknown instance: {name!r}")
+
+    def drop(self, name: str) -> None:
+        """Remove an instance from the catalog (and its file, if backed)."""
+        found = self._instances.pop(name, None) is not None
+        if self._directory is not None:
+            path = self._directory / f"{name}{_SUFFIX}"
+            if path.exists():
+                path.unlink()
+                found = True
+        if not found:
+            raise DatabaseError(f"unknown instance: {name!r}")
+
+    def names(self) -> list[str]:
+        """All instance names (in-memory plus on-disk)."""
+        names = set(self._instances)
+        if self._directory is not None:
+            for path in self._directory.glob(f"*{_SUFFIX}"):
+                names.add(path.name[: -len(_SUFFIX)])
+        return sorted(names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def items(self) -> Iterator[tuple[str, ProbabilisticInstance]]:
+        """Iterate ``(name, instance)``, loading lazily."""
+        for name in self.names():
+            yield name, self.get(name)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, name: str) -> Path:
+        """Persist one instance; requires a backing directory."""
+        if self._directory is None:
+            raise DatabaseError("database has no backing directory")
+        path = self._directory / f"{name}{_SUFFIX}"
+        write_instance(self.get(name), path)
+        return path
+
+    def save_all(self) -> list[Path]:
+        """Persist every in-memory instance."""
+        return [self.save(name) for name in sorted(self._instances)]
+
+    def load_file(self, name: str, path: str | Path) -> ProbabilisticInstance:
+        """Load an instance from an arbitrary file and register it."""
+        instance = read_instance(path)
+        self.register(name, instance, replace=True)
+        return instance
+
+    def __repr__(self) -> str:
+        backing = str(self._directory) if self._directory else "in-memory"
+        return f"Database({backing}, {len(self)} instances)"

@@ -1,0 +1,17 @@
+"""The Section 7.1 synthetic workload generators."""
+
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+    random_selection_target,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+    "random_projection_path",
+    "random_selection_target",
+]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import example52_instance, figure1_instance, figure2_instance
+
+
+@pytest.fixture
+def fig1():
+    """The Figure 1 semistructured instance."""
+    return figure1_instance()
+
+
+@pytest.fixture
+def fig2():
+    """The Figure 2 probabilistic instance."""
+    return figure2_instance()
+
+
+@pytest.fixture
+def ex52():
+    """The Example 5.2 selection instance."""
+    return example52_instance()

@@ -1,0 +1,105 @@
+"""Random-instance generators shared by the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.weak_instance import WeakInstance
+from repro.semistructured.types import LeafType
+
+
+def random_tree_instance(
+    rng: random.Random,
+    depth: int = 3,
+    max_children: int = 3,
+    max_labels: int = 2,
+    allow_empty_choice: bool = True,
+) -> ProbabilisticInstance:
+    """A random tree-structured probabilistic instance.
+
+    Small enough to enumerate (used to compare efficient algorithms with
+    the global reference semantics).  Every non-leaf gets a random tabular
+    OPF over a random subset of its potential child sets; leaves get
+    random VPFs over a two-value domain.
+    """
+    weak = WeakInstance("r")
+    interp = LocalInterpretation()
+    leaf_type = LeafType("t", ("x", "y"))
+    counter = 0
+
+    def grow(oid: str, level: int) -> None:
+        nonlocal counter
+        if level == depth:
+            weak.set_type(oid, leaf_type)
+            p = rng.uniform(0.1, 0.9)
+            interp.set_vpf(oid, TabularVPF({"x": p, "y": 1.0 - p}))
+            return
+        n_children = rng.randint(1, max_children)
+        children = []
+        for _ in range(n_children):
+            counter += 1
+            children.append(f"n{counter}")
+        # Split the children among one or two labels.
+        n_labels = rng.randint(1, min(max_labels, n_children))
+        groups: dict[str, list[str]] = {}
+        for index, child in enumerate(children):
+            label = f"L{index % n_labels}"
+            groups.setdefault(label, []).append(child)
+        for label, group in groups.items():
+            weak.set_lch(oid, label, group)
+        # Random OPF over a random nonempty subset of PC(o).
+        child_sets = list(weak.potential_child_sets(oid))
+        if not allow_empty_choice:
+            child_sets = [c for c in child_sets if c]
+        rng.shuffle(child_sets)
+        support = child_sets[: rng.randint(1, len(child_sets))]
+        weights = [rng.uniform(0.05, 1.0) for _ in support]
+        total = sum(weights)
+        interp.set_opf(
+            oid, TabularOPF({c: w / total for c, w in zip(support, weights)})
+        )
+        for child in children:
+            grow(child, level + 1)
+
+    grow("r", 0)
+    pi = ProbabilisticInstance(weak, interp)
+    pi.validate()
+    return pi
+
+
+def random_dag_instance(rng: random.Random, width: int = 3) -> ProbabilisticInstance:
+    """A small random *DAG* probabilistic instance (3 layers, shared
+    children) for exercising the enumeration and BN engines beyond trees."""
+    weak = WeakInstance("r")
+    interp = LocalInterpretation()
+    leaf_type = LeafType("t", ("x", "y"))
+
+    mids = [f"m{i}" for i in range(width)]
+    leaves = [f"z{i}" for i in range(width)]
+    weak.set_lch("r", "a", mids)
+    for index, mid in enumerate(mids):
+        # Each middle node may share leaves with its neighbour.
+        pool = sorted({leaves[index], leaves[(index + 1) % width]})
+        weak.set_lch(mid, "b", pool)
+        child_sets = list(weak.potential_child_sets(mid))
+        weights = [rng.uniform(0.05, 1.0) for _ in child_sets]
+        total = sum(weights)
+        interp.set_opf(
+            mid, TabularOPF({c: w / total for c, w in zip(child_sets, weights)})
+        )
+    child_sets = list(weak.potential_child_sets("r"))
+    weights = [rng.uniform(0.05, 1.0) for _ in child_sets]
+    total = sum(weights)
+    interp.set_opf(
+        "r", TabularOPF({c: w / total for c, w in zip(child_sets, weights)})
+    )
+    for leaf in leaves:
+        weak.set_type(leaf, leaf_type)
+        p = rng.uniform(0.1, 0.9)
+        interp.set_vpf(leaf, TabularVPF({"x": p, "y": 1.0 - p}))
+    pi = ProbabilisticInstance(weak, interp)
+    pi.validate()
+    return pi

@@ -1,0 +1,141 @@
+"""Tests for the analysis utilities."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    existence_probability,
+    expected_size,
+    kl_divergence,
+    local_entropy_total,
+    opf_entropy,
+    summarize,
+    total_variation,
+    vpf_entropy,
+    world_entropy,
+)
+from repro.core.builder import InstanceBuilder
+from repro.errors import SemanticsError
+from repro.paper import figure2_instance
+from repro.semantics.global_interpretation import GlobalInterpretation
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("r")
+    builder.children("r", "l", ["a", "b"])
+    builder.opf("r", {("a",): 0.5, ("b",): 0.25, ("a", "b"): 0.25})
+    builder.leaf("a", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+    builder.leaf("b", "t", vpf={"x": 1.0})
+    return builder.build()
+
+
+class TestEntropies:
+    def test_opf_entropy(self, tree):
+        # H(0.5, 0.25, 0.25) = 1.5 bits.
+        assert opf_entropy(tree, "r") == pytest.approx(1.5)
+
+    def test_vpf_entropy(self, tree):
+        assert vpf_entropy(tree, "a") == pytest.approx(1.0)
+        assert vpf_entropy(tree, "b") == 0.0
+
+    def test_point_mass_entropy_zero(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(1, 1))
+        builder.opf("r", {("a",): 1.0})
+        builder.leaf("a", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        assert opf_entropy(pi, "r") == 0.0
+        assert world_entropy(pi) == 0.0
+
+    def test_missing_function_raises(self, tree):
+        with pytest.raises(SemanticsError):
+            opf_entropy(tree, "a")
+        with pytest.raises(SemanticsError):
+            vpf_entropy(tree, "r")
+
+    def test_world_entropy_bounded_by_local_total(self, tree):
+        assert world_entropy(tree) <= local_entropy_total(tree) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_on_random_trees(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=2)
+        assert world_entropy(pi) <= local_entropy_total(pi) + 1e-9
+
+
+class TestSizeAndExistence:
+    def test_existence_probability(self, tree):
+        assert existence_probability(tree, "a") == pytest.approx(0.75)
+        assert existence_probability(tree, "b") == pytest.approx(0.5)
+        assert existence_probability(tree, "r") == 1.0
+
+    def test_existence_matches_enumeration(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        for oid in tree.objects:
+            assert existence_probability(tree, oid) == pytest.approx(
+                worlds.prob_object_exists(oid)
+            )
+
+    def test_expected_size(self, tree):
+        # 1 + 0.75 + 0.5.
+        assert expected_size(tree) == pytest.approx(2.25)
+
+    def test_expected_size_matches_enumeration(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        brute = sum(p * len(w) for w, p in worlds.support())
+        assert expected_size(tree) == pytest.approx(brute)
+
+    def test_dag_rejected(self):
+        with pytest.raises(SemanticsError):
+            existence_probability(figure2_instance(), "A1")
+
+
+class TestDivergences:
+    def test_kl_zero_for_identical(self, tree):
+        p = GlobalInterpretation.from_local(tree)
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_kl_positive_for_different(self, tree):
+        other = InstanceBuilder("r")
+        other.children("r", "l", ["a", "b"])
+        other.opf("r", {("a",): 0.9, ("b",): 0.05, ("a", "b"): 0.05})
+        other.leaf("a", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+        other.leaf("b", "t", vpf={"x": 1.0})
+        p = GlobalInterpretation.from_local(tree)
+        q = GlobalInterpretation.from_local(other.build())
+        assert kl_divergence(p, q) > 0.0
+
+    def test_kl_infinite_on_missing_support(self, tree):
+        sure = InstanceBuilder("r")
+        sure.children("r", "l", ["a", "b"], card=(1, 1))
+        sure.opf("r", {("a",): 1.0})
+        sure.leaf("a", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+        sure.leaf("b", "t", vpf={"x": 1.0})
+        p = GlobalInterpretation.from_local(tree)
+        q = GlobalInterpretation.from_local(sure.build())
+        assert kl_divergence(p, q) == math.inf
+
+    def test_total_variation_symmetric_bounded(self, tree):
+        p = GlobalInterpretation.from_local(tree)
+        assert total_variation(p, p) == pytest.approx(0.0)
+
+
+class TestSummary:
+    def test_summary_fields(self, tree):
+        summary = summarize(tree)
+        assert summary.objects == 3
+        assert summary.non_leaves == 1
+        assert summary.leaves == 2
+        assert summary.is_tree
+        assert summary.expected_objects == pytest.approx(2.25)
+        assert "tree=True" in str(summary)
+
+    def test_summary_on_dag(self):
+        summary = summarize(figure2_instance())
+        assert not summary.is_tree
+        assert summary.expected_objects is None
+        assert "DAG" in str(summary)

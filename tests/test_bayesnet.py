@@ -1,0 +1,208 @@
+"""Tests for the Bayesian-network substrate and the PXML mapping."""
+
+import random
+
+import pytest
+
+from repro.bayesnet.elimination import eliminate_all, event_probability, query
+from repro.bayesnet.factors import Factor
+from repro.bayesnet.mapping import ABSENT, PXMLBayesianNetwork, existence_var
+from repro.bayesnet.network import BayesianNetwork
+from repro.errors import QueryError
+from repro.paper import figure2_instance
+from repro.semantics.global_interpretation import GlobalInterpretation
+
+from tests.helpers import random_dag_instance
+
+
+class TestFactor:
+    def test_multiply_joins_on_shared_vars(self):
+        f = Factor(("a",), {(True,): 0.6, (False,): 0.4})
+        g = Factor(("a", "b"), {(True, "x"): 0.5, (True, "y"): 0.5, (False, "x"): 1.0})
+        product = f.multiply(g)
+        assert set(product.variables) == {"a", "b"}
+        assert product.table[(True, "x")] == pytest.approx(0.3)
+        assert product.table[(False, "x")] == pytest.approx(0.4)
+
+    def test_multiply_disjoint_vars_is_outer_product(self):
+        f = Factor(("a",), {(1,): 0.5, (2,): 0.5})
+        g = Factor(("b",), {(3,): 1.0})
+        product = f.multiply(g)
+        assert product.table[(1, 3)] == pytest.approx(0.5)
+
+    def test_sum_out(self):
+        f = Factor(("a", "b"), {(1, "x"): 0.3, (2, "x"): 0.2, (1, "y"): 0.5})
+        reduced = f.sum_out("a")
+        assert reduced.variables == ("b",)
+        assert reduced.table[("x",)] == pytest.approx(0.5)
+        assert reduced.table[("y",)] == pytest.approx(0.5)
+
+    def test_sum_out_absent_var_is_identity(self):
+        f = Factor(("a",), {(1,): 1.0})
+        assert f.sum_out("zzz") is f
+
+    def test_restrict_drops_and_projects(self):
+        f = Factor(("a", "b"), {(1, "x"): 0.3, (2, "x"): 0.7})
+        restricted = f.restrict({"a": 1})
+        assert restricted.variables == ("b",)
+        assert restricted.table == {("x",): pytest.approx(0.3)}
+
+    def test_weight_keeps_variable_in_scope(self):
+        f = Factor(("a",), {(1,): 0.4, (2,): 0.6})
+        weighted = f.weight(lambda v: v == 2, "a")
+        assert weighted.variables == ("a",)
+        assert weighted.total() == pytest.approx(0.6)
+
+    def test_normalize(self):
+        f = Factor(("a",), {(1,): 2.0, (2,): 6.0})
+        n = f.normalize()
+        assert n.table[(1,)] == pytest.approx(0.25)
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(QueryError):
+            Factor(("a",), {}).normalize()
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            Factor(("a", "b"), {(1,): 1.0})
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(QueryError):
+            Factor(("a",), {(1,): -0.5})
+
+
+class TestNetworkAndElimination:
+    @pytest.fixture
+    def sprinkler(self):
+        """The classic rain/sprinkler/wet-grass network."""
+        net = BayesianNetwork()
+        net.add_variable("rain", (False, True))
+        net.add_variable("sprinkler", (False, True))
+        net.add_variable("wet", (False, True))
+        net.add_cpt("rain", (), {(): {True: 0.2, False: 0.8}})
+        net.add_cpt("sprinkler", ("rain",), {
+            (True,): {True: 0.01, False: 0.99},
+            (False,): {True: 0.4, False: 0.6},
+        })
+        net.add_cpt("wet", ("rain", "sprinkler"), {
+            (True, True): {True: 0.99, False: 0.01},
+            (True, False): {True: 0.8, False: 0.2},
+            (False, True): {True: 0.9, False: 0.1},
+            (False, False): {True: 0.0, False: 1.0},
+        })
+        return net
+
+    def test_marginal(self, sprinkler):
+        marginal = query(sprinkler, ["rain"])
+        assert marginal.table[(True,)] == pytest.approx(0.2)
+
+    def test_joint_eliminates_to_one(self, sprinkler):
+        assert eliminate_all(sprinkler.factors()).total() == pytest.approx(1.0)
+
+    def test_posterior(self, sprinkler):
+        # P(rain | wet) — the classic explaining-away query.
+        posterior = query(sprinkler, ["rain"], evidence={"wet": True})
+        p_true = posterior.table[(True,)]
+        # Known value: ~0.3577.
+        assert p_true == pytest.approx(0.3577, abs=1e-3)
+
+    def test_impossible_evidence_rejected(self, sprinkler):
+        net = sprinkler
+        net_cpt = net.cpt("wet")
+        assert net_cpt is not None
+        with pytest.raises(QueryError):
+            query(net, ["rain"], evidence={"wet": "not-a-value"})
+
+    def test_bad_cpt_row_rejected(self):
+        net = BayesianNetwork()
+        net.add_variable("a", (1, 2))
+        with pytest.raises(QueryError):
+            net.add_cpt("a", (), {(): {1: 0.7}})
+
+    def test_event_probability_with_indicators(self, sprinkler):
+        p = event_probability(sprinkler, [("rain", lambda v: v is True)])
+        assert p == pytest.approx(0.2)
+
+    def test_event_probability_with_evidence(self, sprinkler):
+        p = event_probability(
+            sprinkler,
+            [("rain", lambda v: v is True)],
+            evidence={"wet": True},
+        )
+        assert p == pytest.approx(0.3577, abs=1e-3)
+
+    def test_missing_indicator_variable_rejected(self, sprinkler):
+        with pytest.raises(QueryError):
+            event_probability(sprinkler, [("ghost", lambda v: True)])
+
+    def test_copy_shares_factors(self, sprinkler):
+        clone = sprinkler.copy()
+        clone.add_variable("extra", (1,))
+        assert "extra" not in sprinkler.variables()
+        assert clone.cpt("rain") is sprinkler.cpt("rain")
+
+
+class TestPXMLMapping:
+    def test_choice_cpt_follows_opf(self):
+        pi = figure2_instance()
+        bn = PXMLBayesianNetwork(pi)
+        marginal = query(bn.network, ["C:R"], evidence={existence_var("R"): True})
+        assert marginal.table[(frozenset({"B1", "B2", "B3"}),)] == pytest.approx(0.4)
+
+    def test_absent_object_has_absent_choice(self):
+        pi = figure2_instance()
+        bn = PXMLBayesianNetwork(pi)
+        marginal = query(bn.network, ["C:B1"], evidence={existence_var("B1"): False})
+        assert marginal.table[(ABSENT,)] == pytest.approx(1.0)
+
+    def test_existence_marginals_match_enumeration(self):
+        pi = figure2_instance()
+        bn = PXMLBayesianNetwork(pi)
+        worlds = GlobalInterpretation.from_local(pi)
+        for oid in ["B1", "B2", "B3", "A1", "A2", "A3", "I1", "I2", "T1", "T2"]:
+            assert bn.prob_exists(oid) == pytest.approx(
+                worlds.prob_object_exists(oid)
+            ), oid
+
+    def test_value_marginal(self):
+        pi = figure2_instance()
+        bn = PXMLBayesianNetwork(pi)
+        worlds = GlobalInterpretation.from_local(pi)
+        brute = worlds.event_probability(
+            lambda w: "I1" in w and w.val("I1") == "Stanford"
+        )
+        assert bn.prob_value("I1", "Stanford") == pytest.approx(brute)
+
+    def test_point_and_existential_on_dag(self):
+        pi = figure2_instance()
+        bn = PXMLBayesianNetwork(pi)
+        worlds = GlobalInterpretation.from_local(pi)
+        from repro.semistructured.paths import PathExpression
+
+        path = PathExpression.parse("R.book.author.institution")
+        for oid in ["I1", "I2"]:
+            assert bn.point_query(path, oid) == pytest.approx(
+                worlds.prob_object_at_path(path, oid)
+            )
+        assert bn.existential_query(path) == pytest.approx(
+            worlds.prob_path_nonempty(path)
+        )
+
+    def test_unmatched_path_zero(self):
+        bn = PXMLBayesianNetwork(figure2_instance())
+        assert bn.point_query("R.ghost", "B1") == 0.0
+        assert bn.existential_query("R.ghost") == 0.0
+
+    def test_wrong_root_zero(self):
+        bn = PXMLBayesianNetwork(figure2_instance())
+        assert bn.point_query("X.book", "B1") == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dag_existence(self, seed):
+        pi = random_dag_instance(random.Random(seed))
+        bn = PXMLBayesianNetwork(pi)
+        worlds = GlobalInterpretation.from_local(pi)
+        for oid in sorted(pi.objects):
+            assert bn.prob_exists(oid) == pytest.approx(
+                worlds.prob_object_exists(oid)
+            ), oid

@@ -1,0 +1,67 @@
+"""Unit tests for cardinality intervals."""
+
+import pytest
+
+from repro.core.cardinality import CardinalityInterval
+from repro.errors import CardinalityError
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        c = CardinalityInterval(1, 3)
+        assert c.min == 1 and c.max == 3
+        assert str(c) == "[1, 3]"
+
+    def test_negative_min_rejected(self):
+        with pytest.raises(CardinalityError):
+            CardinalityInterval(-1, 2)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(CardinalityError):
+            CardinalityInterval(3, 1)
+
+    def test_exactly(self):
+        assert CardinalityInterval.exactly(2) == CardinalityInterval(2, 2)
+
+    def test_optional(self):
+        assert CardinalityInterval.optional() == CardinalityInterval(0, 1)
+
+    def test_required(self):
+        assert CardinalityInterval.required() == CardinalityInterval(1, 1)
+
+    def test_unconstrained(self):
+        c = CardinalityInterval.unconstrained(5)
+        assert c == CardinalityInterval(0, 5)
+
+    def test_unconstrained_negative_rejected(self):
+        with pytest.raises(CardinalityError):
+            CardinalityInterval.unconstrained(-1)
+
+
+class TestOperations:
+    def test_membership(self):
+        c = CardinalityInterval(1, 3)
+        assert 1 in c and 2 in c and 3 in c
+        assert 0 not in c and 4 not in c
+
+    def test_intersect(self):
+        a = CardinalityInterval(0, 3)
+        b = CardinalityInterval(2, 5)
+        assert a.intersect(b) == CardinalityInterval(2, 3)
+
+    def test_disjoint_intersection_rejected(self):
+        with pytest.raises(CardinalityError):
+            CardinalityInterval(0, 1).intersect(CardinalityInterval(3, 4))
+
+    def test_clamp_to(self):
+        assert CardinalityInterval(1, 10).clamp_to(4) == CardinalityInterval(1, 4)
+
+    def test_clamp_below_min_rejected(self):
+        with pytest.raises(CardinalityError):
+            CardinalityInterval(3, 5).clamp_to(2)
+
+    def test_ordering(self):
+        assert CardinalityInterval(0, 1) < CardinalityInterval(1, 1)
+
+    def test_hashable(self):
+        assert len({CardinalityInterval(0, 1), CardinalityInterval(0, 1)}) == 1

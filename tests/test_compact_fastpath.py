@@ -1,0 +1,186 @@
+"""Tests for the independence-exploiting fast path in the epsilon pass."""
+
+import random
+
+import pytest
+
+from repro.algebra.projection_prob import (
+    ancestor_projection_global,
+    ancestor_projection_local,
+    epsilon_pass,
+)
+from repro.core.compact import IndependentOPF, NonEmptyIndependentOPF
+from repro.core.distributions import TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.interpretation import LocalInterpretation
+from repro.core.weak_instance import WeakInstance
+from repro.core.distributions import TabularVPF
+from repro.errors import DistributionError
+from repro.queries.point import existential_query, point_query
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.types import LeafType
+
+
+def independent_tree(seed: int, depth: int = 2, branching: int = 2):
+    """A balanced tree whose OPFs are all IndependentOPFs."""
+    rng = random.Random(seed)
+    weak = WeakInstance("r")
+    interp = LocalInterpretation()
+    leaf_type = LeafType("t", ("x", "y"))
+    counter = 0
+    frontier = ["r"]
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            children = []
+            for _ in range(branching):
+                counter += 1
+                children.append(f"n{counter}")
+            weak.set_lch(parent, f"L{level}", children)
+            interp.set_opf(
+                parent,
+                IndependentOPF({c: rng.uniform(0.2, 0.95) for c in children}),
+            )
+            next_frontier.extend(children)
+        frontier = next_frontier
+    for leaf in frontier:
+        weak.set_type(leaf, leaf_type)
+        p = rng.uniform(0.2, 0.8)
+        interp.set_vpf(leaf, TabularVPF({"x": p, "y": 1.0 - p}))
+    pi = ProbabilisticInstance(weak, interp)
+    pi.validate()
+    return pi
+
+
+class TestNonEmptyIndependentOPF:
+    def test_probabilities_conditioned(self):
+        opf = NonEmptyIndependentOPF({"a": 0.5, "b": 0.5})
+        # Unconditional masses 0.25 each; nonempty mass 0.75.
+        assert opf.prob(frozenset({"a"})) == pytest.approx(0.25 / 0.75)
+        assert opf.prob(frozenset({"a", "b"})) == pytest.approx(0.25 / 0.75)
+        assert opf.prob(frozenset()) == 0.0
+
+    def test_support_sums_to_one(self):
+        opf = NonEmptyIndependentOPF({"a": 0.3, "b": 0.6, "c": 0.1})
+        assert sum(p for _, p in opf.support()) == pytest.approx(1.0)
+        opf.validate()
+
+    def test_marginal_inclusion(self):
+        opf = NonEmptyIndependentOPF({"a": 0.5, "b": 0.5})
+        assert opf.marginal_inclusion("a") == pytest.approx(0.5 / 0.75)
+
+    def test_entry_count_compact(self):
+        opf = NonEmptyIndependentOPF({f"c{i}": 0.5 for i in range(8)})
+        assert opf.entry_count() == 8
+
+    def test_zero_inclusions_rejected(self):
+        with pytest.raises(DistributionError):
+            NonEmptyIndependentOPF({"a": 0.0})
+
+    def test_matches_conditioned_tabular(self):
+        base = IndependentOPF({"a": 0.4, "b": 0.7})
+        conditioned, mass = base.restrict(lambda c: bool(c))
+        compact = NonEmptyIndependentOPF({"a": 0.4, "b": 0.7})
+        assert mass == pytest.approx(compact.nonempty_mass)
+        for child_set, probability in conditioned.support():
+            assert compact.prob(child_set) == pytest.approx(probability)
+
+
+class TestFastPath:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_projection_matches_global(self, seed):
+        pi = independent_tree(seed)
+        path = "r.L0.L1"
+        reference = ancestor_projection_global(pi, path)
+        local = ancestor_projection_local(pi, path)
+        local.validate()
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    def test_result_opfs_stay_compact(self):
+        pi = independent_tree(0)
+        local = ancestor_projection_local(pi, "r.L0.L1")
+        assert isinstance(local.opf("r"), IndependentOPF)
+        internal = [oid for oid, _ in local.interpretation.opf_items()
+                    if oid != "r"]
+        assert internal
+        for oid in internal:
+            assert isinstance(local.opf(oid), NonEmptyIndependentOPF)
+
+    def test_partial_match_projection(self):
+        pi = independent_tree(1)
+        # Shorter path: matched objects are mid-level.
+        reference = ancestor_projection_global(pi, "r.L0")
+        local = ancestor_projection_local(pi, "r.L0")
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_existential_matches_enumeration(self, seed):
+        pi = independent_tree(seed)
+        brute = GlobalInterpretation.from_local(pi).prob_path_nonempty
+        from repro.semistructured.paths import PathExpression
+
+        path = PathExpression.parse("r.L0.L1")
+        assert existential_query(pi, path) == pytest.approx(brute(path))
+
+    def test_point_query_on_independent(self):
+        pi = independent_tree(2)
+        worlds = GlobalInterpretation.from_local(pi)
+        from repro.semistructured.paths import PathExpression
+
+        path = PathExpression.parse("r.L0.L1")
+        for leaf in sorted(pi.weak.leaves()):
+            assert point_query(pi, path, leaf) == pytest.approx(
+                worlds.prob_object_at_path(path, leaf)
+            )
+
+    def test_epsilon_values_match_tabular_path(self):
+        pi = independent_tree(3)
+        # The same instance with all OPFs materialized as tables must give
+        # identical epsilons (the fast path is an optimization, not a
+        # semantic change).
+        tabular = ProbabilisticInstance(pi.weak.copy())
+        for oid, opf in pi.interpretation.opf_items():
+            tabular.set_opf(oid, opf.to_tabular())
+        for oid, vpf in pi.interpretation.vpf_items():
+            tabular.interpretation.set_vpf(oid, vpf)
+        fast = epsilon_pass(pi, "r.L0.L1")
+        slow = epsilon_pass(tabular, "r.L0.L1")
+        assert set(fast.epsilon) == set(slow.epsilon)
+        for oid in fast.epsilon:
+            assert fast.epsilon[oid] == pytest.approx(slow.epsilon[oid])
+        assert fast.root_empty_mass == pytest.approx(slow.root_empty_mass)
+
+    def test_recomputed_cards_compact(self):
+        pi = independent_tree(4)
+        local = ancestor_projection_local(pi, "r.L0.L1")
+        internal = [oid for oid, _ in local.interpretation.opf_items()
+                    if oid != "r"]
+        for oid in internal:
+            for label in local.weak.labels_of(oid):
+                card = local.card(oid, label)
+                assert card.min >= 1  # conditioned on >= 1 surviving child
+
+    def test_mixed_representations(self):
+        # A tree mixing tabular and independent OPFs goes through both
+        # update paths in one sweep.
+        pi = independent_tree(5)
+        mixed = ProbabilisticInstance(pi.weak.copy())
+        for index, (oid, opf) in enumerate(sorted(pi.interpretation.opf_items())):
+            mixed.set_opf(oid, opf.to_tabular() if index % 2 else opf)
+        for oid, vpf in pi.interpretation.vpf_items():
+            mixed.interpretation.set_vpf(oid, vpf)
+        reference = ancestor_projection_global(mixed, "r.L0.L1")
+        local = ancestor_projection_local(mixed, "r.L0.L1")
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    def test_json_round_trip_of_result(self):
+        # NonEmptyIndependentOPF has no dedicated codec kind: it encodes
+        # through the tabular fallback and must round-trip faithfully.
+        from repro.io import json_codec
+
+        pi = independent_tree(6)
+        local = ancestor_projection_local(pi, "r.L0.L1")
+        restored = json_codec.loads(json_codec.dumps(local))
+        assert GlobalInterpretation.from_local(restored).is_close_to(
+            GlobalInterpretation.from_local(local)
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for tabular OPFs and VPFs."""
+
+import pytest
+
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.errors import DistributionError
+
+
+class TestTabularOPF:
+    def test_prob_lookup(self):
+        opf = TabularOPF({frozenset({"a"}): 0.4, frozenset(): 0.6})
+        assert opf.prob(frozenset({"a"})) == 0.4
+        assert opf.prob(frozenset({"b"})) == 0.0
+
+    def test_iterable_keys_normalized(self):
+        opf = TabularOPF({("a", "b"): 1.0})
+        assert opf.prob(frozenset({"a", "b"})) == 1.0
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(DistributionError):
+            TabularOPF({("a", "b"): 0.5, ("b", "a"): 0.5})
+
+    def test_zero_entries_dropped(self):
+        opf = TabularOPF({("a",): 1.0, ("b",): 0.0})
+        assert opf.entry_count() == 1
+
+    def test_validate_sums_to_one(self):
+        TabularOPF({("a",): 0.5, (): 0.5}).validate()
+
+    def test_validate_rejects_bad_total(self):
+        with pytest.raises(DistributionError):
+            TabularOPF({("a",): 0.5}).validate()
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            TabularOPF({("a",): -0.5, (): 1.5}).validate()
+
+    def test_validate_rejects_outside_support(self):
+        opf = TabularOPF({("a",): 1.0})
+        with pytest.raises(DistributionError):
+            opf.validate(potential=[frozenset({"b"})])
+
+    def test_marginal_inclusion(self):
+        opf = TabularOPF({("a",): 0.3, ("a", "b"): 0.2, ("b",): 0.5})
+        assert opf.marginal_inclusion("a") == pytest.approx(0.5)
+        assert opf.marginal_inclusion("b") == pytest.approx(0.7)
+        assert opf.marginal_inclusion("ghost") == 0.0
+
+    def test_restrict_conditions_and_normalizes(self):
+        opf = TabularOPF({("a",): 0.3, ("a", "b"): 0.2, ("b",): 0.5})
+        conditioned, mass = opf.restrict(lambda c: "a" in c)
+        assert mass == pytest.approx(0.5)
+        assert conditioned.prob(frozenset({"a"})) == pytest.approx(0.6)
+        assert conditioned.prob(frozenset({"b"})) == 0.0
+
+    def test_restrict_on_null_event_raises(self):
+        opf = TabularOPF({("a",): 1.0})
+        with pytest.raises(DistributionError):
+            opf.restrict(lambda c: "ghost" in c)
+
+    def test_point_mass(self):
+        opf = TabularOPF.point_mass(["a", "b"])
+        assert opf.prob(frozenset({"a", "b"})) == 1.0
+        opf.validate()
+
+    def test_uniform(self):
+        opf = TabularOPF.uniform([frozenset(), frozenset({"a"})])
+        assert opf.prob(frozenset()) == pytest.approx(0.5)
+        opf.validate()
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            TabularOPF.uniform([])
+
+    def test_equality_with_tolerance(self):
+        a = TabularOPF({("a",): 0.5, (): 0.5})
+        b = TabularOPF({("a",): 0.5 + 1e-12, (): 0.5 - 1e-12})
+        assert a == b
+
+    def test_items_sorted_deterministic(self):
+        opf = TabularOPF({("b",): 0.2, ("a",): 0.3, ("a", "b"): 0.5})
+        keys = [sorted(c) for c, _ in opf.items_sorted()]
+        assert keys == [["a"], ["b"], ["a", "b"]]
+
+    def test_to_tabular_identity(self):
+        opf = TabularOPF({("a",): 1.0})
+        assert opf.to_tabular() == opf
+
+
+class TestTabularVPF:
+    def test_prob_lookup(self):
+        vpf = TabularVPF({"x": 0.7, "y": 0.3})
+        assert vpf.prob("x") == 0.7
+        assert vpf.prob("z") == 0.0
+
+    def test_validate_against_domain(self):
+        vpf = TabularVPF({"x": 1.0})
+        vpf.validate(domain=["x", "y"])
+        with pytest.raises(DistributionError):
+            vpf.validate(domain=["y"])
+
+    def test_restrict(self):
+        vpf = TabularVPF({"x": 0.25, "y": 0.75})
+        conditioned, mass = vpf.restrict(lambda v: v == "y")
+        assert mass == pytest.approx(0.75)
+        assert conditioned.prob("y") == pytest.approx(1.0)
+
+    def test_point_mass(self):
+        vpf = TabularVPF.point_mass("x")
+        assert vpf.prob("x") == 1.0
+        assert vpf.entry_count() == 1
+
+    def test_uniform(self):
+        vpf = TabularVPF.uniform(["a", "b", "c", "d"])
+        assert vpf.prob("a") == pytest.approx(0.25)
+        vpf.validate()
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            TabularVPF.uniform([])
+
+    def test_equality(self):
+        assert TabularVPF({"x": 1.0}) == TabularVPF({"x": 1.0, "y": 0.0})
+        assert TabularVPF({"x": 1.0}) != TabularVPF({"y": 1.0})

@@ -1,0 +1,113 @@
+"""Additional query-engine and selection-condition coverage."""
+
+import random
+
+import pytest
+
+from repro.algebra.selection import (
+    CardinalityCondition,
+    ValueCondition,
+    select_global,
+)
+from repro.core.builder import InstanceBuilder
+from repro.core.cardinality import CardinalityInterval
+from repro.errors import QueryError
+from repro.queries.engine import QueryEngine
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.paths import PathExpression
+
+from tests.helpers import random_dag_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"])
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    builder.children("B1", "author", ["A1", "A2"])
+    builder.opf("B1", {("A1",): 0.5, ("A2",): 0.2, ("A1", "A2"): 0.3})
+    builder.children("B2", "author", ["A3"])
+    builder.opf("B2", {("A3",): 0.6, (): 0.4})
+    builder.leaf("A1", "name", ["x", "y"], {"x": 0.7, "y": 0.3})
+    builder.leaf("A2", "name", vpf={"x": 1.0})
+    builder.leaf("A3", "name", vpf={"y": 1.0})
+    return builder.build()
+
+
+class TestEngineCaching:
+    def test_bayes_network_built_once(self, tree):
+        engine = QueryEngine(tree, strategy="bayes")
+        engine.point("R.book", "B1")
+        first = engine._bn
+        engine.exists("R.book")
+        assert engine._bn is first
+
+    def test_enumeration_cached(self, tree):
+        engine = QueryEngine(tree, strategy="enumerate")
+        engine.point("R.book", "B1")
+        first = engine._global
+        engine.chain(["R", "B1"])
+        assert engine._global is first
+
+    def test_string_and_object_paths_equivalent(self, tree):
+        engine = QueryEngine(tree)
+        a = engine.point("R.book.author", "A1")
+        b = engine.point(PathExpression.parse("R.book.author"), "A1")
+        assert a == b
+
+    def test_sample_engine_deterministic_with_seed(self, tree):
+        a = QueryEngine(tree, strategy="sample", samples=500, seed=3)
+        b = QueryEngine(tree, strategy="sample", samples=500, seed=3)
+        assert a.point("R.book", "B1") == b.point("R.book", "B1")
+
+    def test_sample_object_exists_on_dag(self):
+        pi = random_dag_instance(random.Random(1))
+        exact = QueryEngine(pi, strategy="enumerate").object_exists("m0")
+        sampled = QueryEngine(pi, strategy="sample", samples=4000, seed=2)
+        assert sampled.object_exists("m0") == pytest.approx(exact, abs=0.04)
+
+
+class TestGlobalOnlyConditions:
+    def test_value_condition_filtering(self, tree):
+        condition = ValueCondition(PathExpression.parse("R.book.author"), "y")
+        result = select_global(tree, condition)
+        result.validate()
+        for world, _ in result.support():
+            assert condition.satisfied_by(world)
+
+    def test_cardinality_condition_filtering(self, tree):
+        condition = CardinalityCondition(
+            PathExpression.parse("R.book"), "author", CardinalityInterval(2, 2)
+        )
+        result = select_global(tree, condition)
+        for world, _ in result.support():
+            assert any(
+                len(world.lch(oid, "author")) == 2
+                for oid in world.children("R")
+            )
+
+    def test_conditioning_bayes_consistency(self, tree):
+        # P(A1 | B1 has 2 authors) via selection == ratio of brute events.
+        condition = CardinalityCondition(
+            PathExpression.parse("R.book"), "author", CardinalityInterval(2, 2)
+        )
+        conditioned = select_global(tree, condition)
+        worlds = GlobalInterpretation.from_local(tree)
+        joint = worlds.event_probability(
+            lambda w: condition.satisfied_by(w) and "A1" in w
+        )
+        prior = worlds.event_probability(condition.satisfied_by)
+        assert conditioned.prob_object_exists("A1") == pytest.approx(joint / prior)
+
+
+class TestEngineErrors:
+    def test_unknown_strategy(self, tree):
+        with pytest.raises(QueryError):
+            QueryEngine(tree, strategy="quantum")
+
+    def test_sample_strategy_rejects_zero_samples(self, tree):
+        from repro.errors import SemanticsError
+
+        engine = QueryEngine(tree, strategy="sample", samples=0)
+        with pytest.raises(SemanticsError):
+            engine.point("R.book", "B1")

@@ -1,0 +1,182 @@
+"""Tests for the boolean event algebra."""
+
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import QueryError
+from repro.events import (
+    ChainExists,
+    HasValue,
+    ObjectExists,
+    PathNonEmpty,
+    Reaches,
+    conditional_probability,
+    estimate,
+    probability,
+)
+from repro.queries.engine import QueryEngine
+from repro.semistructured.paths import PathExpression
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"])
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    builder.children("B1", "author", ["A1"])
+    builder.opf("B1", {("A1",): 0.8, (): 0.2})
+    builder.children("B2", "author", ["A2"])
+    builder.opf("B2", {("A2",): 0.5, (): 0.5})
+    builder.leaf("A1", "name", ["h", "g"], {"h": 0.9, "g": 0.1})
+    builder.leaf("A2", "name", vpf={"g": 1.0})
+    return builder.build()
+
+
+def path(text):
+    return PathExpression.parse(text)
+
+
+class TestAtoms:
+    def test_object_exists_matches_engine(self, tree):
+        assert probability(tree, ObjectExists("B1")) == pytest.approx(
+            QueryEngine(tree).object_exists("B1")
+        )
+
+    def test_reaches_matches_point_query(self, tree):
+        event = Reaches(path("R.book.author"), "A1")
+        assert probability(tree, event) == pytest.approx(
+            QueryEngine(tree).point("R.book.author", "A1")
+        )
+
+    def test_path_nonempty_matches_existential(self, tree):
+        event = PathNonEmpty(path("R.book.author"))
+        assert probability(tree, event) == pytest.approx(
+            QueryEngine(tree).exists("R.book.author")
+        )
+
+    def test_chain_exists_matches_chain_query(self, tree):
+        event = ChainExists(("R", "B1", "A1"))
+        assert probability(tree, event) == pytest.approx(
+            QueryEngine(tree).chain(["R", "B1", "A1"])
+        )
+
+    def test_has_value(self, tree):
+        event = HasValue("A1", "h")
+        # P(A1 present) * P(h) = 0.7 * 0.8 * 0.9.
+        assert probability(tree, event) == pytest.approx(0.7 * 0.8 * 0.9)
+
+
+class TestCombinators:
+    def test_complement(self, tree):
+        event = ObjectExists("B1")
+        assert probability(tree, ~event) == pytest.approx(
+            1.0 - probability(tree, event)
+        )
+
+    def test_de_morgan(self, tree):
+        a = ObjectExists("B1")
+        b = ObjectExists("B2")
+        lhs = probability(tree, ~(a | b))
+        rhs = probability(tree, ~a & ~b)
+        assert lhs == pytest.approx(rhs)
+
+    def test_inclusion_exclusion(self, tree):
+        a = ObjectExists("A1")
+        b = ObjectExists("A2")
+        union = probability(tree, a | b)
+        assert union == pytest.approx(
+            probability(tree, a) + probability(tree, b)
+            - probability(tree, a & b)
+        )
+
+    def test_conjunction_of_independent_branches(self, tree):
+        a = Reaches(path("R.book.author"), "A1")
+        b = Reaches(path("R.book.author"), "A2")
+        joint = probability(tree, a & b)
+        # A1 and A2 sit under different books whose presences correlate
+        # through the root OPF, so verify against direct enumeration.
+        assert joint == pytest.approx(0.4 * 0.8 * 0.5)
+
+    def test_str_forms(self, tree):
+        event = ~(ObjectExists("B1") & HasValue("A1", "h"))
+        text = str(event)
+        assert "not" in text and "and" in text
+
+
+class TestConditional:
+    def test_bayes_consistency(self, tree):
+        a = ObjectExists("A1")
+        b = ObjectExists("B1")
+        assert conditional_probability(tree, a, b) == pytest.approx(
+            probability(tree, a & b) / probability(tree, b)
+        )
+
+    def test_conditioning_on_impossible_event(self, tree):
+        with pytest.raises(QueryError):
+            conditional_probability(
+                tree, ObjectExists("A1"), ObjectExists("GHOST")
+            )
+
+    def test_selection_semantics_match(self, tree):
+        # P(A1 | B1 selected) equals the selection-then-query route.
+        from repro.algebra.selection import ObjectCondition, select_local
+
+        conditioned = select_local(
+            tree, ObjectCondition(path("R.book"), "B1")
+        ).instance
+        via_selection = QueryEngine(conditioned).point("R.book.author", "A1")
+        via_events = conditional_probability(
+            tree, Reaches(path("R.book.author"), "A1"), ObjectExists("B1")
+        )
+        assert via_selection == pytest.approx(via_events)
+
+
+class TestEstimation:
+    def test_estimate_tracks_exact(self, tree):
+        event = ObjectExists("A1") | HasValue("A2", "g")
+        exact = probability(tree, event)
+        est = estimate(tree, event, samples=4000, seed=21)
+        low, high = est.confidence_interval(z=3.5)
+        assert low - 1e-9 <= exact <= high + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_instances_complement_law(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=2)
+        target = sorted(pi.objects)[1]
+        event = ObjectExists(target)
+        assert probability(pi, event) + probability(pi, ~event) == (
+            pytest.approx(1.0)
+        )
+
+
+class TestConditionalEstimation:
+    def test_rejection_sampling_tracks_exact(self, tree):
+        from repro.events import estimate_conditional
+
+        event = Reaches(path("R.book.author"), "A1")
+        given = ObjectExists("B1")
+        exact = conditional_probability(tree, event, given)
+        est = estimate_conditional(tree, event, given, samples=3000, seed=31)
+        low, high = est.confidence_interval(z=3.5)
+        assert low - 1e-9 <= exact <= high + 1e-9
+
+    def test_impossible_evidence_raises(self, tree):
+        from repro.events import estimate_conditional
+
+        with pytest.raises(QueryError):
+            estimate_conditional(
+                tree, ObjectExists("A1"), ObjectExists("GHOST"),
+                samples=50, seed=32,
+            )
+
+    def test_zero_samples_rejected(self, tree):
+        from repro.events import estimate_conditional
+
+        with pytest.raises(QueryError):
+            estimate_conditional(
+                tree, ObjectExists("A1"), ObjectExists("B1"), samples=0
+            )

@@ -1,0 +1,39 @@
+"""Every example script must run end-to-end and print sane output."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "P(S1)",
+    "bibliography.py": "Situation 4",
+    "information_extraction.py": "Curator questions",
+    "object_recognition.py": "indistinguishable",
+    "protdb_migration.py": "Pattern-tree queries",
+    "pxql_session.py": "new session",
+    "kb_maintenance.py": "unrolled" ,
+    "interval_sources.py": "midpoint selection",
+    "learning_pipeline.py": "total variation",
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+    marker = EXPECTED_MARKERS.get(path.name)
+    if marker is not None:
+        assert marker.lower() in out.lower(), (
+            f"{path.name} output missing marker {marker!r}"
+        )
+
+
+def test_every_example_has_a_marker():
+    names = {path.name for path in EXAMPLES}
+    assert set(EXPECTED_MARKERS) <= names

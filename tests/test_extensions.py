@@ -1,0 +1,131 @@
+"""Tests for the algebra extensions: rename, join, union, intersection."""
+
+import pytest
+
+from repro.algebra.extensions import (
+    intersection_global,
+    join,
+    rename_objects,
+    union_global,
+)
+from repro.algebra.selection import ObjectCondition
+from repro.core.builder import InstanceBuilder
+from repro.errors import AlgebraError, EmptyResultError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.paths import PathExpression
+
+
+def make_instance(root="r", child="c", p=0.6):
+    builder = InstanceBuilder(root)
+    builder.children(root, "l", [child], card=(0, 1))
+    builder.opf(root, {(): 1.0 - p, (child,): p})
+    builder.leaf(child, "t", ["x"], {"x": 1.0})
+    return builder.build()
+
+
+class TestRename:
+    def test_rename_everywhere(self):
+        pi = make_instance()
+        renamed = rename_objects(pi, {"r": "root", "c": "child"})
+        renamed.validate()
+        assert renamed.root == "root"
+        assert renamed.lch("root", "l") == frozenset({"child"})
+        assert renamed.opf("root").prob(frozenset({"child"})) == pytest.approx(0.6)
+        assert renamed.vpf("child").prob("x") == 1.0
+
+    def test_partial_mapping(self):
+        pi = make_instance()
+        renamed = rename_objects(pi, {"c": "c2"})
+        assert renamed.root == "r"
+        assert "c2" in renamed
+
+    def test_distribution_preserved(self):
+        pi = make_instance()
+        renamed = rename_objects(pi, {"c": "c2"})
+        worlds = GlobalInterpretation.from_local(renamed)
+        assert worlds.prob_object_exists("c2") == pytest.approx(0.6)
+
+    def test_collision_rejected(self):
+        pi = make_instance()
+        with pytest.raises(AlgebraError):
+            rename_objects(pi, {"c": "r"})
+
+    def test_explicit_card_preserved(self):
+        pi = make_instance()
+        renamed = rename_objects(pi, {"c": "c2"})
+        assert renamed.weak.has_explicit_card("r", "l")
+
+
+class TestJoin:
+    def test_join_is_conditioned_product(self):
+        left = make_instance("r1", "a", 0.5)
+        right = make_instance("r2", "b", 0.5)
+        condition = ObjectCondition(PathExpression.parse("r.l"), "a")
+        result = join(left, right, [condition], new_root="r")
+        result.validate()
+        for world, _ in result.support():
+            assert "a" in world
+        # b remains independent: P(b | a) = P(b) = 0.5.
+        assert result.prob_object_exists("b") == pytest.approx(0.5)
+
+    def test_join_with_two_conditions(self):
+        left = make_instance("r1", "a", 0.5)
+        right = make_instance("r2", "b", 0.5)
+        conditions = [
+            ObjectCondition(PathExpression.parse("r.l"), "a"),
+            ObjectCondition(PathExpression.parse("r.l"), "b"),
+        ]
+        result = join(left, right, conditions, new_root="r")
+        assert len(result) == 1
+
+    def test_unsatisfiable_join_raises(self):
+        left = make_instance("r1", "a", 1.0)
+        right = make_instance("r2", "b", 1.0)
+        condition = ObjectCondition(PathExpression.parse("r.l"), "GHOST")
+        with pytest.raises(EmptyResultError):
+            join(left, right, [condition], new_root="r")
+
+
+class TestUnion:
+    def test_mixture_weights(self):
+        a = make_instance("r", "c", 1.0)   # c always present
+        b = make_instance("r", "c", 0.0)   # c never present
+        mixture = union_global(a, b, weight=0.25)
+        mixture.validate()
+        assert mixture.prob_object_exists("c") == pytest.approx(0.25)
+
+    def test_default_weight_is_half(self):
+        a = make_instance("r", "c", 1.0)
+        b = make_instance("r", "c", 0.0)
+        assert union_global(a, b).prob_object_exists("c") == pytest.approx(0.5)
+
+    def test_bad_weight_rejected(self):
+        a = make_instance()
+        with pytest.raises(AlgebraError):
+            union_global(a, a, weight=1.5)
+
+    def test_accepts_global_interpretations(self):
+        a = GlobalInterpretation.from_local(make_instance("r", "c", 1.0))
+        b = GlobalInterpretation.from_local(make_instance("r", "c", 0.0))
+        assert union_global(a, b, 0.5).total_mass() == pytest.approx(1.0)
+
+
+class TestIntersection:
+    def test_product_of_experts(self):
+        a = make_instance("r", "c", 0.8)
+        b = make_instance("r", "c", 0.5)
+        result = intersection_global(a, b)
+        result.validate()
+        # P(c) proportional to 0.8*0.5 vs 0.2*0.5 -> 0.8.
+        assert result.prob_object_exists("c") == pytest.approx(0.8)
+
+    def test_disjoint_supports_raise(self):
+        a = make_instance("r", "c", 1.0)
+        b = make_instance("r", "c", 0.0)
+        with pytest.raises(EmptyResultError):
+            intersection_global(a, b)
+
+    def test_agreeing_instances_unchanged(self):
+        a = make_instance("r", "c", 0.5)
+        result = intersection_global(a, a)
+        assert result.prob_object_exists("c") == pytest.approx(0.5)

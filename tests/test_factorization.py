@@ -1,0 +1,120 @@
+"""Tests for Theorem 2: factoring global interpretations."""
+
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import NotFactorizableError
+from repro.semantics.factorization import factorize
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType
+
+from tests.helpers import random_dag_instance, random_tree_instance
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree_round_trip(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=2)
+        interpretation = GlobalInterpretation.from_local(pi)
+        recovered = factorize(pi.weak, interpretation, check=True)
+        rebuilt = GlobalInterpretation.from_local(recovered)
+        assert rebuilt.is_close_to(interpretation)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dag_round_trip(self, seed):
+        pi = random_dag_instance(random.Random(seed))
+        interpretation = GlobalInterpretation.from_local(pi)
+        recovered = factorize(pi.weak, interpretation, check=True)
+        assert GlobalInterpretation.from_local(recovered).is_close_to(interpretation)
+
+    def test_recovered_opfs_match_original(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(0, 1))
+        builder.opf("r", {(): 0.3, ("a",): 0.7})
+        builder.leaf("a", "t", ["x", "y"], {"x": 0.6, "y": 0.4})
+        pi = builder.build()
+        recovered = factorize(pi.weak, GlobalInterpretation.from_local(pi))
+        assert recovered.opf("r").prob(frozenset({"a"})) == pytest.approx(0.7)
+        assert recovered.vpf("a").prob("x") == pytest.approx(0.6)
+
+    def test_never_occurring_object_gets_uniform(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(0, 1))
+        builder.opf("r", {(): 1.0})  # 'a' never occurs
+        builder.children("a", "m", ["b"], card=(0, 1))
+        builder.opf("a", {(): 0.5, ("b",): 0.5})
+        builder.leaf("b", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        recovered = factorize(pi.weak, GlobalInterpretation.from_local(pi))
+        # a's OPF is unconstrained by P; the factorization picks uniform.
+        assert recovered.opf("a").prob(frozenset()) == pytest.approx(0.5)
+
+
+class TestNonFactorizable:
+    def test_sibling_child_correlation_is_factorizable(self):
+        # Correlation among children of the SAME object is expressible in
+        # its OPF — this is the expressiveness edge over ProTDB — so the
+        # all-or-nothing sibling distribution factorizes fine.
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b"], card=(0, 2))
+        builder.opf("r", {(): 0.5, ("a", "b"): 0.25, ("a",): 0.25})
+        builder.leaf("a", "t", ["x"], {"x": 1.0})
+        builder.leaf("b", "t", vpf={"x": 1.0})
+        pi = builder.build()
+        t = LeafType("t", ["x"])
+        w_empty = SemistructuredInstance("r")
+        w_both = SemistructuredInstance("r")
+        w_both.add_edge("r", "a", "l")
+        w_both.add_edge("r", "b", "l")
+        w_both.set_leaf("a", t, "x")
+        w_both.set_leaf("b", t, "x")
+        interpretation = GlobalInterpretation({w_empty: 0.5, w_both: 0.5})
+        recovered = factorize(pi.weak, interpretation, check=True)
+        assert recovered.opf("r").prob(frozenset({"a", "b"})) == pytest.approx(0.5)
+
+    def test_cross_object_correlation_rejected(self):
+        # Correlation between the VALUES of two different leaves cannot be
+        # factored into per-object local functions.
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b"], card=(2, 2))
+        builder.opf("r", {("a", "b"): 1.0})
+        builder.leaf("a", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+        builder.leaf("b", "t", vpf={"x": 0.5, "y": 0.5})
+        pi = builder.build()
+
+        t = LeafType("t", ["x", "y"])
+
+        def world(va, vb):
+            w = SemistructuredInstance("r")
+            w.add_edge("r", "a", "l")
+            w.add_edge("r", "b", "l")
+            w.set_leaf("a", t, va)
+            w.set_leaf("b", t, vb)
+            return w
+
+        # Perfectly correlated leaf values: P(x,x) = P(y,y) = 0.5.
+        interpretation = GlobalInterpretation({world("x", "x"): 0.5,
+                                               world("y", "y"): 0.5})
+        with pytest.raises(NotFactorizableError):
+            factorize(pi.weak, interpretation, check=True)
+
+    def test_check_false_skips_verification(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(0, 1))
+        builder.opf("r", {(): 0.5, ("a",): 0.5})
+        builder.children("a", "m", ["b"], card=(0, 1))
+        builder.opf("a", {(): 0.5, ("b",): 0.5})
+        builder.leaf("b", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+        pi = builder.build()
+        t = LeafType("t", ["x", "y"])
+        w_r = SemistructuredInstance("r")
+        w_ab = SemistructuredInstance("r")
+        w_ab.add_edge("r", "a", "l")
+        w_ab.add_edge("a", "b", "m")
+        w_ab.set_leaf("b", t, "x")
+        interpretation = GlobalInterpretation({w_r: 0.5, w_ab: 0.5})
+        recovered = factorize(pi.weak, interpretation, check=False)
+        recovered.validate()  # still a coherent instance, just a different P

@@ -1,0 +1,114 @@
+"""Failure-injection and less-traveled-path tests."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.algebra.product import cartesian_product
+from repro.algebra.projection_prob import epsilon_pass
+from repro.core.builder import InstanceBuilder
+from repro.core.distributions import TabularOPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.weak_instance import WeakInstance
+from repro.errors import AlgebraError, ModelError, SemanticsError
+from repro.io.json_codec import dumps, loads, write_instance
+from repro.paper import figure2_instance
+from repro.queries.engine import QueryEngine
+
+
+class TestMissingPieces:
+    def test_epsilon_pass_without_opf(self):
+        weak = WeakInstance("r")
+        weak.set_lch("r", "l", ["a"])
+        pi = ProbabilisticInstance(weak)
+        with pytest.raises(SemanticsError):
+            epsilon_pass(pi, "r.l")
+
+    def test_product_default_root_collision(self):
+        left = InstanceBuilder("a")
+        left.children("a", "l", ["axb"], card=(1, 1))  # collides with "axb"
+        left.opf("a", {("axb",): 1.0})
+        left.leaf("axb", "t", ["v"], {"v": 1.0})
+        right = InstanceBuilder("b").build(validate=False)
+        with pytest.raises(AlgebraError):
+            cartesian_product(left.build(), right)  # default root id "axb"
+
+    def test_weak_root_removal_rejected(self):
+        weak = WeakInstance("r")
+        with pytest.raises(ModelError):
+            weak.remove_object("r")
+
+    def test_engine_on_single_node_instance(self):
+        pi = InstanceBuilder("solo").build(validate=False)
+        engine = QueryEngine(pi)
+        assert engine.strategy == "local"
+        assert engine.point("solo", "solo") == 1.0
+        assert engine.exists("solo") == 1.0
+
+
+class TestUnrollFanOut:
+    def test_multi_child_cycle(self):
+        # A cycle through a node that also has an ordinary leaf child.
+        weak = WeakInstance("r")
+        weak.set_lch("r", "next", ["r"])
+        weak.set_lch("r", "leafy", ["v"])
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("r", TabularOPF({
+            ("v",): 0.4, ("r", "v"): 0.3, ("r",): 0.1, (): 0.2,
+        }))
+        from repro.core.unroll import unroll
+
+        flat = unroll(pi, 2)
+        flat.validate()
+        # Each layer keeps both the self-copy and the leaf copy.
+        assert "v@1" in flat and "r@1" in flat and "v@2" in flat
+        assert flat.opf("r@1").prob(frozenset({"r@2", "v@2"})) == pytest.approx(0.3)
+
+
+class TestScalarValues:
+    def test_numeric_and_bool_values_round_trip(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b", "c"], card=(3, 3))
+        builder.opf("r", {("a", "b", "c"): 1.0})
+        builder.leaf("a", "int-type", [1, 2, 3], {2: 1.0})
+        builder.leaf("b", "float-type", [1.5, 2.5], {2.5: 1.0})
+        builder.leaf("c", "bool-type", [True, False], {True: 1.0})
+        pi = builder.build()
+        restored = loads(dumps(pi))
+        restored.validate()
+        assert restored.vpf("a").prob(2) == 1.0
+        assert restored.vpf("b").prob(2.5) == 1.0
+        assert restored.vpf("c").prob(True) == 1.0
+
+
+class TestModuleEntryPoints:
+    """The ``python -m`` entry points must work as real subprocesses."""
+
+    def test_tools_subprocess(self, tmp_path):
+        target = tmp_path / "fig2.json"
+        write_instance(figure2_instance(), target)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "summary", str(target)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "objects=11" in result.stdout
+
+    def test_pxql_subprocess(self, tmp_path):
+        write_instance(figure2_instance(), tmp_path / "fig2.pxml.json")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.pxql", "-d", str(tmp_path),
+             "PROB B1 IN fig2"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "0.8" in result.stdout
+
+    def test_bench_subprocess(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "fig7b", "--quick"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0
+        assert "Figure 7(b)" in result.stdout

@@ -1,0 +1,158 @@
+"""Unit tests for the edge-labeled directed graph substrate."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.semistructured.graph import EdgeLabeledGraph
+
+
+@pytest.fixture
+def diamond():
+    """r -> a, b -> c (a DAG with a shared child)."""
+    g = EdgeLabeledGraph()
+    g.add_edge("r", "a", "x")
+    g.add_edge("r", "b", "y")
+    g.add_edge("a", "c", "z")
+    g.add_edge("b", "c", "z")
+    return g
+
+
+class TestConstruction:
+    def test_add_vertex_idempotent(self):
+        g = EdgeLabeledGraph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert len(g) == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("a", "b", "l")
+        assert "a" in g and "b" in g
+        assert g.num_edges() == 1
+
+    def test_readding_edge_overwrites_label(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("a", "b", "l1")
+        g.add_edge("a", "b", "l2")
+        assert g.label("a", "b") == "l2"
+        assert g.num_edges() == 1
+
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("a", "c")
+        assert not diamond.has_edge("a", "c")
+        assert diamond.has_edge("b", "c")
+
+    def test_remove_missing_edge_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.remove_edge("r", "c")
+
+    def test_remove_vertex_drops_incident_edges(self, diamond):
+        diamond.remove_vertex("c")
+        assert "c" not in diamond
+        assert diamond.children("a") == frozenset()
+        assert diamond.children("b") == frozenset()
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge("c", "d", "w")
+        assert "d" not in diamond
+        assert "d" in clone
+
+    def test_labels_collected(self, diamond):
+        assert diamond.labels == frozenset({"x", "y", "z"})
+
+
+class TestDefinition32:
+    def test_children(self, diamond):
+        assert diamond.children("r") == frozenset({"a", "b"})
+
+    def test_parents(self, diamond):
+        assert diamond.parents("c") == frozenset({"a", "b"})
+
+    def test_lch_filters_by_label(self, diamond):
+        assert diamond.lch("r", "x") == frozenset({"a"})
+        assert diamond.lch("r", "y") == frozenset({"b"})
+        assert diamond.lch("r", "nope") == frozenset()
+
+    def test_out_labels(self, diamond):
+        assert diamond.out_labels("r") == frozenset({"x", "y"})
+
+    def test_leaf_detection(self, diamond):
+        assert diamond.is_leaf("c")
+        assert not diamond.is_leaf("r")
+        assert diamond.leaves() == frozenset({"c"})
+
+    def test_descendants(self, diamond):
+        assert diamond.descendants("r") == frozenset({"a", "b", "c"})
+        assert diamond.descendants("a") == frozenset({"c"})
+        assert diamond.descendants("c") == frozenset()
+
+    def test_non_descendants_excludes_self(self, diamond):
+        assert diamond.non_descendants("a") == frozenset({"r", "b"})
+
+    def test_ancestors(self, diamond):
+        assert diamond.ancestors("c") == frozenset({"a", "b", "r"})
+        assert diamond.ancestors("r") == frozenset()
+
+    def test_unknown_vertex_raises(self, diamond):
+        with pytest.raises(UnknownObjectError):
+            diamond.children("ghost")
+
+
+class TestStructure:
+    def test_diamond_is_acyclic(self, diamond):
+        assert diamond.is_acyclic()
+
+    def test_cycle_detected(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("a", "b", "l")
+        g.add_edge("b", "a", "l")
+        assert not g.is_acyclic()
+        assert g.topological_order() is None
+
+    def test_self_loop_detected(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("a", "a", "l")
+        assert not g.is_acyclic()
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        position = {v: i for i, v in enumerate(order)}
+        for src, dst, _ in diamond.edges():
+            assert position[src] < position[dst]
+
+    def test_diamond_is_not_tree(self, diamond):
+        assert not diamond.is_tree("r")
+
+    def test_tree_detected(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("r", "a", "l")
+        g.add_edge("r", "b", "l")
+        g.add_edge("a", "c", "l")
+        assert g.is_tree("r")
+        assert not g.is_tree("a")
+
+    def test_disconnected_vertex_breaks_tree(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("r", "a", "l")
+        g.add_vertex("island")
+        assert not g.is_tree("r")
+
+    def test_roots(self, diamond):
+        assert diamond.roots() == frozenset({"r"})
+
+    def test_reachable_from(self, diamond):
+        assert diamond.reachable_from("a") == frozenset({"a", "c"})
+
+    def test_induced_subgraph(self, diamond):
+        sub = diamond.induced_subgraph({"r", "a", "c"})
+        assert sub.has_edge("r", "a")
+        assert sub.has_edge("a", "c")
+        assert not sub.has_edge("r", "b")
+        assert len(sub) == 3
+
+    def test_equality(self, diamond):
+        assert diamond == diamond.copy()
+        other = diamond.copy()
+        other.add_edge("c", "d", "w")
+        assert diamond != other

@@ -1,0 +1,167 @@
+"""Unit tests for probabilistic instances, the builder, and validation."""
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.weak_instance import WeakInstance
+from repro.errors import IncoherentModelError, ModelError
+from repro.semistructured.types import LeafType
+
+
+@pytest.fixture
+def small():
+    builder = InstanceBuilder("R")
+    builder.children("R", "kid", ["A", "B"], card=(0, 2))
+    builder.opf("R", {(): 0.1, ("A",): 0.3, ("B",): 0.2, ("A", "B"): 0.4})
+    builder.leaf("A", "t", ["x", "y"], {"x": 0.5, "y": 0.5})
+    builder.leaf("B", "t", vpf={"x": 1.0})
+    return builder.build()
+
+
+class TestProbabilisticInstance:
+    def test_delegation(self, small):
+        assert small.root == "R"
+        assert len(small) == 3
+        assert small.lch("R", "kid") == frozenset({"A", "B"})
+        assert small.is_leaf("A")
+        assert not small.is_leaf("R")
+
+    def test_opf_vpf_access(self, small):
+        assert small.opf("R").prob(frozenset({"A"})) == 0.3
+        assert small.opf("A") is None
+        assert small.vpf("A").prob("x") == 0.5
+        assert small.vpf("R") is None
+
+    def test_set_opf_on_leaf_rejected(self, small):
+        with pytest.raises(ModelError):
+            small.set_opf("A", TabularOPF({(): 1.0}))
+
+    def test_set_vpf_on_non_leaf_rejected(self, small):
+        with pytest.raises(ModelError):
+            small.set_vpf("R", TabularVPF({"x": 1.0}))
+
+    def test_effective_vpf_falls_back_to_default_value(self):
+        weak = WeakInstance("R")
+        weak.set_lch("R", "l", ["A"])
+        weak.set_type("A", LeafType("t", ["x", "y"]))
+        weak.set_val("A", "y")
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("R", TabularOPF({("A",): 1.0}))
+        vpf = pi.effective_vpf("A")
+        assert vpf.prob("y") == 1.0
+
+    def test_effective_vpf_none_for_bare_leaf(self):
+        weak = WeakInstance("R")
+        weak.set_lch("R", "l", ["A"])
+        pi = ProbabilisticInstance(weak)
+        assert pi.effective_vpf("A") is None
+
+    def test_copy_isolates_interpretation(self, small):
+        clone = small.copy()
+        clone.interpretation.drop("R")
+        assert small.opf("R") is not None
+
+    def test_total_entries(self, small):
+        # 4 OPF entries + 2 VPF entries + 1 VPF entry.
+        assert small.total_interpretation_entries() == 7
+
+    def test_valued_leaves(self, small):
+        assert set(small.valued_leaves()) == {"A", "B"}
+
+
+class TestValidation:
+    def test_valid_instance_passes(self, small):
+        small.validate()
+
+    def test_missing_opf_rejected(self):
+        weak = WeakInstance("R")
+        weak.set_lch("R", "l", ["A"])
+        with pytest.raises(IncoherentModelError):
+            ProbabilisticInstance(weak).validate()
+
+    def test_opf_outside_pc_rejected(self):
+        weak = WeakInstance("R")
+        weak.set_lch("R", "l", ["A"])
+        pi = ProbabilisticInstance(weak)
+        # "ghost" is not a potential child of R under any label.
+        pi.set_opf("R", TabularOPF({("A", "ghost"): 1.0}))
+        with pytest.raises(IncoherentModelError):
+            pi.validate()
+
+    def test_opf_violating_card_rejected(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A", "B"], card=(2, 2))
+        builder.opf("R", {("A",): 1.0})  # size 1 violates card [2, 2]
+        builder.leaf("A", "t", ["x"], {"x": 1.0})
+        builder.leaf("B", "t", vpf={"x": 1.0})
+        with pytest.raises(IncoherentModelError):
+            builder.build()
+
+    def test_opf_not_summing_rejected(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"])
+        builder.opf("R", {("A",): 0.5})
+        builder.leaf("A", "t", ["x"], {"x": 1.0})
+        with pytest.raises(IncoherentModelError):
+            builder.build()
+
+    def test_vpf_outside_domain_rejected(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"])
+        builder.opf("R", {("A",): 1.0})
+        builder.leaf("A", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        pi.interpretation.drop("A")
+        pi.interpretation.set_vpf("A", TabularVPF({"not-in-domain": 1.0}))
+        with pytest.raises(IncoherentModelError):
+            pi.validate()
+
+    def test_structural_leaf_without_vpf_allowed(self):
+        weak = WeakInstance("R")
+        weak.set_lch("R", "l", ["A"])
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("R", TabularOPF({("A",): 1.0}))
+        pi.validate()  # A has neither type nor VPF: fine (projection output)
+
+
+class TestBuilder:
+    def test_value_shorthand_makes_point_mass(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"])
+        builder.opf("R", {("A",): 1.0})
+        builder.value("A", "t", "v1", domain=["v1", "v2"])
+        pi = builder.build()
+        assert pi.vpf("A").prob("v1") == 1.0
+
+    def test_leaf_reuses_registered_type(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A", "B"])
+        builder.opf("R", {("A", "B"): 1.0})
+        builder.leaf("A", "t", ["x", "y"], {"x": 1.0})
+        builder.leaf("B", "t", vpf={"y": 1.0})  # no domain: reuse
+        pi = builder.build()
+        assert pi.tau("A") == pi.tau("B")
+
+    def test_leaf_without_vpf_gets_uniform(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"])
+        builder.opf("R", {("A",): 1.0})
+        builder.leaf("A", "t", ["x", "y"])
+        pi = builder.build()
+        assert pi.vpf("A").prob("x") == pytest.approx(0.5)
+
+    def test_uniform_opfs_fill_gaps(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"], card=(0, 1))
+        builder.leaf("A", "t", ["x"], {"x": 1.0})
+        pi = builder.uniform_opfs().build()
+        assert pi.opf("R").prob(frozenset()) == pytest.approx(0.5)
+
+    def test_build_without_validation(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "l", ["A"])
+        # No OPF: invalid, but build(validate=False) must not raise.
+        pi = builder.build(validate=False)
+        assert pi.opf("R") is None

@@ -1,0 +1,141 @@
+"""Tests for learning probabilistic instances from observed worlds."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import ModelError
+from repro.learn import learn_instance, log_likelihood
+from repro.semantics.compatible import domain_distribution
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semantics.sampling import WorldSampler
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def source():
+    builder = InstanceBuilder("r")
+    builder.children("r", "l", ["a", "b"])
+    builder.opf("r", {("a",): 0.5, ("b",): 0.2, ("a", "b"): 0.3})
+    builder.children("a", "m", ["c"], card=(0, 1))
+    builder.opf("a", {("c",): 0.7, (): 0.3})
+    builder.leaf("c", "t", ["x", "y"], {"x": 0.6, "y": 0.4})
+    builder.leaf("b", "t", vpf={"x": 1.0})
+    return builder.build()
+
+
+class TestExactRecovery:
+    def test_learning_from_exact_distribution_recovers_instance(self, source):
+        # Feeding the exact world distribution as weights is the empirical
+        # Theorem 2: the learned instance must induce the same global
+        # distribution.
+        corpus = list(domain_distribution(source).items())
+        learned = learn_instance(corpus)
+        learned.validate()
+        assert GlobalInterpretation.from_local(learned).is_close_to(
+            GlobalInterpretation.from_local(source)
+        )
+
+    def test_learned_structure_matches(self, source):
+        corpus = list(domain_distribution(source).items())
+        learned = learn_instance(corpus)
+        assert learned.weak.lch("r", "l") == frozenset({"a", "b"})
+        assert learned.weak.card("a", "m").min == 0
+        assert learned.weak.card("a", "m").max == 1
+        assert learned.tau("c").name == "t"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_round_trip(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=2)
+        corpus = list(domain_distribution(pi).items())
+        learned = learn_instance(corpus)
+        assert GlobalInterpretation.from_local(learned).is_close_to(
+            GlobalInterpretation.from_local(pi)
+        )
+
+
+class TestSampleConsistency:
+    def test_mle_converges(self, source):
+        sampler = WorldSampler(source, seed=13)
+        corpus = sampler.sample_many(6000)
+        learned = learn_instance(corpus)
+        learned.validate()
+        assert learned.opf("r").prob(frozenset({"a"})) == pytest.approx(
+            0.5, abs=0.04
+        )
+        assert learned.opf("a").prob(frozenset({"c"})) == pytest.approx(
+            0.7, abs=0.04
+        )
+        assert learned.effective_vpf("c").prob("x") == pytest.approx(0.6, abs=0.05)
+
+    def test_more_samples_improve_likelihood_of_truth(self, source):
+        sampler = WorldSampler(source, seed=14)
+        heldout = sampler.sample_many(300)
+        small = learn_instance(WorldSampler(source, seed=15).sample_many(30),
+                               smoothing=0.5)
+        large = learn_instance(WorldSampler(source, seed=15).sample_many(3000),
+                               smoothing=0.5)
+        ll_small = log_likelihood(small, heldout)
+        ll_large = log_likelihood(large, heldout)
+        # The large-sample model is at least not much worse; typically better.
+        assert ll_large >= ll_small - 5.0
+
+
+class TestSmoothingAndLikelihood:
+    def test_smoothing_flattens(self, source):
+        sampler = WorldSampler(source, seed=16)
+        corpus = sampler.sample_many(50)
+        raw = learn_instance(corpus)
+        smoothed = learn_instance(corpus, smoothing=10.0)
+        raw_probs = sorted(p for _, p in raw.opf("r").support())
+        smooth_probs = sorted(p for _, p in smoothed.opf("r").support())
+        assert (max(smooth_probs) - min(smooth_probs)) <= (
+            max(raw_probs) - min(raw_probs)
+        )
+
+    def test_log_likelihood_of_training_data(self, source):
+        sampler = WorldSampler(source, seed=17)
+        corpus = sampler.sample_many(200)
+        learned = learn_instance(corpus)
+        assert log_likelihood(learned, corpus) > -math.inf
+
+    def test_impossible_world_gives_minus_inf(self, source):
+        sampler = WorldSampler(source, seed=18)
+        corpus = [w for w in sampler.sample_many(200) if "b" in w]
+        learned = learn_instance(corpus)
+        missing_b = next(
+            w for w in WorldSampler(source, seed=19).sample_many(200)
+            if "b" not in w
+        )
+        assert log_likelihood(learned, [missing_b]) == -math.inf
+
+
+class TestErrors:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            learn_instance([])
+
+    def test_disagreeing_roots_rejected(self, source):
+        from repro.semistructured.instance import SemistructuredInstance
+
+        with pytest.raises(ModelError):
+            learn_instance([
+                SemistructuredInstance("r"), SemistructuredInstance("other"),
+            ])
+
+    def test_conflicting_edge_labels_rejected(self):
+        from repro.semistructured.instance import SemistructuredInstance
+
+        a = SemistructuredInstance.from_edges("r", [("r", "x", "l1")])
+        b = SemistructuredInstance.from_edges("r", [("r", "x", "l2")])
+        with pytest.raises(ModelError):
+            learn_instance([a, b])
+
+    def test_negative_weight_rejected(self, source):
+        from repro.semistructured.instance import SemistructuredInstance
+
+        with pytest.raises(ModelError):
+            learn_instance([(SemistructuredInstance("r"), -1.0)])

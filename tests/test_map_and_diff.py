@@ -1,0 +1,157 @@
+"""Tests for MAP-world computation, SD diffs, and the tools CLI."""
+
+import random
+
+import pytest
+
+from repro.algebra.projection import ancestor_projection
+from repro.core.builder import InstanceBuilder
+from repro.errors import SemanticsError
+from repro.io.json_codec import write_instance
+from repro.paper import figure1_instance, figure2_instance
+from repro.semantics.compatible import is_compatible, world_probability
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semantics.map_world import map_world, top_k_worlds
+from repro.semistructured.diff import diff_instances
+from repro.tools import main as tools_main
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("r")
+    builder.children("r", "l", ["a", "b"])
+    builder.opf("r", {("a",): 0.5, ("b",): 0.1, ("a", "b"): 0.4})
+    builder.children("a", "m", ["c"], card=(0, 1))
+    builder.opf("a", {("c",): 0.9, (): 0.1})
+    builder.leaf("c", "t", ["x", "y"], {"x": 0.6, "y": 0.4})
+    builder.leaf("b", "t", vpf={"x": 1.0})
+    return builder.build()
+
+
+class TestMapWorld:
+    def test_tree_map_is_global_argmax(self, tree):
+        world, probability = map_world(tree)
+        interpretation = GlobalInterpretation.from_local(tree)
+        best = max(p for _, p in interpretation.support())
+        assert probability == pytest.approx(best)
+        assert interpretation.prob(world) == pytest.approx(best)
+
+    def test_map_world_is_compatible(self, tree):
+        world, probability = map_world(tree)
+        assert is_compatible(world, tree.weak)
+        assert world_probability(tree, world) == pytest.approx(probability)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trees(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=2)
+        world, probability = map_world(pi)
+        best = max(p for _, p in GlobalInterpretation.from_local(pi).support())
+        assert probability == pytest.approx(best)
+
+    def test_dag_falls_back_to_enumeration(self):
+        pi = figure2_instance()
+        world, probability = map_world(pi)
+        best = max(p for _, p in GlobalInterpretation.from_local(pi).support())
+        assert probability == pytest.approx(best)
+
+    def test_dag_enumeration_guard(self):
+        pi = figure2_instance()
+        with pytest.raises(SemanticsError):
+            map_world(pi, max_enumeration=3)
+
+    def test_top_k(self, tree):
+        ranked = top_k_worlds(tree, 3)
+        assert len(ranked) == 3
+        probabilities = [p for _, p in ranked]
+        assert probabilities == sorted(probabilities, reverse=True)
+        world, probability = map_world(tree)
+        assert ranked[0][1] == pytest.approx(probability)
+
+    def test_top_k_positive(self, tree):
+        with pytest.raises(SemanticsError):
+            top_k_worlds(tree, 0)
+
+
+class TestDiff:
+    def test_identical(self):
+        a = figure1_instance()
+        diff = diff_instances(a, a.copy())
+        assert diff.is_empty()
+        assert diff.summary() == "identical"
+
+    def test_projection_diff(self):
+        original = figure1_instance()
+        projected = ancestor_projection(original, "R.book.author")
+        diff = diff_instances(original, projected)
+        assert "T1" in diff.removed_objects
+        assert "I1" in diff.removed_objects
+        assert ("B1", "T1", "title") in diff.removed_edges
+        assert not diff.added_objects
+
+    def test_value_change_detected(self):
+        a = figure1_instance()
+        b = a.copy()
+        b.set_value("T1", "Lore")
+        diff = diff_instances(a, b)
+        assert ("T1", "VQDB", "Lore") in diff.changed_values
+        assert "values" in diff.summary()
+
+    def test_relabel_detected(self):
+        a = figure1_instance()
+        b = a.copy()
+        b.graph.add_edge("R", "B1", "tome")  # overwrite the label
+        diff = diff_instances(a, b)
+        assert ("R", "B1", "book", "tome") in diff.relabeled_edges
+
+    def test_format_lists_changes(self):
+        a = figure1_instance()
+        b = ancestor_projection(a, "R.book")
+        text = diff_instances(a, b).format()
+        assert "- object" in text
+
+
+class TestToolsCLI:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        path = tmp_path / "fig2.json"
+        write_instance(figure2_instance(), path)
+        return str(path)
+
+    def test_lint_clean(self, instance_file, capsys):
+        assert tools_main(["lint", instance_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_show(self, instance_file, capsys):
+        assert tools_main(["show", instance_file]) == 0
+        assert "PC(R)" in capsys.readouterr().out
+
+    def test_dot(self, instance_file, capsys):
+        assert tools_main(["dot", instance_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_summary(self, instance_file, capsys):
+        assert tools_main(["summary", instance_file]) == 0
+        assert "objects=11" in capsys.readouterr().out
+
+    def test_worlds(self, instance_file, capsys):
+        assert tools_main(["worlds", instance_file, "--limit", "3"]) == 0
+        assert "more worlds" in capsys.readouterr().out
+
+    def test_map(self, instance_file, capsys):
+        assert tools_main(["map", instance_file]) == 0
+        assert "P = " in capsys.readouterr().out
+
+    def test_lint_error_exit(self, tmp_path, capsys):
+        import json
+
+        from repro.io.json_codec import encode_instance
+
+        payload = encode_instance(figure2_instance())
+        # Corrupt one OPF so its mass is wrong.
+        payload["objects"]["R"]["opf"]["entries"][0][1] = 0.0001
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload), encoding="utf-8")
+        assert tools_main(["lint", str(bad)]) == 1
+        assert "bad-total" in capsys.readouterr().out

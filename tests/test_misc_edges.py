@@ -1,0 +1,161 @@
+"""Edge-case and error-path tests across modules."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.bench.__main__ import main as bench_main
+from repro.core.builder import InstanceBuilder
+from repro.core.interpretation import LocalInterpretation
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.errors import CodecError, ModelError, PXMLError
+from repro.io import json_codec, xml_codec
+from repro.paper import figure2_instance
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, PXMLError), name
+
+    def test_unknown_object_error_carries_oid(self):
+        error = errors.UnknownObjectError("x")
+        assert error.oid == "x"
+        assert "x" in str(error)
+
+    def test_unknown_label_error_message(self):
+        error = errors.UnknownLabelError("o", "l")
+        assert "o" in str(error) and "l" in str(error)
+
+
+class TestLocalInterpretationEdges:
+    def test_opf_and_vpf_conflict_rejected(self):
+        interp = LocalInterpretation()
+        interp.set_opf("a", TabularOPF({(): 1.0}))
+        with pytest.raises(ModelError):
+            interp.set_vpf("a", TabularVPF({"x": 1.0}))
+
+    def test_constructor_conflict_rejected(self):
+        with pytest.raises(ModelError):
+            LocalInterpretation(
+                {"a": TabularOPF({(): 1.0})}, {"a": TabularVPF({"x": 1.0})}
+            )
+
+    def test_drop_then_reassign(self):
+        interp = LocalInterpretation()
+        interp.set_opf("a", TabularOPF({(): 1.0}))
+        interp.drop("a")
+        interp.set_vpf("a", TabularVPF({"x": 1.0}))
+        assert interp.vpf("a") is not None
+
+    def test_set_value_shorthand(self):
+        interp = LocalInterpretation()
+        interp.set_value("a", "v")
+        assert interp.vpf("a").prob("v") == 1.0
+
+
+class TestCodecErrorPaths:
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            json_codec.read_instance(path)
+
+    def test_unknown_opf_kind_rejected(self):
+        payload = json_codec.encode_instance(figure2_instance())
+        for entry in payload["objects"].values():
+            if "opf" in entry:
+                entry["opf"]["kind"] = "martian"
+        with pytest.raises(CodecError):
+            json_codec.decode_instance(payload)
+
+    def test_xml_element_without_oid_rejected(self):
+        with pytest.raises(CodecError):
+            xml_codec.loads('<pxml-root oid="r"><book/></pxml-root>')
+
+    def test_xml_root_without_oid_rejected(self):
+        with pytest.raises(CodecError):
+            xml_codec.loads("<pxml-root/>")
+
+    def test_xml_ref_without_label_rejected(self):
+        text = (
+            '<pxml-root oid="r"><a oid="x"/><pxml-ref oid="x"/></pxml-root>'
+        )
+        with pytest.raises(CodecError):
+            xml_codec.loads(text)
+
+
+class TestBenchCLI:
+    def test_quick_fig7b(self, capsys):
+        code = bench_main(["fig7b", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7(b)" in out
+        assert "b=2 SL" in out
+
+    def test_json_dump(self, tmp_path, capsys):
+        target = tmp_path / "records.json"
+        code = bench_main(["fig7c", "--quick", "--json", str(target)])
+        assert code == 0
+        records = json.loads(target.read_text())
+        assert records and records[0]["operation"] == "selection"
+
+    def test_independent_flag(self, capsys):
+        code = bench_main(["fig7b", "--quick", "--independent"])
+        assert code == 0
+
+
+class TestPXQLStdinMode:
+    def test_statements_from_stdin(self, tmp_path, monkeypatch, capsys):
+        import io as _io
+
+        from repro.io.json_codec import write_instance
+        from repro.pxql.__main__ import main as pxql_main
+
+        write_instance(figure2_instance(), tmp_path / "fig2.pxml.json")
+        monkeypatch.setattr(
+            "sys.stdin",
+            _io.StringIO("# a comment\n\nPROB B1 IN fig2\n"),
+        )
+        code = pxql_main(["-d", str(tmp_path)])
+        assert code == 0
+        assert "P(B1 exists) = 0.8" in capsys.readouterr().out
+
+
+class TestBuilderEdges:
+    def test_children_with_interval_object(self):
+        from repro.core.cardinality import CardinalityInterval
+
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=CardinalityInterval(1, 1))
+        builder.opf("r", {("a",): 1.0})
+        builder.leaf("a", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        assert pi.card("r", "l").min == 1
+
+    def test_value_extends_unknown_domain(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"])
+        builder.opf("r", {("a",): 1.0})
+        builder.value("a", "fresh-type", "v")
+        pi = builder.build()
+        assert pi.vpf("a").prob("v") == 1.0
+
+
+class TestBenchReport:
+    def test_report_round_trip(self, tmp_path, capsys):
+        code = bench_main(["fig7b", "--quick", "--json",
+                           str(tmp_path / "r.json")])
+        assert code == 0
+        capsys.readouterr()
+        code = bench_main(["report", "--json", str(tmp_path / "r.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7(b)" in out
+
+    def test_report_without_json_errors(self):
+        with pytest.raises(SystemExit):
+            bench_main(["report"])

@@ -1,0 +1,152 @@
+"""Tests reproducing the paper's worked examples and figures.
+
+X1-X3 of the experiment index in DESIGN.md: Figure 1 / Example 3.1,
+Figure 2 / Example 3.3, Example 4.1 (with the paper's arithmetic typo
+corrected), Figures 4-5 / Example 5.1, and Figure 6 / Example 5.2 (again
+with a typo corrected — see DESIGN.md).
+"""
+
+import pytest
+
+from repro.algebra.projection import ancestor_projection
+from repro.algebra.projection_prob import ancestor_projection_global
+from repro.algebra.selection import ObjectCondition, select_global
+from repro.core.cardinality import CardinalityInterval
+from repro.paper import example41_s1, example52_instance, figure1_instance, figure2_instance
+from repro.semantics.compatible import is_compatible, world_probability
+from repro.semantics.global_interpretation import GlobalInterpretation, verify_theorem1
+from repro.semistructured.paths import PathExpression, evaluate_path
+
+
+class TestFigure1:
+    def test_structure(self):
+        inst = figure1_instance()
+        inst.validate()
+        assert inst.children("R") == frozenset({"B1", "B2", "B3"})
+        assert inst.lch("B2", "author") == frozenset({"A1", "A2"})
+        assert inst.val("T1") == "VQDB"
+        assert inst.val("I2") == "UMD"
+
+    def test_example31_path(self):
+        inst = figure1_instance()
+        assert evaluate_path(
+            inst.graph, PathExpression.parse("R.book.author")
+        ) == frozenset({"A1", "A2", "A3"})
+
+
+class TestFigure2:
+    def test_validates(self):
+        figure2_instance().validate()
+
+    def test_example32_potential_author_children(self):
+        pi = figure2_instance()
+        sets = pi.weak.potential_l_child_sets("B1", "author")
+        assert set(sets) == {
+            frozenset({"A1"}),
+            frozenset({"A2"}),
+            frozenset({"A1", "A2"}),
+        }
+
+    def test_card_entries_match_figure(self):
+        pi = figure2_instance()
+        assert pi.card("R", "book") == CardinalityInterval(2, 3)
+        assert pi.card("B1", "author") == CardinalityInterval(1, 2)
+        assert pi.card("B1", "title") == CardinalityInterval(0, 1)
+        assert pi.card("B2", "author") == CardinalityInterval(2, 2)
+        assert pi.card("A1", "institution") == CardinalityInterval(0, 1)
+
+    def test_opf_tables_match_figure(self):
+        pi = figure2_instance()
+        assert pi.opf("R").prob(frozenset({"B1", "B2", "B3"})) == 0.4
+        assert pi.opf("B1").prob(frozenset({"A1", "T1"})) == 0.35
+        assert pi.opf("B2").prob(frozenset({"A1", "A3"})) == 0.4
+        assert pi.opf("A1").prob(frozenset()) == pytest.approx(0.2)
+        assert pi.opf("A1").prob(frozenset({"I1"})) == pytest.approx(0.8)
+
+    def test_weak_instance_is_dag_not_tree(self):
+        pi = figure2_instance()
+        assert pi.weak.is_acyclic()
+        assert not pi.weak.is_tree()
+
+
+class TestExample41:
+    def test_s1_is_compatible(self):
+        assert is_compatible(example41_s1(), figure2_instance().weak)
+
+    def test_s1_probability_factors(self):
+        # P(S1) = P(B1,B2|R) P(A1,T1|B1) P(A1,A2|B2) P(I1|A1) P(I1|A2)
+        #       = 0.2 * 0.35 * 0.4 * 0.8 * 0.5 = 0.0112
+        # (the paper prints 0.00448 — an arithmetic typo; see DESIGN.md).
+        expected = 0.2 * 0.35 * 0.4 * 0.8 * 0.5
+        assert world_probability(figure2_instance(), example41_s1()) == pytest.approx(
+            expected
+        )
+
+    def test_theorem1_on_figure2(self):
+        interpretation = verify_theorem1(figure2_instance())
+        assert interpretation.total_mass() == pytest.approx(1.0)
+
+    def test_enumeration_agrees_with_direct_product(self):
+        pi = figure2_instance()
+        interpretation = GlobalInterpretation.from_local(pi)
+        s1 = example41_s1()
+        assert interpretation.prob(s1) == pytest.approx(world_probability(pi, s1))
+
+
+class TestExample51:
+    def test_figure4_projection_result(self):
+        inst = figure1_instance()
+        result = ancestor_projection(inst, "R.book.author")
+        assert result.objects == frozenset(
+            {"R", "B1", "B2", "B3", "A1", "A2", "A3"}
+        )
+        # Title edges and institutions are gone; book/author edges kept.
+        assert result.children("B1") == frozenset({"A1"})
+        assert result.children("B3") == frozenset({"A3"})
+        assert result.label("R", "B1") == "book"
+        assert result.label("B2", "A2") == "author"
+
+    def test_figure5_probability_grouping(self):
+        # Projections of distinct worlds that coincide must have their
+        # probabilities summed (Definition 5.3).
+        pi = figure2_instance()
+        projected = ancestor_projection_global(pi, "R.book.author")
+        projected.validate()
+        # Every projected world must be its own ancestor projection
+        # (idempotence) and the masses must total 1.
+        path = PathExpression.parse("R.book.author")
+        for world, probability in projected.support():
+            assert probability > 0
+            assert ancestor_projection(world, path) == world
+
+    def test_projection_groups_fewer_worlds(self):
+        pi = figure2_instance()
+        base = GlobalInterpretation.from_local(pi)
+        projected = ancestor_projection_global(pi, "R.book.author")
+        assert len(projected) < len(base)
+
+
+class TestExample52:
+    def test_selection_normalization(self):
+        # P'(S1) = 0.4 / (0.4 + 0.2 + 0.2) = 0.5 (the paper prints 0.4 —
+        # an arithmetic typo; see DESIGN.md).
+        pi = example52_instance()
+        condition = ObjectCondition(PathExpression.parse("R.book"), "B1")
+        result = select_global(pi, condition)
+        result.validate()
+        probabilities = sorted(p for _, p in result.support())
+        assert probabilities == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_worlds_without_b1_are_dropped(self):
+        pi = example52_instance()
+        condition = ObjectCondition(PathExpression.parse("R.book"), "B1")
+        result = select_global(pi, condition)
+        for world, _ in result.support():
+            assert "B1" in world
+
+    def test_prior_world_probabilities(self):
+        pi = example52_instance()
+        interpretation = GlobalInterpretation.from_local(pi)
+        assert sorted(p for _, p in interpretation.support()) == pytest.approx(
+            [0.2, 0.2, 0.2, 0.4]
+        )

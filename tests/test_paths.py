@@ -1,0 +1,154 @@
+"""Unit tests for path expressions: parsing, evaluation, matching."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.paper import figure1_instance
+from repro.semistructured.graph import EdgeLabeledGraph
+from repro.semistructured.paths import (
+    PathExpression,
+    evaluate_path,
+    level_sets,
+    match_path,
+)
+
+
+@pytest.fixture
+def graph():
+    return figure1_instance().graph
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        p = PathExpression.parse("R.book.author")
+        assert p.root == "R"
+        assert p.labels == ("book", "author")
+        assert len(p) == 2
+
+    def test_parse_root_only(self):
+        p = PathExpression.parse("R")
+        assert p.root == "R"
+        assert p.labels == ()
+
+    def test_str_round_trip(self):
+        text = "R.book.author"
+        assert str(PathExpression.parse(text)) == text
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            PathExpression.parse("R..author")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            PathExpression.parse("")
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            PathExpression("", ("a",))
+
+    def test_child_extends(self):
+        p = PathExpression.parse("R.book").child("author")
+        assert p.labels == ("book", "author")
+
+    def test_prefix(self):
+        p = PathExpression.parse("R.book.author.institution")
+        assert p.prefix(1).labels == ("book",)
+        assert p.prefix(0).labels == ()
+
+
+class TestEvaluation:
+    def test_paper_example(self, graph):
+        # "A2 in R.book.author because there is a path from R to reach A2"
+        result = evaluate_path(graph, PathExpression.parse("R.book.author"))
+        assert result == frozenset({"A1", "A2", "A3"})
+
+    def test_one_level(self, graph):
+        result = evaluate_path(graph, PathExpression.parse("R.book"))
+        assert result == frozenset({"B1", "B2", "B3"})
+
+    def test_zero_labels_denotes_root(self, graph):
+        assert evaluate_path(graph, PathExpression.parse("R")) == frozenset({"R"})
+
+    def test_missing_root_is_empty(self, graph):
+        assert evaluate_path(graph, PathExpression.parse("ghost.book")) == frozenset()
+
+    def test_dead_label_is_empty(self, graph):
+        assert evaluate_path(graph, PathExpression.parse("R.nope")) == frozenset()
+
+    def test_three_levels(self, graph):
+        result = evaluate_path(
+            graph, PathExpression.parse("R.book.author.institution")
+        )
+        assert result == frozenset({"I1", "I2"})
+
+    def test_level_sets_shape(self, graph):
+        levels = level_sets(graph, PathExpression.parse("R.book.author"))
+        assert levels[0] == frozenset({"R"})
+        assert levels[1] == frozenset({"B1", "B2", "B3"})
+        assert levels[2] == frozenset({"A1", "A2", "A3"})
+
+    def test_level_sets_empty_tail(self, graph):
+        levels = level_sets(graph, PathExpression.parse("R.book.nope.deeper"))
+        assert levels[1] == frozenset({"B1", "B2", "B3"})
+        assert levels[2] == frozenset()
+        assert levels[3] == frozenset()
+
+
+class TestMatching:
+    def test_match_prunes_branch_without_continuation(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("r", "b1", "book")
+        g.add_edge("r", "b2", "book")
+        g.add_edge("b1", "a1", "author")
+        # b2 has no author: it must be pruned from level 1.
+        match = match_path(g, PathExpression.parse("r.book.author"))
+        assert match.levels[1] == frozenset({"b1"})
+        assert match.matched == frozenset({"a1"})
+        assert match.edges == frozenset({("r", "b1"), ("b1", "a1")})
+
+    def test_match_on_figure1(self, graph):
+        match = match_path(graph, PathExpression.parse("R.book.author"))
+        assert match.matched == frozenset({"A1", "A2", "A3"})
+        assert match.kept_objects() == frozenset(
+            {"R", "B1", "B2", "B3", "A1", "A2", "A3"}
+        )
+        assert ("B1", "T1") not in match.edges
+
+    def test_empty_match(self, graph):
+        match = match_path(graph, PathExpression.parse("R.nope"))
+        assert match.is_empty
+        assert match.edges == frozenset()
+        assert len(match.levels) == 2
+
+    def test_zero_label_match(self, graph):
+        match = match_path(graph, PathExpression.parse("R"))
+        assert match.matched == frozenset({"R"})
+        assert not match.is_empty
+
+    def test_level_edges_partition(self, graph):
+        match = match_path(graph, PathExpression.parse("R.book.author"))
+        combined = set()
+        for edges in match.level_edges:
+            combined |= edges
+        assert combined == set(match.edges)
+
+    def test_level_of_on_tree(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("r", "a", "l")
+        g.add_edge("a", "b", "l")
+        match = match_path(g, PathExpression.parse("r.l.l"))
+        membership = match.level_of()
+        assert membership["r"] == [0]
+        assert membership["a"] == [1]
+        assert membership["b"] == [2]
+
+    def test_dag_object_on_multiple_levels(self):
+        g = EdgeLabeledGraph()
+        g.add_edge("r", "a", "l")
+        g.add_edge("r", "b", "l")
+        g.add_edge("b", "a", "l")
+        g.add_edge("a", "c", "l")
+        # 'a' is reachable at level 1 (r.a) and level 2 (r.b.a).
+        match = match_path(g, PathExpression.parse("r.l.l"))
+        assert "a" in match.levels[1]
+        assert "a" in match.levels[2]

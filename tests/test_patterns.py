@@ -1,0 +1,142 @@
+"""Tests for ProTDB-style pattern-tree queries."""
+
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import NonTreeInstanceError, QueryError
+from repro.paper import figure2_instance
+from repro.protdb.patterns import (
+    PatternNode,
+    pattern_probability,
+    world_has_witness,
+)
+from repro.semantics.global_interpretation import GlobalInterpretation
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"])
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    builder.children("B1", "author", ["A1", "A2"])
+    builder.children("B1", "title", ["T1"])
+    builder.opf("B1", {
+        ("A1", "T1"): 0.3, ("A2",): 0.2, ("A1", "A2"): 0.25, ("T1",): 0.25,
+    })
+    builder.children("B2", "author", ["A3"])
+    builder.opf("B2", {("A3",): 0.6, (): 0.4})
+    builder.leaf("A1", "name", ["x", "y"], {"x": 0.7, "y": 0.3})
+    builder.leaf("A2", "name", vpf={"x": 1.0})
+    builder.leaf("A3", "name", vpf={"y": 1.0})
+    builder.leaf("T1", "title", ["t"], {"t": 1.0})
+    return builder.build()
+
+
+def brute(pi, pattern):
+    worlds = GlobalInterpretation.from_local(pi)
+    return worlds.event_probability(lambda w: world_has_witness(w, pattern))
+
+
+class TestWitnessChecking:
+    def test_simple_witness(self, tree):
+        from repro.semantics.compatible import iter_compatible_instances
+
+        pattern = PatternNode.root(PatternNode.child("book"))
+        hits = [
+            w for w, _ in iter_compatible_instances(tree)
+            if world_has_witness(w, pattern)
+        ]
+        assert hits
+        for world in hits:
+            assert world.children("R")
+
+    def test_value_constraint(self, tree):
+        pattern = PatternNode.root(
+            PatternNode.child("book", PatternNode.child("author", value="y"))
+        )
+        probability = brute(tree, pattern)
+        assert 0.0 < probability < 1.0
+
+    def test_value_constrained_node_with_children_rejected(self):
+        with pytest.raises(QueryError):
+            PatternNode.child("a", PatternNode.child("b"), value="v")
+
+
+class TestPatternProbability:
+    def test_single_edge(self, tree):
+        pattern = PatternNode.root(PatternNode.child("book"))
+        assert pattern_probability(tree, pattern) == pytest.approx(0.9)
+
+    def test_two_level(self, tree):
+        pattern = PatternNode.root(
+            PatternNode.child("book", PatternNode.child("author"))
+        )
+        assert pattern_probability(tree, pattern) == pytest.approx(
+            brute(tree, pattern)
+        )
+
+    def test_branching_pattern(self, tree):
+        # A book with BOTH an author and a title.
+        pattern = PatternNode.root(
+            PatternNode.child(
+                "book", PatternNode.child("author"), PatternNode.child("title")
+            )
+        )
+        assert pattern_probability(tree, pattern) == pytest.approx(
+            brute(tree, pattern)
+        )
+
+    def test_sibling_patterns_same_label(self, tree):
+        # Two author sub-patterns (homomorphism: may share the same object).
+        pattern = PatternNode.root(
+            PatternNode.child("book",
+                              PatternNode.child("author", value="x"),
+                              PatternNode.child("author", value="y")),
+        )
+        assert pattern_probability(tree, pattern) == pytest.approx(
+            brute(tree, pattern)
+        )
+
+    def test_value_leaf_pattern(self, tree):
+        pattern = PatternNode.root(
+            PatternNode.child("book", PatternNode.child("author", value="y"))
+        )
+        assert pattern_probability(tree, pattern) == pytest.approx(
+            brute(tree, pattern)
+        )
+
+    def test_unsatisfiable_label(self, tree):
+        pattern = PatternNode.root(PatternNode.child("magazine"))
+        assert pattern_probability(tree, pattern) == 0.0
+
+    def test_empty_pattern_is_certain(self, tree):
+        assert pattern_probability(tree, PatternNode.root()) == 1.0
+
+    def test_dag_rejected(self):
+        pattern = PatternNode.root(PatternNode.child("book"))
+        with pytest.raises(NonTreeInstanceError):
+            pattern_probability(figure2_instance(), pattern)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_match_enumeration(self, seed):
+        rng = random.Random(seed)
+        pi = random_tree_instance(rng, depth=2, max_children=2)
+        labels = sorted(pi.weak.graph().labels)
+
+        def random_pattern(depth):
+            if depth == 0 or rng.random() < 0.3:
+                value = rng.choice([None, "x", "y"])
+                return PatternNode.child(rng.choice(labels), value=value)
+            kids = [random_pattern(depth - 1) for _ in range(rng.randint(1, 2))]
+            return PatternNode.child(rng.choice(labels), *kids)
+
+        pattern = PatternNode.root(
+            *[random_pattern(1) for _ in range(rng.randint(1, 2))]
+        )
+        assert pattern_probability(pi, pattern) == pytest.approx(
+            brute(pi, pattern)
+        ), pattern

@@ -1,0 +1,264 @@
+"""Tests for the PIXML interval-probability extension."""
+
+import pytest
+
+from repro.errors import DistributionError, ModelError, QueryError
+from repro.paper import figure2_instance
+from repro.pixml.intervals import ProbInterval
+from repro.pixml.ipf import IntervalOPF, IntervalProbabilisticInstance
+from repro.pixml.queries import interval_chain_probability, interval_point_query
+from repro.core.builder import InstanceBuilder
+from repro.core.distributions import TabularOPF
+
+
+class TestProbInterval:
+    def test_construction_and_membership(self):
+        i = ProbInterval(0.2, 0.6)
+        assert 0.2 in i and 0.4 in i and 0.6 in i
+        assert 0.1 not in i
+        assert i.width() == pytest.approx(0.4)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(DistributionError):
+            ProbInterval(0.6, 0.2)
+        with pytest.raises(DistributionError):
+            ProbInterval(-0.1, 0.5)
+        with pytest.raises(DistributionError):
+            ProbInterval(0.5, 1.1)
+
+    def test_point_and_vacuous(self):
+        assert ProbInterval.point(0.3).is_point()
+        assert ProbInterval.vacuous() == ProbInterval(0.0, 1.0)
+
+    def test_product(self):
+        product = ProbInterval(0.2, 0.5).product(ProbInterval(0.4, 0.8))
+        assert product.lo == pytest.approx(0.08)
+        assert product.hi == pytest.approx(0.4)
+
+    def test_complement(self):
+        assert ProbInterval(0.2, 0.5).complement() == ProbInterval(0.5, 0.8)
+
+    def test_add_clamps(self):
+        assert ProbInterval(0.7, 0.9).add(ProbInterval(0.5, 0.6)) == ProbInterval(
+            1.0, 1.0
+        )
+
+    def test_intersect(self):
+        assert ProbInterval(0.1, 0.5).intersect(ProbInterval(0.3, 0.9)) == ProbInterval(
+            0.3, 0.5
+        )
+
+    def test_disjoint_intersection_rejected(self):
+        with pytest.raises(DistributionError):
+            ProbInterval(0.1, 0.2).intersect(ProbInterval(0.5, 0.6))
+
+    def test_containment(self):
+        assert ProbInterval(0.0, 1.0).contains_interval(ProbInterval(0.3, 0.4))
+        assert not ProbInterval(0.3, 0.4).contains_interval(ProbInterval(0.0, 1.0))
+
+
+class TestIntervalOPF:
+    @pytest.fixture
+    def iopf(self):
+        return IntervalOPF({
+            ("a",): ProbInterval(0.2, 0.5),
+            ("b",): ProbInterval(0.1, 0.4),
+            (): ProbInterval(0.2, 0.6),
+        })
+
+    def test_consistency(self, iopf):
+        assert iopf.is_consistent()
+        iopf.validate()
+
+    def test_inconsistent_detected(self):
+        bad = IntervalOPF({("a",): ProbInterval(0.8, 0.9), (): ProbInterval(0.5, 0.9)})
+        assert not bad.is_consistent()
+        with pytest.raises(DistributionError):
+            bad.validate()
+
+    def test_tighten_narrows(self, iopf):
+        tightened = iopf.tighten()
+        # lo'(a) = max(0.2, 1 - (0.4 + 0.6)) = 0.2; hi'(a) = min(0.5, 1 - 0.3) = 0.5
+        assert tightened.interval(frozenset({"a"})).contains_interval(
+            tightened.interval(frozenset({"a"}))
+        )
+        for child_set, interval in iopf.support():
+            assert interval.contains_interval(tightened.interval(child_set))
+        tightened.validate()
+
+    def test_tighten_uses_sum_constraint(self):
+        iopf = IntervalOPF({
+            ("a",): ProbInterval(0.0, 1.0),
+            (): ProbInterval.point(0.3),
+        })
+        tightened = iopf.tighten()
+        assert tightened.interval(frozenset({"a"})) == ProbInterval(0.7, 0.7)
+
+    def test_from_point_embedding(self):
+        opf = TabularOPF({("a",): 0.6, (): 0.4})
+        iopf = IntervalOPF.from_point(opf)
+        assert iopf.interval(frozenset({"a"})).is_point()
+        assert iopf.contains(opf)
+
+    def test_contains_rejects_outside(self):
+        iopf = IntervalOPF({("a",): ProbInterval(0.5, 0.6), (): ProbInterval(0.4, 0.5)})
+        assert not iopf.contains(TabularOPF({("a",): 0.9, (): 0.1}))
+
+    def test_marginal_inclusion_interval(self, iopf):
+        marginal = iopf.marginal_inclusion("a")
+        assert marginal == ProbInterval(0.2, 0.5)
+
+
+class TestIntervalInstance:
+    @pytest.fixture
+    def interval_tree(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(0, 1))
+        builder.opf("r", {(): 0.4, ("a",): 0.6})
+        builder.children("a", "m", ["b"], card=(0, 1))
+        builder.opf("a", {(): 0.5, ("b",): 0.5})
+        builder.leaf("b", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        ipi = IntervalProbabilisticInstance.from_point_instance(pi)
+        return pi, ipi
+
+    def test_point_embedding_round_trip(self, interval_tree):
+        pi, ipi = interval_tree
+        ipi.validate()
+        assert ipi.contains_point_instance(pi)
+
+    def test_widened_intervals_contain_point(self, interval_tree):
+        pi, _ = interval_tree
+        ipi = IntervalProbabilisticInstance(pi.weak.copy())
+        ipi.set_iopf("r", IntervalOPF({
+            (): ProbInterval(0.3, 0.5), ("a",): ProbInterval(0.5, 0.7),
+        }))
+        ipi.set_iopf("a", IntervalOPF({
+            (): ProbInterval(0.4, 0.6), ("b",): ProbInterval(0.4, 0.6),
+        }))
+        ipi.validate()
+        assert ipi.contains_point_instance(pi)
+
+    def test_midpoint_instance_is_coherent(self, interval_tree):
+        _, ipi = interval_tree
+        mid = ipi.midpoint_instance()
+        mid.validate()
+
+    def test_iopf_on_leaf_rejected(self, interval_tree):
+        _, ipi = interval_tree
+        with pytest.raises(ModelError):
+            ipi.set_iopf("b", IntervalOPF({(): ProbInterval.point(1.0)}))
+
+    def test_missing_iopf_detected(self, interval_tree):
+        pi, _ = interval_tree
+        bare = IntervalProbabilisticInstance(pi.weak.copy())
+        with pytest.raises(ModelError):
+            bare.validate()
+
+
+class TestIntervalQueries:
+    @pytest.fixture
+    def ipi(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a"], card=(0, 1))
+        builder.opf("r", {(): 0.4, ("a",): 0.6})
+        builder.children("a", "m", ["b"], card=(0, 1))
+        builder.opf("a", {(): 0.5, ("b",): 0.5})
+        builder.leaf("b", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        ipi = IntervalProbabilisticInstance(pi.weak.copy())
+        ipi.set_iopf("r", IntervalOPF({
+            (): ProbInterval(0.3, 0.5), ("a",): ProbInterval(0.5, 0.7),
+        }))
+        ipi.set_iopf("a", IntervalOPF({
+            (): ProbInterval(0.4, 0.6), ("b",): ProbInterval(0.4, 0.6),
+        }))
+        return ipi
+
+    def test_chain_interval(self, ipi):
+        interval = interval_chain_probability(ipi, ["r", "a", "b"])
+        assert interval == ProbInterval(0.5 * 0.4, 0.7 * 0.6)
+
+    def test_root_chain_is_certain(self, ipi):
+        assert interval_chain_probability(ipi, ["r"]) == ProbInterval.point(1.0)
+
+    def test_chain_must_start_at_root(self, ipi):
+        with pytest.raises(QueryError):
+            interval_chain_probability(ipi, ["a", "b"])
+
+    def test_point_query_interval(self, ipi):
+        interval = interval_point_query(ipi, "r.l.m", "b")
+        assert interval.lo == pytest.approx(0.5 * 0.4)
+        assert interval.hi == pytest.approx(0.7 * 0.6)
+
+    def test_point_query_wrong_path_zero(self, ipi):
+        assert interval_point_query(ipi, "r.zz.m", "b") == ProbInterval.point(0.0)
+
+    def test_point_instance_answer_inside_interval(self, ipi):
+        # The true point answer (0.6 * 0.5 = 0.3) lies inside the bounds.
+        interval = interval_point_query(ipi, "r.l.m", "b")
+        assert 0.3 in interval
+
+
+class TestIntervalExistential:
+    def _point_tree(self):
+        builder = InstanceBuilder("R")
+        builder.children("R", "book", ["B1", "B2"])
+        builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+        builder.children("B1", "author", ["A1"])
+        builder.opf("B1", {("A1",): 0.8, (): 0.2})
+        builder.children("B2", "author", ["A2"])
+        builder.opf("B2", {("A2",): 0.6, (): 0.4})
+        builder.leaf("A1", "t", ["x"], {"x": 1.0})
+        builder.leaf("A2", "t", vpf={"x": 1.0})
+        return builder.build()
+
+    def test_point_embedding_is_exact(self):
+        from repro.pixml.queries import interval_existential_query
+        from repro.queries.point import existential_query
+
+        pi = self._point_tree()
+        exact = existential_query(pi, "R.book.author")
+        ipi = IntervalProbabilisticInstance.from_point_instance(pi)
+        interval = interval_existential_query(ipi, "R.book.author")
+        assert interval.lo == pytest.approx(exact)
+        assert interval.hi == pytest.approx(exact)
+
+    def test_widened_intervals_contain_exact(self):
+        from repro.pixml.queries import interval_existential_query
+        from repro.queries.point import existential_query
+
+        pi = self._point_tree()
+        exact = existential_query(pi, "R.book.author")
+        ipi = IntervalProbabilisticInstance(pi.weak.copy())
+        for oid, opf in pi.interpretation.opf_items():
+            widened = {}
+            for child_set, p in opf.support():
+                lo = max(0.0, p - 0.1)
+                hi = min(1.0, p + 0.1)
+                widened[child_set] = ProbInterval(lo, hi)
+            ipi.set_iopf(oid, IntervalOPF(widened))
+        interval = interval_existential_query(ipi, "R.book.author")
+        assert interval.lo - 1e-9 <= exact <= interval.hi + 1e-9
+        assert interval.width() > 0.0
+
+    def test_empty_match_is_zero(self):
+        from repro.pixml.queries import interval_existential_query
+
+        pi = self._point_tree()
+        ipi = IntervalProbabilisticInstance.from_point_instance(pi)
+        assert interval_existential_query(ipi, "R.ghost") == ProbInterval.point(0.0)
+
+    def test_zero_label_path_is_one(self):
+        from repro.pixml.queries import interval_existential_query
+
+        pi = self._point_tree()
+        ipi = IntervalProbabilisticInstance.from_point_instance(pi)
+        assert interval_existential_query(ipi, "R") == ProbInterval.point(1.0)
+
+    def test_dag_rejected(self):
+        from repro.pixml.queries import interval_existential_query
+
+        ipi = IntervalProbabilisticInstance.from_point_instance(figure2_instance())
+        with pytest.raises(QueryError):
+            interval_existential_query(ipi, "R.book.author")

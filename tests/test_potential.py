@@ -1,0 +1,128 @@
+"""Unit tests for potential child sets: PL(o, l), PC(o), hitting sets."""
+
+from repro.core.cardinality import CardinalityInterval
+from repro.core.potential import (
+    count_potential_child_sets,
+    count_potential_l_child_sets,
+    hitting_sets,
+    potential_child_sets,
+    potential_child_sets_via_hitting,
+    potential_l_child_sets,
+    split_by_label,
+)
+
+
+class TestPotentialLChildSets:
+    def test_paper_example32(self):
+        # lch(B1, author) = {A1, A2}, card = [1, 2]
+        sets = potential_l_child_sets({"A1", "A2"}, CardinalityInterval(1, 2))
+        assert set(sets) == {
+            frozenset({"A1"}),
+            frozenset({"A2"}),
+            frozenset({"A1", "A2"}),
+        }
+
+    def test_exact_cardinality(self):
+        sets = potential_l_child_sets({"A1", "A2", "A3"}, CardinalityInterval(2, 2))
+        assert all(len(s) == 2 for s in sets)
+        assert len(sets) == 3
+
+    def test_zero_min_includes_empty(self):
+        sets = potential_l_child_sets({"X"}, CardinalityInterval(0, 1))
+        assert frozenset() in sets
+
+    def test_max_clamped_to_pool(self):
+        sets = potential_l_child_sets({"X"}, CardinalityInterval(0, 99))
+        assert set(sets) == {frozenset(), frozenset({"X"})}
+
+    def test_unsatisfiable_min_gives_empty_family(self):
+        assert potential_l_child_sets({"X"}, CardinalityInterval(2, 3)) == []
+
+    def test_deterministic_order(self):
+        a = potential_l_child_sets({"b", "a"}, CardinalityInterval(0, 2))
+        b = potential_l_child_sets({"a", "b"}, CardinalityInterval(0, 2))
+        assert a == b
+
+    def test_count_matches_enumeration(self):
+        card = CardinalityInterval(1, 3)
+        sets = potential_l_child_sets({"a", "b", "c", "d"}, card)
+        assert count_potential_l_child_sets(4, card) == len(sets)
+
+
+class TestPotentialChildSets:
+    def test_two_labels_product(self):
+        lch = {"author": {"A1", "A2"}, "title": {"T1"}}
+        cards = {
+            "author": CardinalityInterval(1, 2),
+            "title": CardinalityInterval(0, 1),
+        }
+        pc = set(potential_child_sets(lch, cards))
+        # 3 author choices x 2 title choices.
+        assert len(pc) == 6
+        assert frozenset({"A1", "T1"}) in pc
+        assert frozenset({"A2"}) in pc
+
+    def test_no_labels_gives_empty_set_only(self):
+        assert list(potential_child_sets({}, {})) == [frozenset()]
+
+    def test_empty_lch_skipped(self):
+        pc = list(potential_child_sets({"a": set()}, {"a": CardinalityInterval(0, 0)}))
+        assert pc == [frozenset()]
+
+    def test_count_matches_enumeration(self):
+        lch = {"x": {"a", "b"}, "y": {"c", "d", "e"}}
+        cards = {"x": CardinalityInterval(0, 2), "y": CardinalityInterval(1, 2)}
+        assert count_potential_child_sets(lch, cards) == len(
+            list(potential_child_sets(lch, cards))
+        )
+
+    def test_unconstrained_powerset_size(self):
+        # The experiments' setting: b children, no constraint -> 2^b sets.
+        lch = {"l": {f"c{i}" for i in range(5)}}
+        cards = {"l": CardinalityInterval.unconstrained(5)}
+        assert count_potential_child_sets(lch, cards) == 32
+
+
+class TestSplitByLabel:
+    def test_split(self):
+        lch = {"author": {"A1", "A2"}, "title": {"T1"}}
+        parts = split_by_label(frozenset({"A1", "T1"}), lch)
+        assert parts == {"author": frozenset({"A1"}), "title": frozenset({"T1"})}
+
+    def test_unknown_children_reported(self):
+        parts = split_by_label(frozenset({"ghost"}), {"l": {"a"}})
+        assert parts[""] == frozenset({"ghost"})
+
+
+class TestHittingSets:
+    def test_disjoint_families_pick_one_each(self):
+        fam1 = [frozenset({"a"}), frozenset({"b"})]
+        fam2 = [frozenset({"c"})]
+        hits = list(hitting_sets([fam1, fam2]))
+        assert len(hits) == 2
+        for hit in hits:
+            assert frozenset({"c"}) in hit
+
+    def test_empty_family_list(self):
+        assert list(hitting_sets([])) == [()]
+
+    def test_literal_definition_agrees_with_product(self):
+        # Under label-disjointness, the paper's Definition 3.6 and the
+        # per-label product give the same PC(o).
+        lch = {"author": {"A1", "A2"}, "title": {"T1"}}
+        cards = {
+            "author": CardinalityInterval(1, 2),
+            "title": CardinalityInterval(0, 1),
+        }
+        via_product = set(potential_child_sets(lch, cards))
+        via_hitting = potential_child_sets_via_hitting(lch, cards)
+        assert via_product == via_hitting
+
+    def test_shared_member_minimality(self):
+        # When families overlap, a single shared pick can hit both.
+        shared = frozenset({"s"})
+        hits = list(hitting_sets([[shared, frozenset({"a"})], [shared]]))
+        as_sets = [frozenset(h) for h in hits]
+        assert frozenset({shared}) in as_sets
+        # {a, s} is NOT minimal (s alone hits both), so it must be absent.
+        assert frozenset({frozenset({"a"}), shared}) not in as_sets

@@ -1,0 +1,116 @@
+"""Tests for the Cartesian product of probabilistic instances."""
+
+import pytest
+
+from repro.algebra.product import cartesian_product
+from repro.core.builder import InstanceBuilder
+from repro.errors import AlgebraError
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.paths import PathExpression, evaluate_path
+
+
+def make_left():
+    builder = InstanceBuilder("r1")
+    builder.children("r1", "book", ["B1"], card=(0, 1))
+    builder.opf("r1", {(): 0.4, ("B1",): 0.6})
+    builder.leaf("B1", "t", ["x"], {"x": 1.0})
+    return builder.build()
+
+
+def make_right():
+    builder = InstanceBuilder("r2")
+    builder.children("r2", "paper", ["P1"], card=(0, 1))
+    builder.opf("r2", {(): 0.3, ("P1",): 0.7})
+    builder.leaf("P1", "t", ["x"], {"x": 1.0})
+    return builder.build()
+
+
+class TestCartesianProduct:
+    def test_roots_merged(self):
+        product = cartesian_product(make_left(), make_right(), new_root="r")
+        assert product.root == "r"
+        assert product.lch("r", "book") == frozenset({"B1"})
+        assert product.lch("r", "paper") == frozenset({"P1"})
+        product.validate()
+
+    def test_default_root_name(self):
+        product = cartesian_product(make_left(), make_right())
+        assert product.root == "r1xr2"
+
+    def test_root_opf_is_product(self):
+        product = cartesian_product(make_left(), make_right(), new_root="r")
+        opf = product.opf("r")
+        assert opf.prob(frozenset()) == pytest.approx(0.4 * 0.3)
+        assert opf.prob(frozenset({"B1"})) == pytest.approx(0.6 * 0.3)
+        assert opf.prob(frozenset({"P1"})) == pytest.approx(0.4 * 0.7)
+        assert opf.prob(frozenset({"B1", "P1"})) == pytest.approx(0.6 * 0.7)
+
+    def test_marginals_preserved(self):
+        product = cartesian_product(make_left(), make_right(), new_root="r")
+        worlds = GlobalInterpretation.from_local(product)
+        worlds.validate()
+        assert worlds.prob_object_exists("B1") == pytest.approx(0.6)
+        assert worlds.prob_object_exists("P1") == pytest.approx(0.7)
+
+    def test_components_independent(self):
+        product = cartesian_product(make_left(), make_right(), new_root="r")
+        worlds = GlobalInterpretation.from_local(product)
+        joint = worlds.event_probability(lambda w: "B1" in w and "P1" in w)
+        assert joint == pytest.approx(0.6 * 0.7)
+
+    def test_path_expressions_still_work(self):
+        # The paper's stated reason for merging roots instead of stacking.
+        product = cartesian_product(make_left(), make_right(), new_root="r")
+        graph = product.weak.graph()
+        assert evaluate_path(graph, PathExpression.parse("r.book")) == frozenset(
+            {"B1"}
+        )
+        assert evaluate_path(graph, PathExpression.parse("r.paper")) == frozenset(
+            {"P1"}
+        )
+
+    def test_shared_label_cards_summed(self):
+        left = InstanceBuilder("r1")
+        left.children("r1", "book", ["B1"], card=(1, 1))
+        left.opf("r1", {("B1",): 1.0})
+        left.leaf("B1", "t", ["x"], {"x": 1.0})
+        right = InstanceBuilder("r2")
+        right.children("r2", "book", ["B2"], card=(1, 1))
+        right.opf("r2", {("B2",): 1.0})
+        right.leaf("B2", "t", ["x"], {"x": 1.0})
+        product = cartesian_product(left.build(), right.build(), new_root="r")
+        assert product.card("r", "book").min == 2
+        assert product.card("r", "book").max == 2
+        product.validate()
+
+    def test_overlapping_ids_rejected(self):
+        left = make_left()
+        clash = InstanceBuilder("r3")
+        clash.children("r3", "z", ["B1"], card=(1, 1))  # B1 clashes
+        clash.opf("r3", {("B1",): 1.0})
+        clash.leaf("B1", "t", ["x"], {"x": 1.0})
+        with pytest.raises(AlgebraError):
+            cartesian_product(left, clash.build())
+
+    def test_root_id_collision_rejected(self):
+        with pytest.raises(AlgebraError):
+            cartesian_product(make_left(), make_right(), new_root="B1")
+
+    def test_leaf_root_operand(self):
+        # An operand that is just a root leaf contributes nothing but mass.
+        bare = InstanceBuilder("solo").build(validate=False)
+        product = cartesian_product(make_left(), bare, new_root="r")
+        worlds = GlobalInterpretation.from_local(product)
+        assert worlds.prob_object_exists("B1") == pytest.approx(0.6)
+
+    def test_deep_components_kept_intact(self):
+        deep = InstanceBuilder("r2")
+        deep.children("r2", "a", ["M"], card=(1, 1))
+        deep.opf("r2", {("M",): 1.0})
+        deep.children("M", "b", ["L"], card=(0, 1))
+        deep.opf("M", {(): 0.5, ("L",): 0.5})
+        deep.leaf("L", "t", ["x"], {"x": 1.0})
+        product = cartesian_product(make_left(), deep.build(), new_root="r")
+        product.validate()
+        worlds = GlobalInterpretation.from_local(product)
+        assert worlds.prob_object_exists("L") == pytest.approx(0.5)

@@ -1,0 +1,158 @@
+"""Tests for descendant/single projection on probabilistic instances."""
+
+import random
+
+import pytest
+
+from repro.algebra.projection_more import (
+    descendant_projection_global,
+    descendant_projection_local,
+    single_projection_global,
+    single_projection_local,
+)
+from repro.algebra.selection import ObjectCardinalityCondition, select_global, select_local
+from repro.core.builder import InstanceBuilder
+from repro.core.cardinality import CardinalityInterval
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.paths import PathExpression
+
+from tests.helpers import random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"])
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    builder.children("B1", "author", ["A1", "A2"])
+    builder.opf("B1", {("A1",): 0.5, ("A2",): 0.2, ("A1", "A2"): 0.3})
+    builder.children("B2", "author", ["A3"])
+    builder.opf("B2", {("A3",): 0.6, (): 0.4})
+    builder.children("A1", "inst", ["I1"])
+    builder.opf("A1", {("I1",): 0.7, (): 0.3})
+    builder.leaf("I1", "place", ["MD"], {"MD": 1.0})
+    builder.leaf("A2", "name", ["x", "y"], {"x": 0.6, "y": 0.4})
+    builder.leaf("A3", "name", vpf={"y": 1.0})
+    return builder.build()
+
+
+class TestDescendantProjection:
+    def test_local_matches_global(self, tree):
+        reference = descendant_projection_global(tree, "R.book.author")
+        local = descendant_projection_local(tree, "R.book.author")
+        local.validate()
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    def test_keeps_subtrees_below_matches(self, tree):
+        local = descendant_projection_local(tree, "R.book.author")
+        assert "I1" in local  # institution below matched author A1
+        assert local.opf("A1").prob(frozenset({"I1"})) == pytest.approx(0.7)
+
+    def test_shallow_path_local_matches_global(self, tree):
+        reference = descendant_projection_global(tree, "R.book")
+        local = descendant_projection_local(tree, "R.book")
+        local.validate()
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    def test_matched_leaf_path_equals_ancestor(self, tree):
+        from repro.algebra.projection_prob import ancestor_projection_local
+
+        # When matches are leaves, descendant == ancestor projection.
+        path = "R.book.author.inst"
+        a = ancestor_projection_local(tree, path)
+        d = descendant_projection_local(tree, path)
+        assert GlobalInterpretation.from_local(a).is_close_to(
+            GlobalInterpretation.from_local(d)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees(self, seed):
+        rng = random.Random(seed)
+        pi = random_tree_instance(rng, depth=3, max_children=2)
+        labels = sorted(pi.weak.graph().labels)
+        path = PathExpression(pi.root, (rng.choice(labels), rng.choice(labels)))
+        reference = descendant_projection_global(pi, path)
+        local = descendant_projection_local(pi, path)
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+
+class TestSingleProjection:
+    def test_local_matches_global(self, tree):
+        reference = single_projection_global(tree, "R.book.author")
+        local = single_projection_local(tree, "R.book.author")
+        local.validate()
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+    def test_matches_attached_to_root(self, tree):
+        local = single_projection_local(tree, "R.book.author")
+        assert local.lch("R", "author") == frozenset({"A1", "A2", "A3"})
+        assert len(local) == 4
+
+    def test_root_opf_captures_sibling_correlation(self, tree):
+        # A1 and A2 share the ancestor B1: the joint presence probability
+        # differs from the product of the marginals, and the root OPF must
+        # carry exactly that correlation.
+        local = single_projection_local(tree, "R.book.author")
+        worlds = GlobalInterpretation.from_local(local)
+        p_a1 = worlds.prob_object_exists("A1")
+        p_a2 = worlds.prob_object_exists("A2")
+        joint = worlds.event_probability(lambda w: "A1" in w and "A2" in w)
+        assert joint != pytest.approx(p_a1 * p_a2)
+
+    def test_leaf_values_survive(self, tree):
+        local = single_projection_local(tree, "R.book.author")
+        assert local.vpf("A2").prob("x") == pytest.approx(0.6)
+
+    def test_empty_match(self, tree):
+        local = single_projection_local(tree, "R.nothing")
+        assert len(local) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees(self, seed):
+        rng = random.Random(seed)
+        pi = random_tree_instance(rng, depth=2, max_children=2)
+        labels = sorted(pi.weak.graph().labels)
+        path = PathExpression(pi.root, (rng.choice(labels), rng.choice(labels)))
+        reference = single_projection_global(pi, path)
+        local = single_projection_local(pi, path)
+        assert GlobalInterpretation.from_local(local).is_close_to(reference)
+
+
+class TestObjectCardinalitySelection:
+    def test_local_matches_global(self, tree):
+        condition = ObjectCardinalityCondition(
+            PathExpression.parse("R.book"), "B1", "author", CardinalityInterval(2, 2)
+        )
+        reference = select_global(tree, condition)
+        local = select_local(tree, condition)
+        local.instance.validate()
+        assert GlobalInterpretation.from_local(local.instance).is_close_to(reference)
+        # P(B1 present) * P(two authors | B1) = 0.7 * 0.3.
+        assert local.probability == pytest.approx(0.7 * 0.3)
+
+    def test_conditioned_opf_support(self, tree):
+        condition = ObjectCardinalityCondition(
+            PathExpression.parse("R.book"), "B1", "author", CardinalityInterval(1, 1)
+        )
+        local = select_local(tree, condition)
+        for child_set, _ in local.instance.opf("B1").support():
+            assert len(child_set) == 1
+
+    def test_unsatisfiable_interval_raises(self, tree):
+        from repro.errors import EmptyResultError
+
+        condition = ObjectCardinalityCondition(
+            PathExpression.parse("R.book"), "B2", "author", CardinalityInterval(5, 9)
+        )
+        with pytest.raises(EmptyResultError):
+            select_local(tree, condition)
+
+    def test_leaf_target_rejected(self, tree):
+        from repro.errors import EmptyResultError
+
+        condition = ObjectCardinalityCondition(
+            PathExpression.parse("R.book.author.inst"), "I1", "x",
+            CardinalityInterval(0, 0),
+        )
+        with pytest.raises(EmptyResultError):
+            select_local(tree, condition)

@@ -1,0 +1,111 @@
+"""Tests for projection on ordinary semistructured instances."""
+
+import pytest
+
+from repro.algebra.projection import (
+    ancestor_projection,
+    descendant_projection,
+    single_projection,
+)
+from repro.errors import AlgebraError
+from repro.paper import figure1_instance
+from repro.semistructured.instance import SemistructuredInstance
+
+
+@pytest.fixture
+def inst():
+    return figure1_instance()
+
+
+class TestAncestorProjection:
+    def test_keeps_only_on_path_objects(self, inst):
+        result = ancestor_projection(inst, "R.book.author")
+        assert result.objects == frozenset({"R", "B1", "B2", "B3", "A1", "A2", "A3"})
+
+    def test_keeps_only_on_path_edges(self, inst):
+        result = ancestor_projection(inst, "R.book.author")
+        assert ("B1", "T1") not in {(s, d) for s, d, _ in result.edges()}
+        assert ("A1", "I1") not in {(s, d) for s, d, _ in result.edges()}
+
+    def test_labels_preserved(self, inst):
+        result = ancestor_projection(inst, "R.book.author")
+        assert result.label("R", "B2") == "book"
+        assert result.label("B2", "A1") == "author"
+
+    def test_one_level(self, inst):
+        result = ancestor_projection(inst, "R.book.title")
+        assert result.objects == frozenset({"R", "B1", "B3", "T1", "T2"})
+        # B2 has no title: pruned.
+        assert "B2" not in result
+
+    def test_leaf_annotations_survive(self, inst):
+        result = ancestor_projection(inst, "R.book.title")
+        assert result.val("T1") == "VQDB"
+        assert result.tau("T1").name == "title-type"
+
+    def test_empty_match_gives_bare_root(self, inst):
+        result = ancestor_projection(inst, "R.nothing.here")
+        assert result.objects == frozenset({"R"})
+
+    def test_zero_label_path_gives_bare_root(self, inst):
+        result = ancestor_projection(inst, "R")
+        assert result.objects == frozenset({"R"})
+
+    def test_wrong_root_rejected(self, inst):
+        with pytest.raises(AlgebraError):
+            ancestor_projection(inst, "B1.author")
+
+    def test_idempotent(self, inst):
+        once = ancestor_projection(inst, "R.book.author")
+        twice = ancestor_projection(once, "R.book.author")
+        assert once == twice
+
+    def test_string_and_object_path_agree(self, inst):
+        from repro.semistructured.paths import PathExpression
+
+        a = ancestor_projection(inst, "R.book.author")
+        b = ancestor_projection(inst, PathExpression.parse("R.book.author"))
+        assert a == b
+
+    def test_dag_shared_target(self):
+        inst = SemistructuredInstance.from_edges(
+            "r",
+            [("r", "a", "x"), ("r", "b", "x"), ("a", "s", "y"), ("b", "s", "y"),
+             ("a", "t", "z")],
+        )
+        result = ancestor_projection(inst, "r.x.y")
+        assert result.objects == frozenset({"r", "a", "b", "s"})
+        assert result.parents("s") == frozenset({"a", "b"})
+
+
+class TestDescendantProjection:
+    def test_keeps_subtrees_below_matches(self, inst):
+        result = descendant_projection(inst, "R.book.author")
+        # Institutions are descendants of the matched authors: kept.
+        assert "I1" in result and "I2" in result
+        assert result.label("A1", "I1") == "institution"
+
+    def test_prunes_non_matching_branches(self, inst):
+        result = descendant_projection(inst, "R.book.author")
+        assert "T1" not in result  # titles are not below any author
+
+    def test_matching_leaves_behave_like_ancestor(self, inst):
+        anc = ancestor_projection(inst, "R.book.author.institution")
+        des = descendant_projection(inst, "R.book.author.institution")
+        assert anc == des
+
+
+class TestSingleProjection:
+    def test_matches_directly_under_root(self, inst):
+        result = single_projection(inst, "R.book.author")
+        assert result.objects == frozenset({"R", "A1", "A2", "A3"})
+        assert result.children("R") == frozenset({"A1", "A2", "A3"})
+        assert result.label("R", "A1") == "author"
+
+    def test_zero_label_path(self, inst):
+        result = single_projection(inst, "R")
+        assert result.objects == frozenset({"R"})
+
+    def test_values_survive(self, inst):
+        result = single_projection(inst, "R.book.title")
+        assert result.val("T1") == "VQDB"

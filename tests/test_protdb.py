@@ -1,0 +1,118 @@
+"""Tests for the ProTDB baseline and its translation into PXML."""
+
+import pytest
+
+from repro.errors import DistributionError, ModelError
+from repro.protdb.model import ProTDBInstance, ProTDBNode
+from repro.protdb.translate import protdb_world_distribution, to_pxml
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.types import LeafType
+
+T = LeafType("t", ["v1", "v2"])
+
+
+def make_instance():
+    root = ProTDBNode("r")
+    book = root.add_child("book", ProTDBNode("b1"), 0.8)
+    book.add_child("title", ProTDBNode("t1", leaf_type=T, value="v1"), 0.9)
+    book.add_child("author", ProTDBNode("a1", leaf_type=T, value="v2"), 0.5)
+    root.add_child("book", ProTDBNode("b2", leaf_type=T, value="v1"), 0.3)
+    return ProTDBInstance(root)
+
+
+class TestModel:
+    def test_tree_structure(self):
+        instance = make_instance()
+        assert len(instance) == 5
+        assert instance.objects == frozenset({"r", "b1", "t1", "a1", "b2"})
+
+    def test_nodes_preorder(self):
+        nodes = [n.oid for n in make_instance().nodes()]
+        assert nodes[0] == "r"
+        assert set(nodes) == {"r", "b1", "t1", "a1", "b2"}
+
+    def test_duplicate_oid_rejected(self):
+        root = ProTDBNode("r")
+        root.add_child("l", ProTDBNode("x"), 0.5)
+        root.add_child("l", ProTDBNode("x"), 0.5)
+        with pytest.raises(ModelError):
+            ProTDBInstance(root)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(DistributionError):
+            ProTDBNode("r").add_child("l", ProTDBNode("x"), 1.5)
+
+    def test_leaf_detection(self):
+        node = ProTDBNode("x")
+        assert node.is_leaf()
+        node.add_child("l", ProTDBNode("y"), 0.1)
+        assert not node.is_leaf()
+
+
+class TestTranslation:
+    def test_pxml_is_coherent(self):
+        pxml = to_pxml(make_instance())
+        pxml.validate()
+
+    def test_independent_opfs_used(self):
+        from repro.core.compact import IndependentOPF
+
+        pxml = to_pxml(make_instance())
+        assert isinstance(pxml.opf("r"), IndependentOPF)
+        assert pxml.opf("r").marginal_inclusion("b1") == pytest.approx(0.8)
+
+    def test_leaf_values_become_point_masses(self):
+        pxml = to_pxml(make_instance())
+        assert pxml.effective_vpf("t1").prob("v1") == 1.0
+
+    def test_world_distributions_identical(self):
+        protdb = make_instance()
+        pxml = to_pxml(protdb)
+        reference = protdb_world_distribution(protdb)
+        translated = GlobalInterpretation.from_local(pxml)
+        assert len(reference) == len(translated)
+        for world, probability in reference.items():
+            assert translated.prob(world) == pytest.approx(probability), world
+
+    def test_protdb_distribution_sums_to_one(self):
+        distribution = protdb_world_distribution(make_instance())
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_certain_children_collapse_worlds(self):
+        root = ProTDBNode("r")
+        root.add_child("l", ProTDBNode("a", leaf_type=T, value="v1"), 1.0)
+        distribution = protdb_world_distribution(ProTDBInstance(root))
+        assert len(distribution) == 1
+
+    def test_pxml_queries_work_on_translation(self):
+        from repro.queries.engine import QueryEngine
+
+        pxml = to_pxml(make_instance())
+        engine = QueryEngine(pxml)
+        assert engine.point("r.book.author", "a1") == pytest.approx(0.8 * 0.5)
+
+    def test_labels_partition_children(self):
+        pxml = to_pxml(make_instance())
+        assert pxml.lch("r", "book") == frozenset({"b1", "b2"})
+        assert pxml.lch("b1", "title") == frozenset({"t1"})
+
+
+class TestSubsumptionLimit:
+    def test_correlated_children_not_expressible_in_protdb(self):
+        # PXML can give correlated children (all-or-nothing); the closest
+        # ProTDB independent model has a strictly different distribution —
+        # the subsumption is strict.
+        from repro.core.builder import InstanceBuilder
+
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b"], card=(0, 2))
+        builder.opf("r", {(): 0.5, ("a", "b"): 0.5})
+        builder.leaf("a", "t", ["v1"], {"v1": 1.0})
+        builder.leaf("b", "t", vpf={"v1": 1.0})
+        pxml = builder.build()
+        worlds = GlobalInterpretation.from_local(pxml)
+        p_a = worlds.prob_object_exists("a")
+        p_b = worlds.prob_object_exists("b")
+        joint = worlds.event_probability(lambda w: "a" in w and "b" in w)
+        # Under any ProTDB (independent) model, joint = p_a * p_b.
+        assert joint != pytest.approx(p_a * p_b)

@@ -1,0 +1,179 @@
+"""Tests for Section 6.2's queries across all three engines."""
+
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import QueryError
+from repro.paper import figure2_instance
+from repro.queries.chain import chain_probability
+from repro.queries.engine import QueryEngine
+from repro.queries.point import existential_query, point_query
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.paths import PathExpression
+
+from tests.helpers import random_dag_instance, random_tree_instance
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("R")
+    builder.children("R", "book", ["B1", "B2"])
+    builder.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    builder.children("B1", "author", ["A1", "A2"])
+    builder.opf("B1", {("A1",): 0.5, ("A2",): 0.2, ("A1", "A2"): 0.3})
+    builder.children("B2", "author", ["A3"])
+    builder.opf("B2", {("A3",): 0.6, (): 0.4})
+    builder.leaf("A1", "name", ["x", "y"], {"x": 0.7, "y": 0.3})
+    builder.leaf("A2", "name", vpf={"x": 1.0})
+    builder.leaf("A3", "name", vpf={"y": 1.0})
+    return builder.build()
+
+
+class TestChainProbability:
+    def test_single_link(self, tree):
+        assert chain_probability(tree, ["R", "B1"]) == pytest.approx(0.7)
+
+    def test_two_links(self, tree):
+        assert chain_probability(tree, ["R", "B1", "A1"]) == pytest.approx(0.7 * 0.8)
+
+    def test_root_only_chain(self, tree):
+        assert chain_probability(tree, ["R"]) == 1.0
+
+    def test_impossible_link_is_zero(self, tree):
+        assert chain_probability(tree, ["R", "A1"]) == 0.0
+
+    def test_unknown_object_is_zero(self, tree):
+        assert chain_probability(tree, ["R", "GHOST"]) == 0.0
+
+    def test_wrong_start_rejected(self, tree):
+        with pytest.raises(QueryError):
+            chain_probability(tree, ["B1", "A1"])
+
+    def test_empty_chain_rejected(self, tree):
+        with pytest.raises(QueryError):
+            chain_probability(tree, [])
+
+    def test_matches_enumeration(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        brute = worlds.event_probability(
+            lambda w: "B1" in w and "A1" in w.children("B1")
+        )
+        assert chain_probability(tree, ["R", "B1", "A1"]) == pytest.approx(brute)
+
+
+class TestPointQuery:
+    def test_matches_enumeration(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        path = PathExpression.parse("R.book.author")
+        for oid in ["A1", "A2", "A3"]:
+            assert point_query(tree, path, oid) == pytest.approx(
+                worlds.prob_object_at_path(path, oid)
+            )
+
+    def test_object_off_path_is_zero(self, tree):
+        assert point_query(tree, "R.book", "A1") == 0.0
+
+    def test_wrong_label_is_zero(self, tree):
+        assert point_query(tree, "R.paper.author", "A1") == 0.0
+
+    def test_root_point_query(self, tree):
+        assert point_query(tree, "R", "R") == 1.0
+
+
+class TestExistentialQuery:
+    def test_matches_enumeration(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        for text in ["R.book", "R.book.author"]:
+            path = PathExpression.parse(text)
+            assert existential_query(tree, path) == pytest.approx(
+                worlds.prob_path_nonempty(path)
+            )
+
+    def test_not_just_sum_of_points(self, tree):
+        # Existential probability uses inclusion-exclusion across objects:
+        # it must be below the sum of the point probabilities.
+        path = PathExpression.parse("R.book.author")
+        points = sum(point_query(tree, path, o) for o in ["A1", "A2", "A3"])
+        exists = existential_query(tree, path)
+        assert exists < points
+        assert exists == pytest.approx(
+            GlobalInterpretation.from_local(tree).prob_path_nonempty(path)
+        )
+
+    def test_impossible_path_is_zero(self, tree):
+        assert existential_query(tree, "R.ghost") == 0.0
+
+
+class TestQueryEngine:
+    def test_auto_picks_local_for_trees(self, tree):
+        assert QueryEngine(tree).strategy == "local"
+
+    def test_auto_picks_bayes_for_dags(self):
+        assert QueryEngine(figure2_instance()).strategy == "bayes"
+
+    def test_unknown_strategy_rejected(self, tree):
+        with pytest.raises(QueryError):
+            QueryEngine(tree, strategy="magic")
+
+    @pytest.mark.parametrize("strategy", ["local", "bayes", "enumerate"])
+    def test_point_agrees_across_engines(self, tree, strategy):
+        engine = QueryEngine(tree, strategy=strategy)
+        assert engine.point("R.book.author", "A1") == pytest.approx(0.7 * 0.8)
+
+    @pytest.mark.parametrize("strategy", ["local", "bayes", "enumerate"])
+    def test_exists_agrees_across_engines(self, tree, strategy):
+        reference = QueryEngine(tree, strategy="enumerate").exists("R.book.author")
+        engine = QueryEngine(tree, strategy=strategy)
+        assert engine.exists("R.book.author") == pytest.approx(reference)
+
+    @pytest.mark.parametrize("strategy", ["local", "bayes", "enumerate"])
+    def test_chain_agrees_across_engines(self, tree, strategy):
+        engine = QueryEngine(tree, strategy=strategy)
+        assert engine.chain(["R", "B2", "A3"]) == pytest.approx(0.6 * 0.6)
+
+    def test_object_exists(self, tree):
+        engine = QueryEngine(tree)
+        reference = GlobalInterpretation.from_local(tree).prob_object_exists("A3")
+        assert engine.object_exists("A3") == pytest.approx(reference)
+
+    def test_dag_point_query_via_bayes(self):
+        pi = figure2_instance()
+        engine = QueryEngine(pi)
+        reference = GlobalInterpretation.from_local(pi).prob_object_at_path(
+            PathExpression.parse("R.book.author"), "A2"
+        )
+        assert engine.point("R.book.author", "A2") == pytest.approx(reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees_engines_agree(self, seed):
+        rng = random.Random(seed)
+        pi = random_tree_instance(rng, depth=2, max_children=2)
+        graph = pi.weak.graph()
+        leaf = sorted(pi.weak.leaves())[0]
+        labels = []
+        current = leaf
+        while current != pi.root:
+            (parent,) = graph.parents(current)
+            labels.append(graph.label(parent, current))
+            current = parent
+        labels.reverse()
+        path = PathExpression(pi.root, tuple(labels))
+        answers = {
+            strategy: QueryEngine(pi, strategy=strategy).point(path, leaf)
+            for strategy in ("local", "bayes", "enumerate")
+        }
+        assert answers["local"] == pytest.approx(answers["enumerate"])
+        assert answers["bayes"] == pytest.approx(answers["enumerate"])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dags_bayes_matches_enumeration(self, seed):
+        rng = random.Random(seed)
+        pi = random_dag_instance(rng)
+        path = PathExpression(pi.root, ("a", "b"))
+        bayes = QueryEngine(pi, strategy="bayes")
+        brute = QueryEngine(pi, strategy="enumerate")
+        assert bayes.exists(path) == pytest.approx(brute.exists(path))
+        for leaf in sorted(pi.weak.leaves()):
+            assert bayes.point(path, leaf) == pytest.approx(brute.point(path, leaf))

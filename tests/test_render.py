@@ -1,0 +1,86 @@
+"""Tests for the rendering module."""
+
+from repro.paper import example41_s1, figure1_instance, figure2_instance
+from repro.render import (
+    render_distribution,
+    render_instance,
+    render_tables,
+    render_tree,
+    render_weak_graph,
+)
+from repro.semantics.global_interpretation import GlobalInterpretation
+
+
+class TestRenderTree:
+    def test_contains_all_objects(self):
+        text = render_tree(example41_s1())
+        for oid in ["R", "B1", "B2", "A1", "A2", "T1", "I1"]:
+            assert oid in text
+
+    def test_edge_labels_shown(self):
+        text = render_tree(example41_s1())
+        assert "--book-->" in text
+        assert "--author-->" in text
+
+    def test_leaf_values_shown(self):
+        text = render_tree(example41_s1())
+        assert "T1: title-type = 'VQDB'" in text
+
+    def test_shared_objects_marked(self):
+        # Figure 1 is a DAG: A1 and I1 are shared.
+        text = render_tree(figure1_instance())
+        assert "*" in text
+
+    def test_max_depth_truncates(self):
+        text = render_tree(figure1_instance(), max_depth=1)
+        assert "..." in text
+        assert "I1" not in text
+
+    def test_deterministic(self):
+        assert render_tree(figure1_instance()) == render_tree(figure1_instance())
+
+
+class TestRenderTables:
+    def test_lch_section(self):
+        text = render_tables(figure2_instance())
+        assert "lch(o, l)" in text
+        assert "{B1, B2, B3}" in text
+
+    def test_card_section(self):
+        text = render_tables(figure2_instance())
+        assert "[2, 3]" in text  # card(R, book)
+
+    def test_opf_section(self):
+        text = render_tables(figure2_instance())
+        assert "PC(R)" in text
+        assert "0.4" in text
+
+    def test_vpf_section(self):
+        text = render_tables(figure2_instance())
+        assert "dom(tau(T1))" in text
+        assert "'VQDB'" in text
+
+    def test_render_instance_combines_both(self):
+        text = render_instance(figure2_instance())
+        assert "--book-->" in text
+        assert "PC(R)" in text
+
+
+class TestRenderDistribution:
+    def test_sorted_by_probability(self):
+        worlds = GlobalInterpretation.from_local(figure2_instance())
+        text = render_distribution(worlds, limit=5)
+        lines = [l for l in text.splitlines() if not l.startswith("...")]
+        probabilities = [float(line.split()[0]) for line in lines]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_limit_respected(self):
+        worlds = GlobalInterpretation.from_local(figure2_instance())
+        text = render_distribution(worlds, limit=3)
+        assert "more worlds" in text
+        assert len([l for l in text.splitlines() if l.strip()]) == 4
+
+    def test_weak_graph_rendering(self):
+        pi = figure2_instance()
+        text = render_weak_graph(pi.weak.graph(), pi.root)
+        assert "B3" in text

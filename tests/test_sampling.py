@@ -1,0 +1,112 @@
+"""Tests for the Monte-Carlo world sampler."""
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import CyclicModelError, SemanticsError
+from repro.paper import figure2_instance
+from repro.semantics.compatible import is_compatible
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semantics.sampling import (
+    WorldSampler,
+    estimate_existential_query,
+    estimate_point_query,
+    estimate_probability,
+)
+
+
+@pytest.fixture
+def tree():
+    builder = InstanceBuilder("r")
+    builder.children("r", "l", ["a"], card=(0, 1))
+    builder.opf("r", {(): 0.4, ("a",): 0.6})
+    builder.children("a", "m", ["b"], card=(0, 1))
+    builder.opf("a", {(): 0.5, ("b",): 0.5})
+    builder.leaf("b", "t", ["x", "y"], {"x": 0.25, "y": 0.75})
+    return builder.build()
+
+
+class TestWorldSampler:
+    def test_samples_are_compatible(self, tree):
+        sampler = WorldSampler(tree, seed=1)
+        for world in sampler.sample_many(50):
+            assert is_compatible(world, tree.weak)
+
+    def test_samples_from_dag(self):
+        pi = figure2_instance()
+        sampler = WorldSampler(pi, seed=2)
+        for world in sampler.sample_many(25):
+            assert is_compatible(world, pi.weak)
+
+    def test_deterministic_with_seed(self, tree):
+        a = WorldSampler(tree, seed=7).sample_many(10)
+        b = WorldSampler(tree, seed=7).sample_many(10)
+        assert a == b
+
+    def test_frequencies_match_probabilities(self, tree):
+        worlds = GlobalInterpretation.from_local(tree)
+        sampler = WorldSampler(tree, seed=3)
+        samples = sampler.sample_many(4000)
+        for world, probability in worlds.support():
+            frequency = sum(1 for s in samples if s == world) / len(samples)
+            assert frequency == pytest.approx(probability, abs=0.03)
+
+    def test_cyclic_instance_rejected(self):
+        from repro.core.instance import ProbabilisticInstance
+        from repro.core.weak_instance import WeakInstance
+
+        weak = WeakInstance("a")
+        weak.set_lch("a", "l", ["b"])
+        weak.set_lch("b", "l", ["a"])
+        with pytest.raises(CyclicModelError):
+            WorldSampler(ProbabilisticInstance(weak))
+
+    def test_missing_opf_rejected(self):
+        from repro.core.instance import ProbabilisticInstance
+        from repro.core.weak_instance import WeakInstance
+
+        weak = WeakInstance("r")
+        weak.set_lch("r", "l", ["a"])
+        sampler = WorldSampler(ProbabilisticInstance(weak))
+        with pytest.raises(SemanticsError):
+            sampler.sample()
+
+
+class TestEstimators:
+    def test_estimate_matches_exact(self, tree):
+        estimate = estimate_probability(
+            tree, lambda w: "a" in w, samples=4000, seed=4
+        )
+        low, high = estimate.confidence_interval(z=3.5)
+        assert low <= 0.6 <= high
+
+    def test_point_estimate(self, tree):
+        estimate = estimate_point_query(tree, "r.l.m", "b", samples=4000, seed=5)
+        low, high = estimate.confidence_interval(z=3.5)
+        assert low <= 0.3 <= high
+
+    def test_existential_estimate_on_dag(self):
+        pi = figure2_instance()
+        exact = GlobalInterpretation.from_local(pi).prob_path_nonempty
+        from repro.semistructured.paths import PathExpression
+
+        path = PathExpression.parse("R.book.author.institution")
+        estimate = estimate_existential_query(pi, path, samples=3000, seed=6)
+        low, high = estimate.confidence_interval(z=3.5)
+        # Guard against float drift pushing the exact value past 1.0.
+        exact_value = min(exact(path), 1.0)
+        assert low - 1e-9 <= exact_value <= high + 1e-9
+
+    def test_stderr_shrinks_with_samples(self, tree):
+        small = estimate_probability(tree, lambda w: "a" in w, samples=100, seed=7)
+        large = estimate_probability(tree, lambda w: "a" in w, samples=10000, seed=7)
+        assert large.stderr < small.stderr
+
+    def test_zero_samples_rejected(self, tree):
+        with pytest.raises(SemanticsError):
+            estimate_probability(tree, lambda w: True, samples=0)
+
+    def test_estimate_str(self, tree):
+        estimate = estimate_probability(tree, lambda w: True, samples=10, seed=8)
+        assert "n=10" in str(estimate)
+        assert estimate.probability == 1.0

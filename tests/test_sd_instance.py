@@ -1,0 +1,119 @@
+"""Unit tests for semistructured instances (Definition 3.3)."""
+
+import pytest
+
+from repro.errors import ModelError, TypeDomainError, UnknownObjectError
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType
+
+T = LeafType("t", ["x", "y"])
+
+
+@pytest.fixture
+def inst():
+    return SemistructuredInstance.from_edges(
+        "r",
+        [("r", "a", "l1"), ("r", "b", "l2"), ("a", "c", "l3")],
+        [("c", T, "x"), ("b", T, "y")],
+    )
+
+
+class TestConstruction:
+    def test_from_edges(self, inst):
+        assert inst.root == "r"
+        assert len(inst) == 4
+        assert inst.children("r") == frozenset({"a", "b"})
+        assert inst.label("a", "c") == "l3"
+
+    def test_add_object_disconnected(self, inst):
+        inst.add_object("island")
+        assert "island" in inst
+
+    def test_set_value_checked_against_type(self, inst):
+        with pytest.raises(TypeDomainError):
+            inst.set_value("c", "nope")
+
+    def test_set_value_before_type_allowed(self, inst):
+        inst.add_object("d")
+        inst.add_edge("a", "d", "l4")
+        inst.set_value("d", "anything")
+        assert inst.val("d") == "anything"
+
+    def test_set_leaf(self, inst):
+        inst.add_edge("r", "e", "l5")
+        inst.set_leaf("e", T, "x")
+        assert inst.tau("e") == T
+        assert inst.val("e") == "x"
+
+    def test_unknown_object_raises(self, inst):
+        with pytest.raises(UnknownObjectError):
+            inst.set_type("ghost", T)
+        with pytest.raises(UnknownObjectError):
+            inst.tau("ghost")
+
+    def test_copy_independent(self, inst):
+        clone = inst.copy()
+        clone.add_edge("b", "z", "l9")
+        assert "z" not in inst
+
+
+class TestAccessors:
+    def test_lch(self, inst):
+        assert inst.lch("r", "l1") == frozenset({"a"})
+
+    def test_leaves(self, inst):
+        assert inst.leaves() == frozenset({"b", "c"})
+
+    def test_typed_leaves(self, inst):
+        assert set(inst.typed_leaves()) == {("c", T, "x"), ("b", T, "y")}
+
+    def test_tau_val_none_for_untyped(self, inst):
+        assert inst.tau("a") is None
+        assert inst.val("a") is None
+
+
+class TestValidation:
+    def test_valid_passes(self, inst):
+        inst.validate()
+
+    def test_unreachable_object_rejected(self, inst):
+        inst.add_object("island")
+        with pytest.raises(ModelError):
+            inst.validate()
+
+    def test_untyped_leaf_rejected_when_strict(self, inst):
+        inst.add_edge("r", "naked", "l6")
+        with pytest.raises(TypeDomainError):
+            inst.validate()
+        inst.validate(strict_leaves=False)
+
+    def test_root_only_instance_is_valid(self):
+        SemistructuredInstance("r").validate()
+
+
+class TestIdentity:
+    def test_equality_by_canonical_form(self, inst):
+        other = SemistructuredInstance.from_edges(
+            "r",
+            [("a", "c", "l3"), ("r", "b", "l2"), ("r", "a", "l1")],
+            [("b", T, "y"), ("c", T, "x")],
+        )
+        assert inst == other
+        assert hash(inst) == hash(other)
+
+    def test_value_difference_breaks_equality(self, inst):
+        other = inst.copy()
+        other.set_value("c", "y")
+        assert inst != other
+
+    def test_label_difference_breaks_equality(self, inst):
+        other = SemistructuredInstance.from_edges(
+            "r",
+            [("r", "a", "DIFFERENT"), ("r", "b", "l2"), ("a", "c", "l3")],
+            [("c", T, "x"), ("b", T, "y")],
+        )
+        assert inst != other
+
+    def test_usable_as_dict_key(self, inst):
+        d = {inst: 1.0}
+        assert d[inst.copy()] == 1.0

@@ -1,0 +1,179 @@
+"""Tests for the semantics layer: worlds, compatibility, Theorem 1."""
+
+import random
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import CyclicModelError
+from repro.semantics.compatible import (
+    count_worlds,
+    domain_distribution,
+    is_compatible,
+    iter_compatible_instances,
+    world_probability,
+)
+from repro.semantics.global_interpretation import GlobalInterpretation, verify_theorem1
+from repro.semistructured.instance import SemistructuredInstance
+from repro.semistructured.types import LeafType
+
+from tests.helpers import random_dag_instance, random_tree_instance
+
+
+@pytest.fixture
+def chain_instance():
+    """r --l--> a --m--> b, each optional, leaf b has two values."""
+    builder = InstanceBuilder("r")
+    builder.children("r", "l", ["a"], card=(0, 1))
+    builder.opf("r", {(): 0.4, ("a",): 0.6})
+    builder.children("a", "m", ["b"], card=(0, 1))
+    builder.opf("a", {(): 0.5, ("b",): 0.5})
+    builder.leaf("b", "t", ["x", "y"], {"x": 0.25, "y": 0.75})
+    return builder.build()
+
+
+class TestEnumeration:
+    def test_world_count(self, chain_instance):
+        # Worlds: {r}, {r,a}, {r,a,b=x}, {r,a,b=y}.
+        assert count_worlds(chain_instance) == 4
+
+    def test_world_probabilities(self, chain_instance):
+        dist = domain_distribution(chain_instance)
+        probabilities = sorted(dist.values())
+        assert probabilities == pytest.approx([0.075, 0.225, 0.3, 0.4])
+
+    def test_total_mass_is_one(self, chain_instance):
+        assert sum(domain_distribution(chain_instance).values()) == pytest.approx(1.0)
+
+    def test_enumeration_matches_direct_formula(self, chain_instance):
+        for world, probability in iter_compatible_instances(chain_instance):
+            assert world_probability(chain_instance, world) == pytest.approx(
+                probability
+            )
+
+    def test_every_enumerated_world_is_compatible(self, chain_instance):
+        for world, _ in iter_compatible_instances(chain_instance):
+            assert is_compatible(world, chain_instance.weak)
+
+    def test_cyclic_instance_rejected(self):
+        from repro.core.instance import ProbabilisticInstance
+        from repro.core.weak_instance import WeakInstance
+
+        weak = WeakInstance("a")
+        weak.set_lch("a", "l", ["b"])
+        weak.set_lch("b", "l", ["a"])
+        with pytest.raises(CyclicModelError):
+            list(iter_compatible_instances(ProbabilisticInstance(weak)))
+
+    def test_dag_shared_child_counted_once(self):
+        # r has children a and b; both may point to the shared leaf z.
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b"], card=(2, 2))
+        builder.opf("r", {("a", "b"): 1.0})
+        builder.children("a", "m", ["z"], card=(1, 1))
+        builder.opf("a", {("z",): 1.0})
+        builder.children("b", "m", ["z"], card=(1, 1))
+        builder.opf("b", {("z",): 1.0})
+        builder.leaf("z", "t", ["x"], {"x": 1.0})
+        pi = builder.build()
+        dist = domain_distribution(pi)
+        assert len(dist) == 1
+        (world, probability), = dist.items()
+        assert probability == pytest.approx(1.0)
+        assert world.parents("z") == frozenset({"a", "b"})
+
+
+class TestCompatibility:
+    def test_wrong_root_incompatible(self, chain_instance):
+        world = SemistructuredInstance("other")
+        assert not is_compatible(world, chain_instance.weak)
+
+    def test_unknown_object_incompatible(self, chain_instance):
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "ghost", "l")
+        assert not is_compatible(world, chain_instance.weak)
+
+    def test_wrong_label_incompatible(self, chain_instance):
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "a", "WRONG")
+        assert not is_compatible(world, chain_instance.weak)
+
+    def test_cardinality_violation_incompatible(self):
+        builder = InstanceBuilder("r")
+        builder.children("r", "l", ["a", "b"], card=(2, 2))
+        builder.opf("r", {("a", "b"): 1.0})
+        builder.leaf("a", "t", ["x"], {"x": 1.0})
+        builder.leaf("b", "t", vpf={"x": 1.0})
+        pi = builder.build()
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "a", "l")  # only one child: violates [2, 2]
+        world.set_leaf("a", LeafType("t", ["x"]), "x")
+        assert not is_compatible(world, pi.weak)
+
+    def test_weak_leaf_must_stay_leaf(self, chain_instance):
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "a", "l")
+        world.add_edge("a", "b", "m")
+        world.add_edge("b", "a", "zzz")  # b is a weak leaf: no children allowed
+        assert not is_compatible(world, chain_instance.weak)
+
+    def test_value_outside_domain_incompatible(self, chain_instance):
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "a", "l")
+        world.add_edge("a", "b", "m")
+        world.set_type("b", LeafType("t", ["x", "y"]))
+        # Bypass the type check to build an inconsistent world.
+        world._val["b"] = "z"
+        assert not is_compatible(world, chain_instance.weak)
+
+    def test_incompatible_world_has_zero_probability(self, chain_instance):
+        world = SemistructuredInstance("r")
+        world.add_edge("r", "a", "WRONG")
+        assert world_probability(chain_instance, world) == 0.0
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_sum_to_one(self, seed):
+        pi = random_tree_instance(random.Random(seed), depth=2, max_children=3)
+        verify_theorem1(pi)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags_sum_to_one(self, seed):
+        pi = random_dag_instance(random.Random(seed))
+        verify_theorem1(pi)
+
+
+class TestGlobalInterpretation:
+    def test_event_probability(self, chain_instance):
+        interpretation = GlobalInterpretation.from_local(chain_instance)
+        assert interpretation.prob_object_exists("a") == pytest.approx(0.6)
+        assert interpretation.prob_object_exists("b") == pytest.approx(0.3)
+
+    def test_condition(self, chain_instance):
+        interpretation = GlobalInterpretation.from_local(chain_instance)
+        conditioned = interpretation.condition(lambda world: "a" in world)
+        conditioned.validate()
+        assert conditioned.prob_object_exists("a") == pytest.approx(1.0)
+        assert conditioned.prob_object_exists("b") == pytest.approx(0.5)
+
+    def test_condition_on_null_event_raises(self, chain_instance):
+        from repro.errors import EmptyResultError
+
+        interpretation = GlobalInterpretation.from_local(chain_instance)
+        with pytest.raises(EmptyResultError):
+            interpretation.condition(lambda world: "ghost" in world)
+
+    def test_map_worlds_groups(self, chain_instance):
+        interpretation = GlobalInterpretation.from_local(chain_instance)
+        # Collapse every world to the bare root: all mass on one world.
+        collapsed = interpretation.map_worlds(
+            lambda world: SemistructuredInstance(world.root)
+        )
+        assert len(collapsed) == 1
+        collapsed.validate()
+
+    def test_is_close_to(self, chain_instance):
+        a = GlobalInterpretation.from_local(chain_instance)
+        b = GlobalInterpretation.from_local(chain_instance)
+        assert a.is_close_to(b)

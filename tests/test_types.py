@@ -1,0 +1,87 @@
+"""Unit tests for leaf types and the type registry."""
+
+import pytest
+
+from repro.errors import TypeDomainError
+from repro.semistructured.types import LeafType, TypeRegistry
+
+
+class TestLeafType:
+    def test_basic_domain(self):
+        t = LeafType("title", ["VQDB", "Lore"])
+        assert t.name == "title"
+        assert t.domain == ("VQDB", "Lore")
+        assert "VQDB" in t
+        assert "Nope" not in t
+        assert len(t) == 2
+
+    def test_iteration_preserves_order(self):
+        t = LeafType("n", [3, 1, 2])
+        assert list(t) == [3, 1, 2]
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(TypeDomainError):
+            LeafType("bad", [])
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(TypeDomainError):
+            LeafType("bad", ["a", "a"])
+
+    def test_check_accepts_member(self):
+        LeafType("t", ["a"]).check("a")
+
+    def test_check_rejects_non_member(self):
+        with pytest.raises(TypeDomainError):
+            LeafType("t", ["a"]).check("b")
+
+    def test_equality_ignores_domain_order(self):
+        assert LeafType("t", ["a", "b"]) == LeafType("t", ["b", "a"])
+        assert LeafType("t", ["a"]) != LeafType("t", ["a", "b"])
+        assert LeafType("t", ["a"]) != LeafType("u", ["a"])
+
+    def test_hashable(self):
+        assert {LeafType("t", ["a", "b"]), LeafType("t", ["b", "a"])} == {
+            LeafType("t", ["a", "b"])
+        }
+
+    def test_mixed_value_types(self):
+        t = LeafType("mixed", ["a", 7, 2.5])
+        assert 7 in t and 2.5 in t
+
+    def test_bool_int_collision_detected(self):
+        # Python treats True == 1; the duplicate check must catch it.
+        with pytest.raises(TypeDomainError):
+            LeafType("mixed", [1, True])
+
+
+class TestTypeRegistry:
+    def test_define_and_lookup(self):
+        reg = TypeRegistry()
+        t = reg.define("title", ["a", "b"])
+        assert reg["title"] is t
+        assert "title" in reg
+        assert len(reg) == 1
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(TypeDomainError):
+            TypeRegistry()["ghost"]
+
+    def test_reregistering_equal_type_is_noop(self):
+        reg = TypeRegistry()
+        reg.define("t", ["a"])
+        reg.define("t", ["a"])
+        assert len(reg) == 1
+
+    def test_conflicting_redefinition_rejected(self):
+        reg = TypeRegistry()
+        reg.define("t", ["a"])
+        with pytest.raises(TypeDomainError):
+            reg.define("t", ["a", "b"])
+
+    def test_constructor_accepts_iterable(self):
+        reg = TypeRegistry([LeafType("x", [1]), LeafType("y", [2])])
+        assert reg.names() == frozenset({"x", "y"})
+
+    def test_iteration(self):
+        reg = TypeRegistry([LeafType("x", [1])])
+        assert [t.name for t in reg] == ["x"]

@@ -1,0 +1,123 @@
+"""Tests for bounded unrolling of cyclic models."""
+
+import pytest
+
+from repro.core.distributions import TabularOPF, TabularVPF
+from repro.core.instance import ProbabilisticInstance
+from repro.core.unroll import copy_id, is_cyclic, unroll
+from repro.core.weak_instance import WeakInstance
+from repro.errors import EmptyResultError, ModelError
+from repro.queries.chain import chain_probability
+from repro.queries.engine import QueryEngine
+from repro.semantics.global_interpretation import GlobalInterpretation
+from repro.semistructured.types import LeafType
+
+
+def cyclic_social_network() -> ProbabilisticInstance:
+    """person -> friend -> person: a self-loop through one object."""
+    weak = WeakInstance("alice")
+    weak.set_lch("alice", "friend", ["bob"])
+    weak.set_lch("bob", "friend", ["alice"])
+    pi = ProbabilisticInstance(weak)
+    pi.set_opf("alice", TabularOPF({("bob",): 0.5, (): 0.5}))
+    pi.set_opf("bob", TabularOPF({("alice",): 0.4, (): 0.6}))
+    return pi
+
+
+def self_loop() -> ProbabilisticInstance:
+    weak = WeakInstance("w")
+    weak.set_lch("w", "next", ["w"])
+    pi = ProbabilisticInstance(weak)
+    pi.set_opf("w", TabularOPF({("w",): 0.3, (): 0.7}))
+    return pi
+
+
+class TestCopyId:
+    def test_depth_zero_keeps_id(self):
+        assert copy_id("o", 0) == "o"
+
+    def test_deeper_copies_tagged(self):
+        assert copy_id("o", 2) == "o@2"
+
+
+class TestUnroll:
+    def test_detects_cycles(self):
+        assert is_cyclic(cyclic_social_network())
+        assert is_cyclic(self_loop())
+
+    def test_unrolled_is_acyclic_and_coherent(self):
+        unrolled = unroll(cyclic_social_network(), horizon=4)
+        unrolled.validate()
+        assert unrolled.weak.is_acyclic()
+
+    def test_layered_ids(self):
+        unrolled = unroll(cyclic_social_network(), horizon=3)
+        assert "alice" in unrolled
+        assert "bob@1" in unrolled
+        assert "alice@2" in unrolled
+        assert "bob@3" in unrolled
+        assert "alice@4" not in unrolled
+
+    def test_self_loop_unrolls_to_chain(self):
+        unrolled = unroll(self_loop(), horizon=3)
+        unrolled.validate()
+        assert sorted(unrolled.objects) == ["w", "w@1", "w@2", "w@3"]
+        # P(chain of length k) = 0.3^k.
+        assert chain_probability(unrolled, ["w", "w@1", "w@2"]) == pytest.approx(
+            0.09
+        )
+
+    def test_horizon_zero_is_bare_root(self):
+        unrolled = unroll(self_loop(), horizon=0)
+        assert sorted(unrolled.objects) == ["w"]
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ModelError):
+            unroll(self_loop(), horizon=-1)
+
+    def test_bounded_queries_converge(self):
+        # P(friend-chain of length 2 from alice) is exact once the
+        # horizon covers it, and stays fixed as the horizon grows.
+        pi = cyclic_social_network()
+        values = [
+            QueryEngine(unroll(pi, horizon=h)).chain(["alice", "bob@1", "alice@2"])
+            for h in (2, 3, 5)
+        ]
+        assert values[0] == pytest.approx(0.5 * 0.4)
+        assert values[0] == pytest.approx(values[1])
+        assert values[1] == pytest.approx(values[2])
+
+    def test_mass_is_one(self):
+        unrolled = unroll(cyclic_social_network(), horizon=3)
+        GlobalInterpretation.from_local(unrolled).validate()
+
+    def test_mandatory_child_at_horizon_rejected(self):
+        weak = WeakInstance("w")
+        weak.set_lch("w", "next", ["w"])
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("w", TabularOPF({("w",): 1.0}))  # the child is mandatory
+        with pytest.raises(EmptyResultError):
+            unroll(pi, horizon=2)
+
+    def test_leaf_annotations_transported(self):
+        weak = WeakInstance("r")
+        weak.set_lch("r", "l", ["r", "v"])
+        weak.set_type("v", LeafType("t", ["x", "y"]))
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("r", TabularOPF({("v",): 0.5, ("r", "v"): 0.25, (): 0.25}))
+        pi.interpretation.set_vpf("v", TabularVPF({"x": 0.5, "y": 0.5}))
+        unrolled = unroll(pi, horizon=2)
+        unrolled.validate()
+        assert unrolled.tau("v@1") is not None
+        assert unrolled.vpf("v@1").prob("x") == pytest.approx(0.5)
+        assert unrolled.vpf("v@2").prob("y") == pytest.approx(0.5)
+
+    def test_acyclic_input_unrolls_to_itself_shapewise(self):
+        # An already-acyclic chain unrolls to an isomorphic instance.
+        weak = WeakInstance("a")
+        weak.set_lch("a", "l", ["b"])
+        pi = ProbabilisticInstance(weak)
+        pi.set_opf("a", TabularOPF({("b",): 0.5, (): 0.5}))
+        unrolled = unroll(pi, horizon=5)
+        assert sorted(unrolled.objects) == ["a", "b@1"]
+        assert unrolled.opf("a").prob(frozenset({"b@1"})) == pytest.approx(0.5)

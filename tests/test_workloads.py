@@ -1,0 +1,163 @@
+"""Tests for the Section 7.1 workload generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.semistructured.paths import match_path
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+    random_selection_target,
+)
+
+
+class TestSpec:
+    def test_object_count_formula(self):
+        assert WorkloadSpec(depth=3, branching=2).num_objects == 15
+        assert WorkloadSpec(depth=2, branching=3).num_objects == 13
+        assert WorkloadSpec(depth=4, branching=1).num_objects == 5
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(depth=0, branching=2)
+        with pytest.raises(ModelError):
+            WorkloadSpec(depth=2, branching=0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(depth=2, branching=2, labeling="XX")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("labeling", ["SL", "FR"])
+    def test_instance_is_coherent(self, labeling):
+        workload = generate_workload(
+            WorkloadSpec(depth=3, branching=2, labeling=labeling, seed=1)
+        )
+        workload.instance.validate()
+
+    def test_object_count_matches_spec(self):
+        spec = WorkloadSpec(depth=3, branching=3, seed=2)
+        workload = generate_workload(spec)
+        assert workload.num_objects == spec.num_objects
+
+    def test_tree_structured(self):
+        workload = generate_workload(WorkloadSpec(depth=3, branching=2, seed=3))
+        assert workload.instance.weak.is_tree()
+
+    def test_opf_entries_are_2_to_the_b(self):
+        # The paper: "the total number of entries in a local interpretation
+        # for each non-leaf object is 2^b".
+        spec = WorkloadSpec(depth=2, branching=3, seed=4)
+        workload = generate_workload(spec)
+        for oid, opf in workload.instance.interpretation.opf_items():
+            assert opf.entry_count() == 8, oid
+
+    def test_sl_children_share_one_label(self):
+        workload = generate_workload(
+            WorkloadSpec(depth=2, branching=3, labeling="SL", seed=5)
+        )
+        weak = workload.instance.weak
+        for oid in weak.non_leaves():
+            assert len(weak.labels_of(oid)) == 1
+
+    def test_fr_can_split_labels(self):
+        # With enough nodes, FR labeling must produce at least one parent
+        # whose children use different labels.
+        workload = generate_workload(
+            WorkloadSpec(depth=3, branching=4, labeling="FR", seed=6)
+        )
+        weak = workload.instance.weak
+        assert any(len(weak.labels_of(oid)) > 1 for oid in weak.non_leaves())
+
+    def test_reproducible(self):
+        spec = WorkloadSpec(depth=2, branching=2, seed=42)
+        a = generate_workload(spec)
+        b = generate_workload(spec)
+        assert a.instance.weak.lch_map("o0") == b.instance.weak.lch_map("o0")
+        assert a.instance.opf("o0").to_tabular() == b.instance.opf("o0").to_tabular()
+
+    def test_labels_by_depth_recorded(self):
+        workload = generate_workload(WorkloadSpec(depth=3, branching=2, seed=7))
+        assert len(workload.labels_by_depth) == 3
+        for pool in workload.labels_by_depth:
+            assert pool
+
+    def test_leaves_have_vpfs(self):
+        workload = generate_workload(WorkloadSpec(depth=2, branching=2, seed=8))
+        for leaf in workload.instance.weak.leaves():
+            assert workload.instance.vpf(leaf) is not None
+
+    def test_total_entries_counts_everything(self):
+        workload = generate_workload(WorkloadSpec(depth=2, branching=2, seed=9))
+        # 3 non-leaves * 4 entries + 4 leaves * 2 entries = 20.
+        assert workload.total_entries == 20
+
+
+class TestQueryGeneration:
+    @pytest.mark.parametrize("labeling", ["SL", "FR"])
+    def test_projection_path_is_accepted(self, labeling):
+        workload = generate_workload(
+            WorkloadSpec(depth=3, branching=2, labeling=labeling, seed=10)
+        )
+        rng = random.Random(0)
+        for _ in range(5):
+            path = random_projection_path(workload, rng)
+            assert len(path) == 3  # query length equals instance depth
+            match = match_path(workload.instance.weak.graph(), path)
+            assert not match.is_empty
+
+    def test_path_labels_drawn_from_depth_pools(self):
+        workload = generate_workload(WorkloadSpec(depth=3, branching=2, seed=11))
+        rng = random.Random(1)
+        path = random_projection_path(workload, rng)
+        for index, label in enumerate(path.labels):
+            assert label in workload.labels_by_depth[index]
+
+    def test_selection_target_satisfies_path(self):
+        workload = generate_workload(WorkloadSpec(depth=3, branching=2, seed=12))
+        rng = random.Random(2)
+        path, target = random_selection_target(workload, rng)
+        match = match_path(workload.instance.weak.graph(), path)
+        assert target in match.matched
+
+    def test_fallback_path_when_random_misses(self):
+        # With a single try allowed, the fallback (an actual branch walk)
+        # must still return an accepted path.
+        workload = generate_workload(
+            WorkloadSpec(depth=3, branching=2, labeling="SL", seed=13)
+        )
+        rng = random.Random(3)
+        path = random_projection_path(workload, rng, max_tries=0)
+        match = match_path(workload.instance.weak.graph(), path)
+        assert not match.is_empty
+
+
+class TestIndependentWorkloads:
+    def test_independent_kind_generates_compact_opfs(self):
+        from repro.core.compact import IndependentOPF
+
+        workload = generate_workload(
+            WorkloadSpec(depth=2, branching=3, seed=14, opf_kind="independent")
+        )
+        workload.instance.validate()
+        for _, opf in workload.instance.interpretation.opf_items():
+            assert isinstance(opf, IndependentOPF)
+            assert opf.entry_count() == 3  # b entries, not 2^b
+
+    def test_bad_opf_kind_rejected(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(depth=2, branching=2, opf_kind="magic")
+
+    def test_sweep_runner_accepts_opf_kind(self):
+        from repro.bench.runner import SweepConfig, run_projection_sweep
+
+        config = SweepConfig(
+            grid={2: (3,)}, labelings=("SL",), instances_per_config=1,
+            queries_per_instance=1, opf_kind="independent",
+        )
+        records = run_projection_sweep(config)
+        assert len(records) == 1
+        # b entries per non-leaf: 7 non-leaves * 2 + 8 leaves * 2 = 30.
+        assert records[0].entries == 30
