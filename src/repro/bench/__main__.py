@@ -2,14 +2,17 @@
 
 Usage::
 
-    python -m repro.bench fig7a [--quick] [--json OUT.json]
-    python -m repro.bench fig7b [--quick]
-    python -m repro.bench fig7c [--quick]
-    python -m repro.bench all   [--quick] [--json OUT.json]
+    python -m repro.bench fig7a  [--quick] [--json OUT.json]
+    python -m repro.bench fig7b  [--quick]
+    python -m repro.bench fig7c  [--quick]
+    python -m repro.bench engine [--quick] [--json OUT.json]
+    python -m repro.bench all    [--quick] [--json OUT.json]
 
 ``fig7a``/``fig7b`` share one ancestor-projection sweep (total time and
 p-update time are two views of the same measurements); ``fig7c`` runs the
-selection sweep.
+selection sweep; ``engine`` measures the query engine's optimizer and
+cache effect (naive / optimized / cold-cache / warm-cache) on a
+projection-selection-query pipeline.
 """
 
 from __future__ import annotations
@@ -80,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the PXML paper's Figure 7 experiment series.",
     )
     parser.add_argument(
-        "figure", choices=("fig7a", "fig7b", "fig7c", "all", "report")
+        "figure", choices=("fig7a", "fig7b", "fig7c", "engine", "all", "report")
     )
     parser.add_argument("--quick", action="store_true", help="use the small grid")
     parser.add_argument(
@@ -117,6 +120,18 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print("Figure 7(c) detail: selection — disk-write component (ms)")
         print(format_series(records, "write"))
+        print()
+    if args.figure in ("engine", "all"):
+        from repro.bench.engine import (
+            format_engine_records,
+            records_to_dicts as engine_records_to_dicts,
+            run_engine_bench,
+        )
+
+        engine_records = run_engine_bench(quick=args.quick)
+        all_records.extend(engine_records_to_dicts(engine_records))
+        print("Engine: pipeline time per mode (ms)")
+        print(format_engine_records(engine_records))
         print()
 
     if args.json:

@@ -1,0 +1,107 @@
+"""A small LRU cache with hit/miss/eviction counters.
+
+The engine keeps two of these: one for optimized plans and one for
+execution results.  Keys are ``(canonical plan fingerprint, instance
+versions)`` tuples — the version half comes from
+:meth:`repro.storage.database.Database.version`, which increases
+monotonically whenever an instance is (re-)registered, reloaded or
+touched, so stale entries can never be returned: a mutated input changes
+the key, and the orphaned entry simply ages out of the LRU order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.evictions} evictions, {self.size}/{self.capacity} entries"
+        )
+
+
+class LRUCache:
+    """Least-recently-used mapping with instrumentation."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, counting a hit or miss and refreshing recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable) -> bool:
+        """Whether ``key`` is cached, without touching any counter."""
+        return key in self._entries
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert or refresh an entry, evicting the oldest past capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:
+        return f"LRUCache({self.stats})"

@@ -1,0 +1,457 @@
+"""The instrumented plan executor.
+
+:class:`Engine` ties the pieces together: it translates PXQL statements
+into plans, inlines the lineage of previously computed results, runs the
+rewrite optimizer, executes plans bottom-up with per-node wall-clock
+timings / output cardinalities / cache status, and memoizes both
+optimized plans and node results in versioned LRU caches.
+
+Result caching is per *sub-plan*: a node's key is its canonical
+fingerprint plus the current version of every instance it scans, so two
+different statements that share a sub-expression share its result, and
+re-registering or touching any input invalidates every dependent entry
+implicitly (the key changes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pxql -> engine)
+    from repro.pxql import ast
+
+from repro.algebra.product import cartesian_product
+from repro.algebra.projection_more import (
+    descendant_projection_local,
+    single_projection_local,
+)
+from repro.algebra.projection_prob import ancestor_projection_local
+from repro.algebra.selection import (
+    ObjectCardinalityCondition,
+    ObjectCondition,
+    ObjectValueCondition,
+    select_local,
+)
+from repro.core.cardinality import CardinalityInterval
+from repro.core.instance import ProbabilisticInstance
+from repro.engine.cache import LRUCache
+from repro.engine.cost import CostModel
+from repro.engine.plan import (
+    PlanError,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    QueryNode,
+    ScanNode,
+    SelectNode,
+    fingerprint,
+    plan_statement,
+    scan_names,
+)
+from repro.engine.rewrite import DEFAULT_RULES, optimize
+from repro.queries.engine import QueryEngine
+
+_PROJECTION_OPERATORS = {
+    "ancestor": ancestor_projection_local,
+    "descendant": descendant_projection_local,
+    "single": single_projection_local,
+}
+
+#: Maximum depth of lineage inlining (cycle / runaway guard).
+_MAX_INLINE_DEPTH = 16
+
+
+@dataclass
+class NodeStats:
+    """Measurements for one executed plan node."""
+
+    label: str
+    cache: str                      # "hit" | "miss" | "off" | "scan"
+    wall_s: float = 0.0
+    objects: int | None = None
+    strategy: str | None = None
+    extra: dict = field(default_factory=dict)
+    children: list["NodeStats"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["NodeStats"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one plan execution."""
+
+    value: object
+    plan: PlanNode
+    stats: NodeStats
+    applied_rules: tuple[str, ...]
+
+    def find(self, label: str) -> NodeStats | None:
+        """The first (outermost) node stats with the given label."""
+        for stats in self.stats.walk():
+            if stats.label == label:
+                return stats
+        return None
+
+    @property
+    def condition_probability(self) -> float | None:
+        """The outermost selection's condition probability, if any."""
+        for stats in self.stats.walk():
+            if "condition_probability" in stats.extra:
+                return stats.extra["condition_probability"]
+        return None
+
+
+@dataclass
+class _CacheEntry:
+    value: object
+    extra: dict
+    stats: NodeStats
+
+
+@dataclass
+class _Lineage:
+    plan: PlanNode
+    registered_version: int
+    input_versions: tuple[tuple[str, int], ...]
+
+
+class Engine:
+    """Planner + optimizer + instrumented, caching executor.
+
+    Args:
+        database: the catalog plans scan (must expose ``get`` and
+            ``version``; :class:`repro.storage.database.Database` does).
+        optimizer: apply the rewrite rules (off = execute plans as
+            written, for A/B parity against the naive path).
+        caching: keep a versioned result cache across executions.
+        cache_size: LRU capacity of the plan and result caches.
+        copy_on_hit: hand out copies of cached instances so callers can
+            register/mutate them without corrupting the cache.
+        samples: Monte-Carlo sample count for the ``sample`` strategy.
+        seed: RNG seed for the ``sample`` strategy.
+        inline_lineage: expand scans of engine-produced results into the
+            plans that produced them (when their inputs are unchanged),
+            turning statement sequences into multi-operator plans the
+            rewrite rules can work across.
+    """
+
+    def __init__(
+        self,
+        database,
+        optimizer: bool = True,
+        caching: bool = True,
+        cache_size: int = 256,
+        copy_on_hit: bool = True,
+        samples: int = 2000,
+        seed: int | None = None,
+        inline_lineage: bool = True,
+    ) -> None:
+        self.database = database
+        self.optimizer = optimizer
+        self.caching = caching
+        self.copy_on_hit = copy_on_hit
+        self.samples = samples
+        self.seed = seed
+        self.inline_lineage = inline_lineage
+        self.cost = CostModel(database)
+        self.result_cache = LRUCache(cache_size)
+        self.plan_cache = LRUCache(cache_size)
+        self.rules = DEFAULT_RULES
+        self._lineage: dict[str, _Lineage] = {}
+
+    # ------------------------------------------------------------------
+    # Keys, versions, lineage
+    # ------------------------------------------------------------------
+    def versions_of(self, plan: PlanNode) -> tuple[tuple[str, int], ...]:
+        """``(name, version)`` for every instance the plan scans."""
+        return tuple(
+            (name, self.database.version(name)) for name in scan_names(plan)
+        )
+
+    def cache_key(self, plan: PlanNode) -> tuple:
+        """The versioned cache key of a (sub-)plan."""
+        return (fingerprint(plan), self.versions_of(plan))
+
+    def record_lineage(self, name: str, plan: PlanNode,
+                       input_versions: tuple[tuple[str, int], ...]) -> None:
+        """Remember that ``name`` currently holds the result of ``plan``.
+
+        ``input_versions`` must be the scan versions *at execution time*
+        (before any re-registration of ``name`` itself).
+        """
+        self._lineage[name] = _Lineage(
+            plan, self.database.version(name), input_versions
+        )
+
+    def _lineage_plan(self, name: str) -> PlanNode | None:
+        entry = self._lineage.get(name)
+        if entry is None:
+            return None
+        try:
+            if self.database.version(name) != entry.registered_version:
+                return None
+            for input_name, version in entry.input_versions:
+                if self.database.version(input_name) != version:
+                    return None
+        except Exception:
+            return None
+        return entry.plan
+
+    def expand(self, plan: PlanNode, _depth: int = 0) -> PlanNode:
+        """Inline valid lineage plans under every scan, recursively."""
+        if not self.inline_lineage or _depth >= _MAX_INLINE_DEPTH:
+            return plan
+        if isinstance(plan, ScanNode):
+            recorded = self._lineage_plan(plan.name)
+            if recorded is not None:
+                return self.expand(recorded, _depth + 1)
+            return plan
+        children = plan.children()
+        if not children:
+            return plan
+        new_children = tuple(
+            self.expand(child, _depth + 1) for child in children
+        )
+        if new_children != children:
+            plan = plan.with_children(new_children)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_statement(self, statement: "ast.Statement") -> PlanNode | None:
+        """The raw (un-expanded, un-optimized) plan of a statement."""
+        return plan_statement(statement)
+
+    def prepare(self, plan: PlanNode) -> tuple[PlanNode, tuple[str, ...]]:
+        """Expand lineage and optimize; memoized in the plan cache."""
+        expanded = self.expand(plan)
+        if not self.optimizer:
+            return expanded, ()
+        key = self.cache_key(expanded)
+        if self.caching:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached
+        prepared = optimize(expanded, self.cost, self.rules)
+        if self.caching:
+            self.plan_cache.put(key, prepared)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_plan(self, plan: PlanNode) -> ExecutionResult:
+        """Prepare and run a plan."""
+        prepared, applied = self.prepare(plan)
+        value, _extra, stats = self._run(prepared)
+        return ExecutionResult(value, prepared, stats, applied)
+
+    def execute_statement(self, statement: "ast.Statement") -> ExecutionResult:
+        """Plan and run a plannable PXQL statement."""
+        plan = self.plan_statement(statement)
+        if plan is None:
+            raise PlanError(
+                f"statement {type(statement).__name__} has no plan form"
+            )
+        return self.execute_plan(plan)
+
+    def _run(self, node: PlanNode) -> tuple[object, dict, NodeStats]:
+        start = time.perf_counter()
+        if isinstance(node, ScanNode):
+            pi = self.database.get(node.name)
+            stats = NodeStats(
+                node.label(), cache="scan",
+                wall_s=time.perf_counter() - start, objects=len(pi),
+            )
+            return pi, {}, stats
+
+        if self.caching:
+            key = self.cache_key(node)
+            entry = self.result_cache.get(key)
+            if entry is not None:
+                value = entry.value
+                if isinstance(value, ProbabilisticInstance) and self.copy_on_hit:
+                    value = value.copy()
+                elif isinstance(value, dict):
+                    value = dict(value)
+                stats = NodeStats(
+                    entry.stats.label, cache="hit",
+                    wall_s=time.perf_counter() - start,
+                    objects=entry.stats.objects,
+                    strategy=entry.stats.strategy,
+                    extra=dict(entry.extra),
+                    children=entry.stats.children,
+                )
+                return value, dict(entry.extra), stats
+
+        child_results = [self._run(child) for child in node.children()]
+        inputs = [value for value, _extra, _stats in child_results]
+        apply_start = time.perf_counter()
+        value, strategy, extra = self._apply(node, inputs)
+        now = time.perf_counter()
+        stats = NodeStats(
+            node.label(),
+            cache="miss" if self.caching else "off",
+            wall_s=now - start,
+            objects=len(value) if isinstance(value, ProbabilisticInstance) else None,
+            strategy=strategy,
+            extra=dict(extra),
+            children=[child_stats for _v, _e, child_stats in child_results],
+        )
+        stats.extra.setdefault("operator_s", now - apply_start)
+        if self.caching:
+            self.result_cache.put(key, _CacheEntry(value, dict(extra), stats))
+        return value, extra, stats
+
+    def _apply(
+        self, node: PlanNode, inputs: list
+    ) -> tuple[object, str, dict]:
+        if isinstance(node, ProjectNode):
+            (pi,) = inputs
+            projected = _PROJECTION_OPERATORS[node.kind](pi, node.path)
+            return projected, "local", {}
+        if isinstance(node, SelectNode):
+            (pi,) = inputs
+            selection = select_local(pi, _condition_of(node))
+            return selection.instance, "local", {
+                "condition_probability": selection.probability,
+            }
+        if isinstance(node, ProductNode):
+            left, right = inputs
+            product = cartesian_product(left, right, node.new_root)
+            return product, "local", {}
+        if isinstance(node, QueryNode):
+            (pi,) = inputs
+            return self._apply_query(node, pi)
+        raise PlanError(f"cannot execute {type(node).__name__}")
+
+    def _apply_query(
+        self, node: QueryNode, pi: ProbabilisticInstance
+    ) -> tuple[object, str, dict]:
+        if node.kind in ("count", "dist"):
+            from repro.queries.aggregates import (
+                expected_match_count,
+                match_count_distribution,
+            )
+
+            if node.kind == "count":
+                return expected_match_count(pi, node.path), "aggregate", {}
+            return match_count_distribution(pi, node.path), "aggregate", {}
+
+        strategy = self.cost.choose_strategy(self.cost.measure_instance(pi))
+        engine = QueryEngine(
+            pi, strategy=strategy, samples=self.samples, seed=self.seed
+        )
+        if node.kind == "point":
+            value = engine.point(node.path, node.oid)
+        elif node.kind == "exists":
+            value = engine.exists(node.path)
+        elif node.kind == "chain":
+            value = engine.chain(list(node.chain))
+        else:  # "prob"
+            value = engine.object_exists(node.oid)
+        return value, engine.strategy, dict(engine.stats)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters of both caches."""
+        return {
+            "results": self.result_cache.stats.as_dict(),
+            "plans": self.plan_cache.stats.as_dict(),
+        }
+
+    def explain(self, plan: PlanNode) -> str:
+        """Render the optimized plan with estimates (no execution)."""
+        prepared, applied = self.prepare(plan)
+        lines = _render_plan(prepared, self)
+        lines.append(_rules_line(applied))
+        return "\n".join(lines)
+
+    def explain_analyze(self, result: ExecutionResult) -> str:
+        """Render an executed plan with per-node measurements."""
+        lines = _render_stats(result.stats)
+        lines.append(_rules_line(result.applied_rules))
+        lines.append(
+            f"cache: results [{self.result_cache.stats}], "
+            f"plans [{self.plan_cache.stats}]"
+        )
+        return "\n".join(lines)
+
+
+def _condition_of(node: SelectNode):
+    if node.card_label is not None:
+        low, high = node.card_bounds
+        return ObjectCardinalityCondition(
+            node.path, node.oid, node.card_label, CardinalityInterval(low, high)
+        )
+    if node.value is not None:
+        return ObjectValueCondition(node.path, node.oid, node.value)
+    return ObjectCondition(node.path, node.oid)
+
+
+def _rules_line(applied: tuple[str, ...]) -> str:
+    return f"rewrites: {', '.join(applied) if applied else 'none'}"
+
+
+def _tree_lines(render_node, children_of, root) -> list[str]:
+    lines = [render_node(root)]
+
+    def recurse(node, prefix: str) -> None:
+        children = children_of(node)
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + render_node(child))
+            recurse(child, prefix + ("   " if last else "│  "))
+
+    recurse(root, "")
+    return lines
+
+
+def _render_plan(plan: PlanNode, engine: Engine) -> list[str]:
+    def render(node: PlanNode) -> str:
+        estimate = engine.cost.estimate(node)
+        details = [
+            f"est. {estimate.objects} objects",
+            f"{estimate.entries} entries",
+            "tree" if estimate.is_tree else "dag",
+        ]
+        if isinstance(node, QueryNode):
+            details.append(f"strategy={engine.cost.choose_strategy(estimate)}")
+        elif not isinstance(node, ScanNode):
+            details.append("strategy=local")
+        if not isinstance(node, ScanNode) and engine.caching:
+            cached = engine.result_cache.peek(engine.cache_key(node))
+            details.append("cache=warm" if cached else "cache=cold")
+        return f"{node.label()}  ({', '.join(details)})"
+
+    return _tree_lines(render, lambda node: node.children(), plan)
+
+
+def _render_stats(stats: NodeStats) -> list[str]:
+    def render(node: NodeStats) -> str:
+        details = [f"{node.wall_s * 1e3:.3f} ms"]
+        if node.objects is not None:
+            details.append(f"{node.objects} objects")
+        if node.strategy is not None:
+            details.append(f"strategy={node.strategy}")
+        details.append(f"cache={node.cache}")
+        if "condition_probability" in node.extra:
+            details.append(
+                f"P(condition)={node.extra['condition_probability']:.6g}"
+            )
+        if "stderr" in node.extra:
+            details.append(f"stderr={node.extra['stderr']:.3g}")
+        return f"{node.label}  ({', '.join(details)})"
+
+    return _tree_lines(render, lambda node: node.children, stats)

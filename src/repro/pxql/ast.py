@@ -2,9 +2,13 @@
 
 One dataclass per statement kind.  The grammar (EBNF-ish):
 
-    statement   := project | select | product | point | exists | chain
+    statement   := explain | plain
+    plain       := project | select | product | point | exists | chain
                  | prob | count | dist | worlds | show | list | drop
                  | load | save
+
+    explain     := "EXPLAIN" ["ANALYZE"] plain
+                   (plain must be an algebra or query statement)
 
     project     := "PROJECT" [kind] path "FROM" name ["AS" name]
     kind        := "ANCESTOR" | "DESCENDANT" | "SINGLE"
@@ -150,10 +154,24 @@ class SaveStatement:
     path: str | None
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    ``analyze=False`` plans and optimizes without executing;
+    ``analyze=True`` also executes (with the statement's normal side
+    effects, e.g. registering an ``AS`` target) and reports per-node
+    timings, cardinalities and cache status.
+    """
+
+    analyze: bool
+    statement: "Statement"
+
+
 Statement = (
     ProjectStatement | SelectStatement | ProductStatement | PointStatement
     | ExistsStatement | ChainStatement | ProbStatement | CountStatement
     | DistStatement | UnrollStatement | EstimateStatement | WorldsStatement
     | ShowStatement | ListStatement | DropStatement | LoadStatement
-    | SaveStatement
+    | SaveStatement | ExplainStatement
 )

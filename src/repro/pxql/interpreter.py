@@ -6,6 +6,16 @@ an auto-generated ``_resultN`` name — so queries compose across
 statements exactly the way Section 2's situations chain operations.
 Query statements (POINT / EXISTS / CHAIN / PROB) return probabilities.
 
+Since the engine PR, algebra and query statements are routed through
+:class:`repro.engine.Engine`: statements become logical plans, the
+lineage of registered results is inlined so rewrite rules can work
+across statement boundaries, sub-plan results are cached under
+``(fingerprint, instance versions)`` keys, and ``EXPLAIN`` /
+``EXPLAIN ANALYZE`` expose the chosen plan, per-node strategy, timings
+and cache status.  Construct the interpreter with ``strategy="naive"``
+to get the original eager one-call-per-statement path (used by the
+parity test suite for A/B comparison).
+
 Efficient algorithms are used on tree-structured instances; DAGs fall
 back to the exact Bayesian-network / global engines automatically.
 """
@@ -28,6 +38,7 @@ from repro.algebra.selection import (
 )
 from repro.core.cardinality import CardinalityInterval
 from repro.core.instance import ProbabilisticInstance
+from repro.engine.executor import Engine, ExecutionResult
 from repro.errors import PXMLError
 from repro.pxql import ast
 from repro.pxql.parser import parse
@@ -35,6 +46,8 @@ from repro.queries.engine import QueryEngine
 from repro.render import render_distribution, render_instance
 from repro.semantics.global_interpretation import GlobalInterpretation
 from repro.storage.database import Database
+
+_STRATEGIES = ("engine", "naive")
 
 
 @dataclass
@@ -55,10 +68,32 @@ class Result:
 
 
 class Interpreter:
-    """Executes PXQL statements against a :class:`Database`."""
+    """Executes PXQL statements against a :class:`Database`.
 
-    def __init__(self, database: Database | None = None) -> None:
+    Args:
+        database: the catalog to execute against (fresh one if omitted).
+        strategy: ``"engine"`` (plan, optimize, cache) or ``"naive"``
+            (the original eager path; kept for A/B parity testing).
+        optimizer: whether the engine applies its rewrite rules.
+        cache_size: LRU capacity of the engine's plan and result caches.
+    """
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        strategy: str = "engine",
+        optimizer: bool = True,
+        cache_size: int = 256,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise PXMLError(
+                f"unknown interpreter strategy {strategy!r}; "
+                f"choose one of {_STRATEGIES}"
+            )
         self.database = database if database is not None else Database()
+        self.strategy = strategy
+        self.engine = Engine(self.database, optimizer=optimizer,
+                             cache_size=cache_size)
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -72,6 +107,11 @@ class Interpreter:
             raise PXMLError(f"unsupported statement: {statement!r}")
         return handler(statement)
 
+    @property
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """The engine's plan/result cache counters."""
+        return self.engine.cache_stats
+
     # ------------------------------------------------------------------
     def _fresh_name(self) -> str:
         self._counter += 1
@@ -82,19 +122,43 @@ class Interpreter:
         self.database.register(name, instance, replace=True)
         return name
 
-    def _engine(self, name: str) -> QueryEngine:
+    def _query_engine(self, name: str) -> QueryEngine:
         return QueryEngine(self.database.get(name))
 
     # ------------------------------------------------------------------
+    # Engine routing
+    # ------------------------------------------------------------------
+    def _engine_algebra(
+        self, statement: ast.Statement, target: str | None
+    ) -> tuple[ExecutionResult, str]:
+        """Execute an instance-producing statement through the engine."""
+        plan = self.engine.plan_statement(statement)
+        input_versions = self.engine.versions_of(plan)
+        execution = self.engine.execute_plan(plan)
+        name = self._register(target, execution.value)
+        self.engine.record_lineage(name, plan, input_versions)
+        return execution, name
+
+    def _engine_query(self, statement: ast.Statement) -> ExecutionResult:
+        """Execute a probability-returning statement through the engine."""
+        return self.engine.execute_statement(statement)
+
+    # ------------------------------------------------------------------
+    # Algebra statements
+    # ------------------------------------------------------------------
     def _run_ProjectStatement(self, stmt: ast.ProjectStatement) -> Result:
-        source = self.database.get(stmt.source)
-        operator = {
-            "ancestor": ancestor_projection_local,
-            "descendant": descendant_projection_local,
-            "single": single_projection_local,
-        }[stmt.kind]
-        projected = operator(source, stmt.path)
-        name = self._register(stmt.target, projected)
+        if self.strategy == "naive":
+            source = self.database.get(stmt.source)
+            operator = {
+                "ancestor": ancestor_projection_local,
+                "descendant": descendant_projection_local,
+                "single": single_projection_local,
+            }[stmt.kind]
+            projected = operator(source, stmt.path)
+            name = self._register(stmt.target, projected)
+        else:
+            execution, name = self._engine_algebra(stmt, stmt.target)
+            projected = execution.value
         return Result(
             projected, name,
             f"{stmt.kind} projection of {stmt.path} -> {name} "
@@ -102,80 +166,117 @@ class Interpreter:
         )
 
     def _run_SelectStatement(self, stmt: ast.SelectStatement) -> Result:
-        source = self.database.get(stmt.source)
-        if stmt.card_label is not None:
-            low, high = stmt.card_bounds
-            condition = ObjectCardinalityCondition(
-                stmt.path, stmt.oid, stmt.card_label, CardinalityInterval(low, high)
-            )
-        elif stmt.value is not None:
-            condition = ObjectValueCondition(stmt.path, stmt.oid, stmt.value)
+        condition = self._condition_of(stmt)
+        if self.strategy == "naive":
+            source = self.database.get(stmt.source)
+            selection = select_local(source, condition)
+            instance = selection.instance
+            probability = selection.probability
+            name = self._register(stmt.target, instance)
         else:
-            condition = ObjectCondition(stmt.path, stmt.oid)
-        selection = select_local(source, condition)
-        name = self._register(stmt.target, selection.instance)
+            execution, name = self._engine_algebra(stmt, stmt.target)
+            instance = execution.value
+            probability = execution.condition_probability
         return Result(
-            selection.instance, name,
+            instance, name,
             f"selection [{condition}] -> {name} "
-            f"(condition probability {selection.probability:.6g})",
+            f"(condition probability {probability:.6g})",
         )
 
+    @staticmethod
+    def _condition_of(stmt: ast.SelectStatement):
+        if stmt.card_label is not None:
+            low, high = stmt.card_bounds
+            return ObjectCardinalityCondition(
+                stmt.path, stmt.oid, stmt.card_label, CardinalityInterval(low, high)
+            )
+        if stmt.value is not None:
+            return ObjectValueCondition(stmt.path, stmt.oid, stmt.value)
+        return ObjectCondition(stmt.path, stmt.oid)
+
     def _run_ProductStatement(self, stmt: ast.ProductStatement) -> Result:
-        product = cartesian_product(
-            self.database.get(stmt.left),
-            self.database.get(stmt.right),
-            stmt.new_root,
-        )
-        name = self._register(stmt.target, product)
+        if self.strategy == "naive":
+            product = cartesian_product(
+                self.database.get(stmt.left),
+                self.database.get(stmt.right),
+                stmt.new_root,
+            )
+            name = self._register(stmt.target, product)
+        else:
+            execution, name = self._engine_algebra(stmt, stmt.target)
+            product = execution.value
         return Result(
             product, name,
             f"product of {stmt.left} and {stmt.right} -> {name} "
             f"({len(product)} objects)",
         )
 
+    # ------------------------------------------------------------------
+    # Query statements
+    # ------------------------------------------------------------------
     def _run_PointStatement(self, stmt: ast.PointStatement) -> Result:
-        probability = self._engine(stmt.source).point(stmt.path, stmt.oid)
+        if self.strategy == "naive":
+            probability = self._query_engine(stmt.source).point(stmt.path, stmt.oid)
+        else:
+            probability = self._engine_query(stmt).value
         return Result(
             probability, None,
             f"P({stmt.oid} in {stmt.path}) = {probability:.6g}",
         )
 
     def _run_ExistsStatement(self, stmt: ast.ExistsStatement) -> Result:
-        probability = self._engine(stmt.source).exists(stmt.path)
+        if self.strategy == "naive":
+            probability = self._query_engine(stmt.source).exists(stmt.path)
+        else:
+            probability = self._engine_query(stmt).value
         return Result(
             probability, None,
             f"P(exists {stmt.path}) = {probability:.6g}",
         )
 
     def _run_ChainStatement(self, stmt: ast.ChainStatement) -> Result:
-        probability = self._engine(stmt.source).chain(list(stmt.chain))
+        if self.strategy == "naive":
+            probability = self._query_engine(stmt.source).chain(list(stmt.chain))
+        else:
+            probability = self._engine_query(stmt).value
         return Result(
             probability, None,
             f"P({'.'.join(stmt.chain)}) = {probability:.6g}",
         )
 
     def _run_ProbStatement(self, stmt: ast.ProbStatement) -> Result:
-        probability = self._engine(stmt.source).object_exists(stmt.oid)
+        if self.strategy == "naive":
+            probability = self._query_engine(stmt.source).object_exists(stmt.oid)
+        else:
+            probability = self._engine_query(stmt).value
         return Result(
             probability, None,
             f"P({stmt.oid} exists) = {probability:.6g}",
         )
 
     def _run_CountStatement(self, stmt: ast.CountStatement) -> Result:
-        from repro.queries.aggregates import expected_match_count
+        if self.strategy == "naive":
+            from repro.queries.aggregates import expected_match_count
 
-        expectation = expected_match_count(self.database.get(stmt.source), stmt.path)
+            expectation = expected_match_count(
+                self.database.get(stmt.source), stmt.path
+            )
+        else:
+            expectation = self._engine_query(stmt).value
         return Result(
             expectation, None,
             f"E[#objects in {stmt.path}] = {expectation:.6g}",
         )
 
     def _run_DistStatement(self, stmt: ast.DistStatement) -> Result:
-        from repro.queries.aggregates import match_count_distribution
+        if self.strategy == "naive":
+            from repro.queries.aggregates import match_count_distribution
 
-        distribution = match_count_distribution(
-            self.database.get(stmt.source), stmt.path
-        )
+            distribution = match_count_distribution(
+                self.database.get(stmt.source), stmt.path
+            )
+        else:
+            distribution = self._engine_query(stmt).value
         rows = "\n".join(
             f"  {count}: {probability:.6g}"
             for count, probability in sorted(distribution.items())
@@ -185,6 +286,37 @@ class Interpreter:
             f"#objects in {stmt.path}:\n{rows}",
         )
 
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def _run_ExplainStatement(self, stmt: ast.ExplainStatement) -> Result:
+        inner = stmt.statement
+        plan = self.engine.plan_statement(inner)
+        if plan is None:
+            raise PXMLError(
+                "EXPLAIN supports algebra (PROJECT/SELECT/PRODUCT) and "
+                "query (POINT/EXISTS/CHAIN/PROB/COUNT/DIST) statements"
+            )
+        if not stmt.analyze:
+            text = self.engine.explain(plan)
+            return Result(text, None, text)
+        if isinstance(
+            inner,
+            (ast.ProjectStatement, ast.SelectStatement, ast.ProductStatement),
+        ):
+            execution, name = self._engine_algebra(inner, inner.target)
+        else:
+            execution, name = self._engine_query(inner), None
+        text = self.engine.explain_analyze(execution)
+        if not isinstance(execution.value, ProbabilisticInstance):
+            text += f"\nresult: {execution.value}"
+        elif name is not None:
+            text += f"\nresult: registered as {name}"
+        return Result(text, name, text)
+
+    # ------------------------------------------------------------------
+    # Remaining (eager) statements
+    # ------------------------------------------------------------------
     def _run_UnrollStatement(self, stmt: ast.UnrollStatement) -> Result:
         from repro.core.unroll import unroll
 

@@ -85,14 +85,21 @@ class _Parser:
 
     # -- statements ------------------------------------------------------
     def parse(self) -> ast.Statement:
+        if self._accept_keyword("EXPLAIN"):
+            analyze = self._accept_keyword("ANALYZE") is not None
+            statement = ast.ExplainStatement(analyze, self._parse_plain())
+        else:
+            statement = self._parse_plain()
+        self._expect_eof()
+        return statement
+
+    def _parse_plain(self) -> ast.Statement:
         keyword = self._expect_keyword(
             "PROJECT", "SELECT", "PRODUCT", "POINT", "EXISTS", "CHAIN",
             "PROB", "COUNT", "DIST", "WORLDS", "SHOW", "LIST", "DROP",
             "LOAD", "SAVE", "UNROLL", "ESTIMATE",
         )
-        statement = getattr(self, f"_parse_{keyword.lower()}")()
-        self._expect_eof()
-        return statement
+        return getattr(self, f"_parse_{keyword.lower()}")()
 
     def _parse_project(self) -> ast.ProjectStatement:
         kind = self._accept_keyword("ANCESTOR", "DESCENDANT", "SINGLE") or "ANCESTOR"

@@ -17,6 +17,8 @@ path ``p``?" — can be answered three ways:
 
 from __future__ import annotations
 
+import time
+
 from repro.bayesnet.mapping import PXMLBayesianNetwork
 from repro.core.instance import ProbabilisticInstance
 from repro.errors import QueryError
@@ -30,7 +32,14 @@ _STRATEGIES = ("auto", "local", "bayes", "enumerate", "sample")
 
 
 class QueryEngine:
-    """Answers probabilistic point/existential/chain queries."""
+    """Answers probabilistic point/existential/chain queries.
+
+    After every query the engine leaves an observability record in
+    :attr:`stats`: the strategy actually used, the query kind, the wall
+    time, and — under the ``sample`` strategy — the sample count and the
+    estimate's standard error.  The plan executor and PXQL's
+    ``EXPLAIN ANALYZE`` surface this per query node.
+    """
 
     def __init__(
         self,
@@ -49,8 +58,18 @@ class QueryEngine:
         self.strategy = strategy
         self.samples = samples
         self.seed = seed
+        self.stats: dict[str, object] = {}
         self._bn: PXMLBayesianNetwork | None = None
         self._global: GlobalInterpretation | None = None
+
+    def _record(self, query: str, start: float, extra: dict | None = None) -> None:
+        self.stats = {
+            "query": query,
+            "strategy": self.strategy,
+            "wall_s": time.perf_counter() - start,
+        }
+        if extra:
+            self.stats.update(extra)
 
     # ------------------------------------------------------------------
     def _bayes(self) -> PXMLBayesianNetwork:
@@ -68,42 +87,56 @@ class QueryEngine:
         return PathExpression.parse(path) if isinstance(path, str) else path
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _estimate_extra(estimate) -> dict:
+        return {"samples": estimate.samples, "stderr": estimate.stderr}
+
     def point(self, path: PathExpression | str, oid: Oid) -> float:
         """``P(o in p)`` (Definition 6.1)."""
+        start = time.perf_counter()
         path = self._as_path(path)
+        extra: dict = {}
         if self.strategy == "local":
-            return point_query(self.pi, path, oid)
-        if self.strategy == "bayes":
-            return self._bayes().point_query(path, oid)
-        if self.strategy == "sample":
+            value = point_query(self.pi, path, oid)
+        elif self.strategy == "bayes":
+            value = self._bayes().point_query(path, oid)
+        elif self.strategy == "sample":
             from repro.semantics.sampling import estimate_point_query
 
-            return estimate_point_query(
+            estimate = estimate_point_query(
                 self.pi, path, oid, self.samples, self.seed
-            ).probability
-        return self._enumeration().prob_object_at_path(path, oid)
+            )
+            value, extra = estimate.probability, self._estimate_extra(estimate)
+        else:
+            value = self._enumeration().prob_object_at_path(path, oid)
+        self._record("point", start, extra)
+        return value
 
     def exists(self, path: PathExpression | str) -> float:
         """``P(exists o: o in p)``."""
+        start = time.perf_counter()
         path = self._as_path(path)
+        extra: dict = {}
         if self.strategy == "local":
-            return existential_query(self.pi, path)
-        if self.strategy == "bayes":
-            return self._bayes().existential_query(path)
-        if self.strategy == "sample":
+            value = existential_query(self.pi, path)
+        elif self.strategy == "bayes":
+            value = self._bayes().existential_query(path)
+        elif self.strategy == "sample":
             from repro.semantics.sampling import estimate_existential_query
 
-            return estimate_existential_query(
+            estimate = estimate_existential_query(
                 self.pi, path, self.samples, self.seed
-            ).probability
-        return self._enumeration().prob_path_nonempty(path)
+            )
+            value, extra = estimate.probability, self._estimate_extra(estimate)
+        else:
+            value = self._enumeration().prob_path_nonempty(path)
+        self._record("exists", start, extra)
+        return value
 
     def chain(self, chain: list[Oid]) -> float:
         """``P(r.o1...on)`` for an explicit object chain."""
-        if self.strategy == "local":
-            return chain_probability(self.pi, chain)
-        if self.strategy == "bayes":
-            return self._bayes().chain_probability(chain)
+        start = time.perf_counter()
+        extra: dict = {}
 
         def has_chain(world) -> bool:
             for parent, child in zip(chain, chain[1:]):
@@ -111,24 +144,38 @@ class QueryEngine:
                     return False
             return True
 
-        if self.strategy == "sample":
+        if self.strategy == "local":
+            value = chain_probability(self.pi, chain)
+        elif self.strategy == "bayes":
+            value = self._bayes().chain_probability(chain)
+        elif self.strategy == "sample":
             from repro.semantics.sampling import estimate_probability
 
-            return estimate_probability(
+            estimate = estimate_probability(
                 self.pi, has_chain, self.samples, self.seed
-            ).probability
-        return self._enumeration().event_probability(has_chain)
+            )
+            value, extra = estimate.probability, self._estimate_extra(estimate)
+        else:
+            value = self._enumeration().event_probability(has_chain)
+        self._record("chain", start, extra)
+        return value
 
     def object_exists(self, oid: Oid) -> float:
         """``P(o occurs in a compatible world)`` — situation 4 of Section 2."""
+        start = time.perf_counter()
+        extra: dict = {}
         if self.strategy in ("bayes", "local"):
             # The local algorithms have no direct form for bare existence
             # on DAGs; the BN marginal is cheap and exact either way.
-            return self._bayes().prob_exists(oid)
-        if self.strategy == "sample":
+            value = self._bayes().prob_exists(oid)
+        elif self.strategy == "sample":
             from repro.semantics.sampling import estimate_probability
 
-            return estimate_probability(
+            estimate = estimate_probability(
                 self.pi, lambda world: oid in world, self.samples, self.seed
-            ).probability
-        return self._enumeration().prob_object_exists(oid)
+            )
+            value, extra = estimate.probability, self._estimate_extra(estimate)
+        else:
+            value = self._enumeration().prob_object_exists(oid)
+        self._record("object_exists", start, extra)
+        return value

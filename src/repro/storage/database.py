@@ -24,6 +24,25 @@ class DatabaseError(PXMLError):
 
 _SUFFIX = ".pxml.json"
 
+_FORBIDDEN_NAME_PARTS = ("/", "\\", "..")
+
+
+def _validate_name(name: str) -> str:
+    """Reject catalog names that could escape the backing directory.
+
+    Names become file names (``<name>.pxml.json``) under the backing
+    directory, so path separators and ``..`` segments are refused before
+    any :class:`~pathlib.Path` is built from them.
+    """
+    if not name or name in (".", ".."):
+        raise DatabaseError(f"invalid instance name: {name!r}")
+    for part in _FORBIDDEN_NAME_PARTS:
+        if part in name:
+            raise DatabaseError(
+                f"invalid instance name {name!r}: must not contain {part!r}"
+            )
+    return name
+
 
 class Database:
     """A catalog of named probabilistic instances.
@@ -32,10 +51,18 @@ class Database:
         directory: optional backing directory.  When given, instances
             already stored there are listed lazily (loaded on first use)
             and :meth:`save` / :meth:`save_all` write back to it.
+
+    Every name carries a monotonically increasing *version*: registering
+    (or re-registering, lazily loading, touching) an instance assigns the
+    next value of a database-wide counter.  The engine's caches key on
+    these versions, so any mutation of the catalog invalidates dependent
+    cached results implicitly.
     """
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self._instances: dict[str, ProbabilisticInstance] = {}
+        self._versions: dict[str, int] = {}
+        self._version_counter = 0
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -43,29 +70,70 @@ class Database:
     # ------------------------------------------------------------------
     # Catalog
     # ------------------------------------------------------------------
+    def _next_version(self, name: str) -> int:
+        self._version_counter += 1
+        self._versions[name] = self._version_counter
+        return self._version_counter
+
+    def version(self, name: str) -> int:
+        """The current version of ``name`` (assigning one if on disk only).
+
+        Raises :class:`DatabaseError` for names the catalog does not
+        know at all.
+        """
+        _validate_name(name)
+        if name in self._versions:
+            return self._versions[name]
+        if name in self._instances or self._on_disk(name):
+            return self._next_version(name)
+        raise DatabaseError(f"unknown instance: {name!r}")
+
+    def touch(self, name: str) -> int:
+        """Bump ``name``'s version after an in-place mutation.
+
+        Returns the new version.  Use this when an instance obtained via
+        :meth:`get` was modified directly, so engine caches keyed on the
+        old version stop matching.
+        """
+        if name not in self._instances and not self._on_disk(name):
+            raise DatabaseError(f"unknown instance: {name!r}")
+        return self._next_version(name)
+
+    def _on_disk(self, name: str) -> bool:
+        if self._directory is None:
+            return False
+        return (self._directory / f"{name}{_SUFFIX}").exists()
+
     def register(
         self, name: str, instance: ProbabilisticInstance, replace: bool = False
     ) -> None:
         """Add an instance under ``name``; refuses clashes unless ``replace``."""
+        _validate_name(name)
         if not replace and name in self._instances:
             raise DatabaseError(f"instance {name!r} already exists")
         self._instances[name] = instance
+        self._next_version(name)
 
     def get(self, name: str) -> ProbabilisticInstance:
         """Look up an instance, loading from the backing directory if needed."""
         if name in self._instances:
             return self._instances[name]
+        _validate_name(name)
         if self._directory is not None:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
                 instance = read_instance(path)
                 self._instances[name] = instance
+                if name not in self._versions:
+                    self._next_version(name)
                 return instance
         raise DatabaseError(f"unknown instance: {name!r}")
 
     def drop(self, name: str) -> None:
         """Remove an instance from the catalog (and its file, if backed)."""
+        _validate_name(name)
         found = self._instances.pop(name, None) is not None
+        self._versions.pop(name, None)
         if self._directory is not None:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
@@ -98,6 +166,7 @@ class Database:
     # ------------------------------------------------------------------
     def save(self, name: str) -> Path:
         """Persist one instance; requires a backing directory."""
+        _validate_name(name)
         if self._directory is None:
             raise DatabaseError("database has no backing directory")
         path = self._directory / f"{name}{_SUFFIX}"

@@ -1,0 +1,263 @@
+"""Tests for the LRU caches, versioned invalidation, and observability."""
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.engine import Engine, LRUCache, PlanBuilder
+from repro.pxql import Interpreter
+from repro.queries.engine import QueryEngine
+from repro.storage.database import Database, DatabaseError
+
+
+def small_instance(root="R", leaf="A", p=0.6):
+    b = InstanceBuilder(root)
+    b.children(root, "x", [leaf])
+    b.opf(root, {(leaf,): p, (): 1 - p})
+    b.leaf(leaf, "t", ["v"], {"v": 1.0})
+    return b.build()
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+
+    def test_capacity_evicts_oldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # now "b" is the least recently used
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_peek_does_not_touch_counters_or_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a")
+        assert not cache.peek("zzz")
+        stats = cache.stats
+        assert stats.hits == 0
+        assert stats.misses == 0
+        cache.put("c", 3)       # "a" was only peeked, so it is still LRU
+        assert not cache.peek("a")
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert not cache.peek("a")
+        assert cache.stats.size == 0
+        assert cache.stats.hits == 1
+
+    def test_stats_rendering(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        text = str(cache.stats)
+        assert "1 hits" in text
+        assert "1 misses" in text
+        assert "1/8 entries" in text
+
+
+class TestDatabaseNames:
+    @pytest.mark.parametrize("bad", [
+        "", ".", "..", "a/b", "a\\b", "../escape", "x/../y", "a..b",
+    ])
+    def test_invalid_names_rejected_on_register(self, bad):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.register(bad, small_instance())
+
+    @pytest.mark.parametrize("bad", ["a/b", "..", "../x"])
+    def test_invalid_names_rejected_on_get_and_drop(self, bad):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.get(bad)
+        with pytest.raises(DatabaseError):
+            db.drop(bad)
+
+    def test_invalid_name_rejected_on_save(self, tmp_path):
+        db = Database(tmp_path)
+        with pytest.raises(DatabaseError):
+            db.save("../evil")
+
+    def test_valid_names_fine(self):
+        db = Database()
+        db.register("bib-2.json_ok", small_instance())
+        assert "bib-2.json_ok" in db
+
+
+class TestDatabaseVersions:
+    def test_register_assigns_monotone_versions(self):
+        db = Database()
+        db.register("a", small_instance())
+        db.register("b", small_instance("S", "B"))
+        va, vb = db.version("a"), db.version("b")
+        assert vb > va
+        assert db.version("a") == va  # stable until mutation
+
+    def test_reregister_bumps(self):
+        db = Database()
+        db.register("a", small_instance())
+        before = db.version("a")
+        db.register("a", small_instance(p=0.5), replace=True)
+        assert db.version("a") > before
+
+    def test_touch_bumps(self):
+        db = Database()
+        db.register("a", small_instance())
+        before = db.version("a")
+        assert db.touch("a") > before
+
+    def test_unknown_names_raise(self):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.version("nope")
+        with pytest.raises(DatabaseError):
+            db.touch("nope")
+
+    def test_drop_forgets_the_version(self):
+        db = Database()
+        db.register("a", small_instance())
+        db.drop("a")
+        with pytest.raises(DatabaseError):
+            db.version("a")
+
+
+class TestEngineResultCache:
+    @pytest.fixture
+    def database(self):
+        db = Database()
+        db.register("bib", small_instance())
+        return db
+
+    def test_repeated_plan_hits(self, database):
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").project("R.x").build()
+        engine.execute_plan(plan)
+        assert engine.result_cache.stats.hits == 0
+        engine.execute_plan(plan)
+        assert engine.result_cache.stats.hits > 0
+
+    def test_hit_returns_equal_value_and_marks_stats(self, database):
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").select("R.x", "A").build()
+        cold = engine.execute_plan(plan)
+        warm = engine.execute_plan(plan)
+        assert warm.stats.cache == "hit"
+        assert cold.stats.cache == "miss"
+        assert warm.value.objects == cold.value.objects
+        # Selection probability survives the cache hit.
+        assert warm.condition_probability == pytest.approx(
+            cold.condition_probability
+        )
+
+    def test_copy_on_hit_protects_the_cache(self, database):
+        engine = Engine(database, copy_on_hit=True)
+        plan = PlanBuilder.scan("bib").project("R.x").build()
+        first = engine.execute_plan(plan).value
+        second = engine.execute_plan(plan).value
+        assert second is not first
+
+    def test_reregistration_invalidates(self, database):
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").project("R.x").build()
+        engine.execute_plan(plan)
+        database.register("bib", small_instance(p=0.9), replace=True)
+        result = engine.execute_plan(plan)
+        assert result.stats.cache == "miss"
+
+    def test_touch_invalidates(self, database):
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").point("R.x", "A").build()
+        engine.execute_plan(plan)
+        database.touch("bib")
+        assert engine.execute_plan(plan).stats.cache == "miss"
+
+    def test_caching_off(self, database):
+        engine = Engine(database, caching=False)
+        plan = PlanBuilder.scan("bib").project("R.x").build()
+        engine.execute_plan(plan)
+        result = engine.execute_plan(plan)
+        assert result.stats.cache == "off"
+        assert engine.result_cache.stats.size == 0
+
+    def test_query_values_cached(self, database):
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").point("R.x", "A").build()
+        cold = engine.execute_plan(plan)
+        warm = engine.execute_plan(plan)
+        assert warm.stats.cache == "hit"
+        assert warm.value == pytest.approx(cold.value)
+
+
+class TestInterpreterCaching:
+    def test_repeated_statement_hits_result_cache(self):
+        interp = Interpreter()
+        interp.database.register("bib", small_instance())
+        interp.execute("PROJECT R.x FROM bib AS p")
+        assert interp.cache_stats["results"]["hits"] == 0
+        interp.execute("PROJECT R.x FROM bib AS p2")
+        assert interp.cache_stats["results"]["hits"] > 0
+
+    def test_query_statement_caches(self):
+        interp = Interpreter()
+        interp.database.register("bib", small_instance())
+        one = interp.execute("POINT R.x : A IN bib")
+        two = interp.execute("POINT R.x : A IN bib")
+        assert one.value == pytest.approx(two.value)
+        assert interp.cache_stats["results"]["hits"] > 0
+
+    def test_mutation_invalidates_across_statements(self):
+        interp = Interpreter()
+        interp.database.register("bib", small_instance(p=0.6))
+        first = interp.execute("POINT R.x : A IN bib")
+        assert first.value == pytest.approx(0.6)
+        interp.database.register("bib", small_instance(p=0.25), replace=True)
+        second = interp.execute("POINT R.x : A IN bib")
+        assert second.value == pytest.approx(0.25)
+
+
+class TestQueryEngineStats:
+    def test_point_records_strategy_and_time(self):
+        engine = QueryEngine(small_instance(), strategy="local")
+        engine.point("R.x", "A")
+        assert engine.stats["query"] == "point"
+        assert engine.stats["strategy"] == "local"
+        assert engine.stats["wall_s"] >= 0.0
+
+    def test_sample_records_count_and_stderr(self):
+        engine = QueryEngine(small_instance(), strategy="sample",
+                             samples=500, seed=7)
+        engine.exists("R.x")
+        assert engine.stats["samples"] == 500
+        assert engine.stats["stderr"] >= 0.0
+
+    def test_each_query_kind_updates(self):
+        engine = QueryEngine(small_instance(), strategy="local")
+        engine.exists("R.x")
+        assert engine.stats["query"] == "exists"
+        engine.chain(["R", "A"])
+        assert engine.stats["query"] == "chain"
+        engine.object_exists("A")
+        assert engine.stats["query"] == "object_exists"

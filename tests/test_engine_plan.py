@@ -1,0 +1,199 @@
+"""Tests for the plan IR, builder API, fingerprints and cost model."""
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.engine import (
+    CostModel,
+    PlanBuilder,
+    PlanError,
+    ProductNode,
+    ProjectNode,
+    QueryNode,
+    ScanNode,
+    SelectNode,
+    fingerprint,
+    plan_statement,
+    scan_names,
+)
+from repro.pxql import parse
+from repro.pxql import ast
+from repro.storage.database import Database
+
+
+def small_instance(root="R", leaf="A"):
+    b = InstanceBuilder(root)
+    b.children(root, "x", [leaf])
+    b.opf(root, {(leaf,): 0.6, (): 0.4})
+    b.leaf(leaf, "t", ["v"], {"v": 1.0})
+    return b.build()
+
+
+class TestPlanStatement:
+    def test_project_statement(self):
+        plan = plan_statement(parse("PROJECT R.book FROM bib"))
+        assert isinstance(plan, ProjectNode)
+        assert plan.kind == "ancestor"
+        assert plan.child == ScanNode("bib")
+
+    def test_select_statement(self):
+        plan = plan_statement(parse('SELECT R.b = B1 AND VALUE = "y" FROM bib'))
+        assert isinstance(plan, SelectNode)
+        assert plan.oid == "B1"
+        assert plan.value == "y"
+
+    def test_product_statement(self):
+        plan = plan_statement(parse("PRODUCT a, b ROOT r"))
+        assert plan == ProductNode(ScanNode("a"), ScanNode("b"), "r")
+
+    def test_query_statements(self):
+        for text, kind in [
+            ("POINT R.b : B1 IN bib", "point"),
+            ("EXISTS R.b IN bib", "exists"),
+            ("CHAIN R.B1 IN bib", "chain"),
+            ("PROB B1 IN bib", "prob"),
+            ("COUNT R.b IN bib", "count"),
+            ("DIST R.b IN bib", "dist"),
+        ]:
+            plan = plan_statement(parse(text))
+            assert isinstance(plan, QueryNode)
+            assert plan.kind == kind
+
+    def test_unplannable_statements(self):
+        for text in ("LIST", "SHOW bib", "WORLDS bib", "DROP bib"):
+            assert plan_statement(parse(text)) is None
+
+    def test_bad_projection_kind_rejected(self):
+        with pytest.raises(PlanError):
+            ProjectNode("sideways", None, ScanNode("a"))
+
+    def test_bad_query_kind_rejected(self):
+        with pytest.raises(PlanError):
+            QueryNode("median", ScanNode("a"))
+
+
+class TestBuilder:
+    def test_pipeline(self):
+        plan = (
+            PlanBuilder.scan("bib")
+            .project("R.book.author")
+            .select("R.book.author", "A1")
+            .point("R.book.author", "A1")
+            .build()
+        )
+        assert isinstance(plan, QueryNode)
+        assert isinstance(plan.child, SelectNode)
+        assert isinstance(plan.child.child, ProjectNode)
+        assert plan.child.child.child == ScanNode("bib")
+
+    def test_product_of_builders(self):
+        plan = PlanBuilder.scan("a").product(PlanBuilder.scan("b"), "r").build()
+        assert plan == ProductNode(ScanNode("a"), ScanNode("b"), "r")
+
+    def test_product_of_name(self):
+        plan = PlanBuilder.scan("a").product("b").build()
+        assert plan.right == ScanNode("b")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        one = plan_statement(parse("PROJECT R.book FROM bib"))
+        two = plan_statement(parse("PROJECT R.book FROM bib"))
+        assert fingerprint(one) == fingerprint(two)
+
+    def test_distinguishes_parameters(self):
+        plans = [
+            plan_statement(parse("PROJECT R.book FROM bib")),
+            plan_statement(parse("PROJECT R.author FROM bib")),
+            plan_statement(parse("PROJECT DESCENDANT R.book FROM bib")),
+            plan_statement(parse("PROJECT R.book FROM other")),
+            plan_statement(parse("SELECT R.book = B1 FROM bib")),
+        ]
+        prints = {fingerprint(plan) for plan in plans}
+        assert len(prints) == len(plans)
+
+    def test_target_name_is_not_part_of_the_plan(self):
+        named = plan_statement(parse("PROJECT R.book FROM bib AS x"))
+        anon = plan_statement(parse("PROJECT R.book FROM bib"))
+        assert fingerprint(named) == fingerprint(anon)
+
+    def test_scan_names_sorted_unique(self):
+        plan = ProductNode(ScanNode("b"), ScanNode("a"))
+        assert scan_names(plan) == ("a", "b")
+        nested = ProductNode(plan, ScanNode("a"), "r")
+        assert scan_names(nested) == ("a", "b")
+
+
+class TestCostModel:
+    @pytest.fixture
+    def database(self):
+        db = Database()
+        db.register("one", small_instance("R", "A"))
+        db.register("two", small_instance("S", "B"))
+        return db
+
+    def test_scan_measured_exactly(self, database):
+        cost = CostModel(database)
+        estimate = cost.estimate(ScanNode("one"))
+        assert estimate.objects == 2
+        assert estimate.is_tree
+        assert estimate.root == "R"
+        assert estimate.entries == database.get("one").total_interpretation_entries()
+
+    def test_select_and_project_preserve_size(self, database):
+        cost = CostModel(database)
+        plan = PlanBuilder.scan("one").project("R.x").build()
+        assert cost.estimate(plan).objects == 2
+
+    def test_product_combines(self, database):
+        cost = CostModel(database)
+        plan = PlanBuilder.scan("one").product("two", "r").build()
+        estimate = cost.estimate(plan)
+        assert estimate.objects == 3  # 2 + 2 - merged roots
+        assert estimate.root == "r"
+        default_root = cost.estimate(
+            PlanBuilder.scan("one").product("two").build()
+        ).root
+        assert default_root == "RxS"
+
+    def test_memoized_per_version(self, database):
+        cost = CostModel(database)
+        cost.estimate(ScanNode("one"))
+        # Re-registration bumps the version, so the estimate refreshes.
+        b = InstanceBuilder("R")
+        b.children("R", "x", ["A", "B"])
+        b.opf("R", {("A", "B"): 1.0})
+        b.leaf("A", "t", ["v"], {"v": 1.0})
+        b.leaf("B", "t", ["v"], {"v": 1.0})
+        database.register("one", b.build(), replace=True)
+        assert cost.estimate(ScanNode("one")).objects == 3
+
+    def test_strategy_choice(self, database):
+        from repro.engine.cost import SAMPLE_ENTRY_THRESHOLD, Estimate
+
+        cost = CostModel(database)
+        tree = Estimate(10, 100, True, "R")
+        dag = Estimate(10, 100, False, "R")
+        huge_dag = Estimate(10, SAMPLE_ENTRY_THRESHOLD + 1, False, "R")
+        assert cost.choose_strategy(tree) == "local"
+        assert cost.choose_strategy(dag) == "bayes"
+        assert cost.choose_strategy(huge_dag) == "sample"
+
+
+class TestExplainParsing:
+    def test_explain_wraps_statement(self):
+        stmt = parse("EXPLAIN PROJECT R.book FROM bib")
+        assert isinstance(stmt, ast.ExplainStatement)
+        assert not stmt.analyze
+        assert isinstance(stmt.statement, ast.ProjectStatement)
+
+    def test_explain_analyze(self):
+        stmt = parse("EXPLAIN ANALYZE POINT R.b : B1 IN bib")
+        assert stmt.analyze
+        assert isinstance(stmt.statement, ast.PointStatement)
+
+    def test_nested_explain_rejected(self):
+        from repro.pxql import PXQLSyntaxError
+
+        with pytest.raises(PXQLSyntaxError):
+            parse("EXPLAIN EXPLAIN LIST")
