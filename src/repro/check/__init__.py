@@ -1,0 +1,86 @@
+"""repro.check — static diagnostics over models, plans and PXQL.
+
+Three analysis passes share one diagnostics framework
+(:mod:`repro.check.diagnostics`): every finding is a
+:class:`~repro.check.diagnostics.Diagnostic` with a stable code
+(``PX1xx`` = model, ``PX2xx`` = plan, ``PX3xx`` = query front-end), a
+severity, an optional source span, and a fix hint.
+
+* **Model pass** (:mod:`repro.check.model`) — exhaustive linting of a
+  probabilistic instance's legality conditions (Theorem 1 preconditions)
+  plus summary statistics.  Absorbs the former ``repro.core.lint``.
+* **Dataguide** (:mod:`repro.check.dataguide`) — a strong-dataguide
+  label-path summary of the weak instance with per-path existence
+  probability intervals; the structural oracle the plan pass consults.
+* **Plan pass** (:mod:`repro.check.plans`) — a typechecker over the
+  engine's logical plan IR: never-matching paths, contradictory or
+  tautological selection conditions, incompatible products, and
+  machine-checkable soundness justifications for rewrite rules
+  (:mod:`repro.check.rewrites`).
+* **Query pass** (:mod:`repro.check.query`) — statement-level checks for
+  the PXQL front-end, with source spans from the lexer.
+
+``python -m repro.check`` runs all passes over a database directory or
+a fixture corpus (see :mod:`repro.check.cli`).
+"""
+
+from repro.check.dataguide import DataGuide, DataGuideCache, build_dataguide
+from repro.check.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    CheckError,
+    Diagnostic,
+    DiagnosticReport,
+    Span,
+)
+from repro.check.model import Issue, check_instance, format_issues, has_errors, lint_instance
+
+# The plan and query passes import the engine and PXQL layers, which in
+# turn import repro.core — and repro.core imports the model pass (via
+# the repro.core.lint shim).  Loading them lazily (PEP 562) keeps this
+# package importable from anywhere in that cycle.
+_LAZY = {
+    "check_plan": "repro.check.plans",
+    "check_statement": "repro.check.query",
+    "check_text": "repro.check.query",
+    "RewriteJustification": "repro.check.rewrites",
+    "justify_rewrites": "repro.check.rewrites",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "CheckError",
+    "DataGuide",
+    "DataGuideCache",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ERROR",
+    "INFO",
+    "Issue",
+    "RewriteJustification",
+    "Span",
+    "WARNING",
+    "build_dataguide",
+    "check_instance",
+    "check_plan",
+    "check_statement",
+    "check_text",
+    "format_issues",
+    "has_errors",
+    "justify_rewrites",
+    "lint_instance",
+]

@@ -1,0 +1,185 @@
+"""``python -m repro.check`` — run every static pass over files on disk.
+
+Usage::
+
+    python -m repro.check [PATH ...] [--format text|json]
+                          [--fail-on error|warning|never]
+
+Each ``PATH`` may be:
+
+* a directory — scanned recursively for ``*.pxml.json`` instance files
+  (model pass + dataguide construction) and ``*.pxql`` scripts (query
+  pass, statement by statement, against a catalog backed by the
+  script's directory);
+* a single ``*.pxml.json`` file;
+* a single ``*.pxql`` script.
+
+The process exits 0 when the report passes the ``--fail-on`` severity
+gate (default: fail only on error-severity findings) and 1 otherwise,
+so the command can gate CI on a fixture corpus (see
+``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.check.dataguide import DataGuideCache, build_dataguide
+from repro.check.diagnostics import ERROR, INFO, Diagnostic, DiagnosticReport
+from repro.check.model import check_instance
+from repro.check.query import check_text
+
+_INSTANCE_SUFFIX = ".pxml.json"
+_SCRIPT_SUFFIX = ".pxql"
+
+#: CLI-level codes (files that cannot even be read).
+UNREADABLE_INSTANCE = "PX120"
+
+
+def _check_instance_file(path: Path) -> list[Diagnostic]:
+    """Model pass + dataguide construction for one instance file."""
+    from repro.io.json_codec import read_instance
+
+    subject = str(path)
+    try:
+        instance = read_instance(path)
+    except Exception as error:
+        return [Diagnostic(
+            code=UNREADABLE_INSTANCE, severity=ERROR,
+            message=f"cannot read instance file: {error}",
+            subject=subject,
+            hint="the file must hold one JSON-encoded probabilistic instance",
+        )]
+    diagnostics = check_instance(instance, name=subject)
+    try:
+        guide = build_dataguide(instance)
+    except Exception:
+        return diagnostics
+    if guide.truncated:
+        diagnostics.append(Diagnostic(
+            code="PX191", severity=INFO,
+            message="dataguide truncated (too many distinct label paths); "
+                    "path-level findings may be incomplete",
+            subject=subject,
+        ))
+    return diagnostics
+
+
+def _check_script_file(path: Path) -> list[Diagnostic]:
+    """Query pass over a ``.pxql`` script, one statement per line.
+
+    Blank lines and ``#`` comments are skipped.  Names a previous
+    statement defines (``AS name``, ``LOAD name``) are treated as known,
+    so scripts that build on their own intermediate results do not
+    produce spurious unknown-instance errors.
+    """
+    from repro.storage.database import Database
+
+    database = Database(path.parent)
+    guides = DataGuideCache()
+    defined: set[str] = set()
+    diagnostics: list[Diagnostic] = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        return [Diagnostic(
+            code=UNREADABLE_INSTANCE, severity=ERROR,
+            message=f"cannot read script file: {error}", subject=str(path),
+        )]
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        found = check_text(text, database, guides=guides)
+        for diagnostic in found:
+            if diagnostic.code in ("PX201", "PX301") and any(
+                repr(name) in diagnostic.message for name in defined
+            ):
+                continue    # refers to an earlier statement's result
+            diagnostics.append(Diagnostic(
+                code=diagnostic.code, severity=diagnostic.severity,
+                message=diagnostic.message,
+                subject=f"{path}:{number}", oid=diagnostic.oid,
+                path=diagnostic.path, span=diagnostic.span,
+                hint=diagnostic.hint,
+            ))
+        defined.update(_defined_names(text))
+    return diagnostics
+
+
+def _defined_names(text: str) -> set[str]:
+    """The catalog names a statement would create when executed."""
+    from repro.pxql import ast
+    from repro.pxql.parser import parse
+
+    try:
+        statement = parse(text)
+    except Exception:
+        return set()
+    while isinstance(statement, (ast.CheckStatement, ast.ExplainStatement)):
+        statement = statement.statement
+    names: set[str] = set()
+    target = getattr(statement, "target", None)
+    if target is not None:
+        names.add(target)
+    if isinstance(statement, ast.LoadStatement):
+        names.add(statement.name)
+    return names
+
+
+def collect_diagnostics(paths: list[str]) -> DiagnosticReport:
+    """Run the passes over every path and aggregate the findings."""
+    report = DiagnosticReport()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for instance_file in sorted(path.rglob(f"*{_INSTANCE_SUFFIX}")):
+                report.extend(_check_instance_file(instance_file))
+            for script_file in sorted(path.rglob(f"*{_SCRIPT_SUFFIX}")):
+                report.extend(_check_script_file(script_file))
+        elif path.name.endswith(_INSTANCE_SUFFIX):
+            report.extend(_check_instance_file(path))
+        elif path.name.endswith(_SCRIPT_SUFFIX):
+            report.extend(_check_script_file(path))
+        else:
+            report.add(Diagnostic(
+                code=UNREADABLE_INSTANCE, severity=ERROR,
+                message=f"not a directory, {_INSTANCE_SUFFIX} or "
+                        f"{_SCRIPT_SUFFIX} path: {path}",
+                subject=str(path),
+            ))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Static diagnostics over PXML instance files and "
+                    "PXQL scripts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["examples"],
+        help="directories, *.pxml.json files, or *.pxql scripts "
+             "(default: examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="error",
+        help="exit non-zero when findings at (or above) this severity "
+             "exist (default: error)",
+    )
+    arguments = parser.parse_args(argv)
+    report = collect_diagnostics(arguments.paths or ["examples"])
+    output = report.to_json() if arguments.format == "json" else report.to_text()
+    print(output)
+    return 1 if report.fails(arguments.fail_on) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,158 +1,31 @@
-"""Exhaustive model linting.
+"""Back-compat shim: the instance linter moved to :mod:`repro.check.model`.
 
-``ProbabilisticInstance.validate()`` raises on the *first* problem, which
-is what library code wants; a human repairing a hand-written or imported
-model wants *every* problem at once.  :func:`lint_instance` walks the
-whole model and returns a list of :class:`Issue` records, ordered by
-severity then object id.
+The exhaustive model linter is now the *model pass* of the static
+diagnostics subsystem (``repro.check``), where its findings share the
+``PX1xx`` code space with the plan and query passes.  This module
+re-exports the historical API so existing imports keep working::
 
-Severities:
-
-* ``error`` — the model has no coherent semantics (Theorem 1 fails).
-* ``warning`` — legal but suspicious: dead objects, unreachable mass,
-  children that can never be chosen, degenerate distributions.
+    from repro.core.lint import lint_instance, Issue, has_errors
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from repro.check.model import (
+    ERROR,
+    PX_CODES,
+    WARNING,
+    Issue,
+    format_issues,
+    has_errors,
+    lint_instance,
+)
 
-from repro.core.distributions import PROBABILITY_TOLERANCE
-from repro.core.instance import ProbabilisticInstance
-from repro.semistructured.graph import Oid
-
-ERROR = "error"
-WARNING = "warning"
-
-
-@dataclass(frozen=True)
-class Issue:
-    """One linting finding."""
-
-    severity: str
-    oid: Oid | None
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        where = f" [{self.oid}]" if self.oid is not None else ""
-        return f"{self.severity}{where} {self.code}: {self.message}"
-
-
-def lint_instance(pi: ProbabilisticInstance) -> list[Issue]:
-    """Collect every problem in a probabilistic instance."""
-    issues: list[Issue] = []
-    weak = pi.weak
-    graph = weak.graph()
-
-    # -- structure ------------------------------------------------------
-    if not graph.is_acyclic():
-        issues.append(Issue(
-            ERROR, None, "cyclic",
-            "the weak instance graph contains a cycle (Definition 4.3)",
-        ))
-    else:
-        reachable = graph.reachable_from(weak.root)
-        for oid in sorted(weak.objects - reachable):
-            issues.append(Issue(
-                WARNING, oid, "unreachable",
-                "can never occur in a compatible world (unreachable from root)",
-            ))
-
-    for oid in sorted(weak.objects):
-        for label in sorted(weak.labels_of(oid)):
-            card = weak.card(oid, label)
-            pool = weak.lch(oid, label)
-            if card.min > len(pool):
-                issues.append(Issue(
-                    ERROR, oid, "unsatisfiable-card",
-                    f"card({oid}, {label}).min = {card.min} exceeds "
-                    f"|lch| = {len(pool)}",
-                ))
-            if card.max == 0 and pool:
-                issues.append(Issue(
-                    WARNING, oid, "dead-label",
-                    f"card({oid}, {label}).max = 0: the {len(pool)} potential "
-                    f"{label}-children can never be chosen",
-                ))
-
-    # -- local probability functions -------------------------------------
-    for oid in sorted(weak.non_leaves()):
-        opf = pi.opf(oid)
-        if opf is None:
-            issues.append(Issue(ERROR, oid, "missing-opf", "non-leaf without an OPF"))
-            continue
-        total = 0.0
-        chosen: set[Oid] = set()
-        for child_set, probability in opf.support():
-            total += probability
-            chosen |= child_set
-            if probability < 0.0:
-                issues.append(Issue(
-                    ERROR, oid, "negative-mass",
-                    f"OPF entry {sorted(child_set)!r} has negative probability",
-                ))
-            if not weak.is_potential_child_set(oid, child_set):
-                issues.append(Issue(
-                    ERROR, oid, "outside-pc",
-                    f"OPF assigns mass to {sorted(child_set)!r} outside PC({oid})",
-                ))
-        if not math.isclose(total, 1.0, abs_tol=PROBABILITY_TOLERANCE, rel_tol=1e-9):
-            issues.append(Issue(
-                ERROR, oid, "bad-total", f"OPF sums to {total!r}, expected 1"
-            ))
-        for child in sorted(weak.potential_children(oid) - chosen):
-            issues.append(Issue(
-                WARNING, oid, "never-chosen",
-                f"potential child {child!r} has zero inclusion probability",
-            ))
-
-    for oid in sorted(weak.leaves()):
-        leaf_type = weak.tau(oid)
-        vpf = pi.effective_vpf(oid)
-        if vpf is None:
-            if leaf_type is not None:
-                issues.append(Issue(
-                    WARNING, oid, "typed-no-vpf",
-                    f"leaf has type {leaf_type.name!r} but no value distribution",
-                ))
-            continue
-        if leaf_type is None:
-            issues.append(Issue(
-                WARNING, oid, "vpf-no-type",
-                "leaf has a value distribution but no declared type",
-            ))
-        total = 0.0
-        for value, probability in vpf.support():
-            total += probability
-            if probability < 0.0:
-                issues.append(Issue(
-                    ERROR, oid, "negative-mass",
-                    f"VPF entry {value!r} has negative probability",
-                ))
-            if leaf_type is not None and value not in leaf_type:
-                issues.append(Issue(
-                    ERROR, oid, "outside-domain",
-                    f"VPF assigns mass to {value!r} outside dom({leaf_type.name})",
-                ))
-        if not math.isclose(total, 1.0, abs_tol=PROBABILITY_TOLERANCE, rel_tol=1e-9):
-            issues.append(Issue(
-                ERROR, oid, "bad-total", f"VPF sums to {total!r}, expected 1"
-            ))
-
-    severity_rank = {ERROR: 0, WARNING: 1}
-    issues.sort(key=lambda i: (severity_rank[i.severity], i.oid or "", i.code))
-    return issues
-
-
-def has_errors(issues: list[Issue]) -> bool:
-    """Whether any finding is severity ``error``."""
-    return any(issue.severity == ERROR for issue in issues)
-
-
-def format_issues(issues: list[Issue]) -> str:
-    """Render findings one per line ("clean" when empty)."""
-    if not issues:
-        return "clean"
-    return "\n".join(str(issue) for issue in issues)
+__all__ = [
+    "ERROR",
+    "Issue",
+    "PX_CODES",
+    "WARNING",
+    "format_issues",
+    "has_errors",
+    "lint_instance",
+]

@@ -320,6 +320,9 @@ class Engine:
         if isinstance(node, SelectNode):
             (pi,) = inputs
             selection = select_local(pi, _condition_of(node))
+            check_probability_guard(
+                selection.probability, node.prob_op, node.prob_bound
+            )
             return selection.instance, "local", {
                 "condition_probability": selection.probability,
             }
@@ -386,6 +389,33 @@ class Engine:
             f"plans [{self.plan_cache.stats}]"
         )
         return "\n".join(lines)
+
+
+_GUARD_COMPARATORS = {
+    ">": lambda probability, bound: probability > bound,
+    ">=": lambda probability, bound: probability >= bound,
+    "<": lambda probability, bound: probability < bound,
+    "<=": lambda probability, bound: probability <= bound,
+}
+
+
+def check_probability_guard(
+    probability: float, prob_op: str | None, prob_bound: float | None
+) -> None:
+    """Enforce a selection's probability guard (``AND PROB > t``).
+
+    Raises :class:`~repro.errors.EmptyResultError` when the computed
+    condition probability does not satisfy the comparison.
+    """
+    if prob_op is None or prob_bound is None:
+        return
+    if not _GUARD_COMPARATORS[prob_op](probability, prob_bound):
+        from repro.errors import EmptyResultError
+
+        raise EmptyResultError(
+            f"probability guard failed: condition probability "
+            f"{probability:.6g} is not {prob_op} {prob_bound:g}"
+        )
 
 
 def _condition_of(node: SelectNode):

@@ -92,9 +92,21 @@ class ProjectNode(PlanNode):
         return f"Project[{self.kind}]({self.path})"
 
 
+#: Comparison operators a probability guard may use.
+PROB_GUARD_OPS = (">", ">=", "<", "<=")
+
+
 @dataclass(frozen=True)
 class SelectNode(PlanNode):
-    """Chain selection ``p = o`` with optional value / cardinality clause."""
+    """Chain selection ``p = o`` with optional value / cardinality clause.
+
+    ``prob_op`` / ``prob_bound`` encode an optional *probability guard*
+    (``AND PROB > 0.5`` in PXQL): an assertion that the selection's
+    condition probability satisfies the comparison.  A violated guard
+    raises :class:`~repro.errors.EmptyResultError` at execution time —
+    and a statically unsatisfiable one (``PROB > 1.0``) is flagged by
+    the plan checker before execution ever starts.
+    """
 
     path: PathExpression
     oid: str
@@ -102,6 +114,14 @@ class SelectNode(PlanNode):
     value: object = None
     card_label: str | None = None
     card_bounds: tuple[int, int] | None = None
+    prob_op: str | None = None
+    prob_bound: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.prob_op is not None and self.prob_op not in PROB_GUARD_OPS:
+            raise PlanError(f"unknown probability guard operator {self.prob_op!r}")
+        if (self.prob_op is None) != (self.prob_bound is None):
+            raise PlanError("probability guard needs both an operator and a bound")
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
@@ -110,7 +130,7 @@ class SelectNode(PlanNode):
         (child,) = children
         return SelectNode(
             self.path, self.oid, child, self.value, self.card_label,
-            self.card_bounds,
+            self.card_bounds, self.prob_op, self.prob_bound,
         )
 
     def label(self) -> str:
@@ -120,6 +140,8 @@ class SelectNode(PlanNode):
         if self.card_label is not None:
             low, high = self.card_bounds
             parts.append(f"card({self.card_label}) in [{low}, {high}]")
+        if self.prob_op is not None:
+            parts.append(f"prob {self.prob_op} {self.prob_bound:g}")
         return f"Select[{' and '.join(parts)}]"
 
 
@@ -233,6 +255,8 @@ def plan_statement(statement: "ast.Statement") -> PlanNode | None:
         return SelectNode(
             statement.path, statement.oid, ScanNode(statement.source),
             statement.value, statement.card_label, statement.card_bounds,
+            getattr(statement, "prob_op", None),
+            getattr(statement, "prob_bound", None),
         )
     if isinstance(statement, ast.ProductStatement):
         return ProductNode(
@@ -282,10 +306,13 @@ class PlanBuilder:
         value: object = None,
         card_label: str | None = None,
         card_bounds: tuple[int, int] | None = None,
+        prob_op: str | None = None,
+        prob_bound: float | None = None,
     ) -> "PlanBuilder":
-        """Apply a chain selection."""
+        """Apply a chain selection (optionally probability-guarded)."""
         return PlanBuilder(SelectNode(
             _as_path(path), oid, self._node, value, card_label, card_bounds,
+            prob_op, prob_bound,
         ))
 
     def product(

@@ -80,6 +80,10 @@ def push_selection_below_projection(
         return None
     if node.card_label is not None:
         return None
+    if node.prob_op is not None:
+        # A probability guard asserts on the condition probability in the
+        # selection's *input*; conservatively keep it above the projection.
+        return None
     pushed = SelectNode(node.path, node.oid, projection.child, node.value)
     return ProjectNode(projection.kind, projection.path, pushed)
 
@@ -113,11 +117,15 @@ def optimize(
     cost: CostModel | None = None,
     rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
     max_passes: int = 10,
+    trace: list[tuple[str, PlanNode, PlanNode]] | None = None,
 ) -> tuple[PlanNode, tuple[str, ...]]:
     """Apply the rules bottom-up to a fixpoint.
 
     Returns the rewritten plan and the names of the rules that fired, in
-    application order (possibly with repeats).
+    application order (possibly with repeats).  When a ``trace`` list is
+    passed, every firing appends ``(rule_name, before, after)`` — the
+    raw material for the static checker's machine-checkable soundness
+    justifications (:mod:`repro.check.rewrites`).
     """
     applied: list[str] = []
 
@@ -134,6 +142,8 @@ def optimize(
                 replacement = rule(node, cost)
                 if replacement is not None and replacement != node:
                     applied.append(rule.__name__)
+                    if trace is not None:
+                        trace.append((rule.__name__, node, replacement))
                     node = replacement
                     changed = True
         return node

@@ -2,19 +2,25 @@
 
 One dataclass per statement kind.  The grammar (EBNF-ish):
 
-    statement   := explain | plain
+    statement   := check | explain | plain
     plain       := project | select | product | point | exists | chain
                  | prob | count | dist | worlds | show | list | drop
                  | load | save
 
-    explain     := "EXPLAIN" ["ANALYZE"] plain
-                   (plain must be an algebra or query statement)
+    check       := "CHECK" plain
+                   (static diagnostics only; the statement never runs)
+    explain     := "EXPLAIN" ["ANALYZE" | "LINT"] plain
+                   (plain must be an algebra or query statement;
+                    LINT adds the static checker's findings and the
+                    per-rewrite soundness justifications to the plan)
 
     project     := "PROJECT" [kind] path "FROM" name ["AS" name]
     kind        := "ANCESTOR" | "DESCENDANT" | "SINGLE"
     select      := "SELECT" path "=" oid ["AND" "VALUE" "=" literal]
                    ["AND" "CARD" "(" label ")" "IN" "[" int "," int "]"]
+                   ["AND" "PROB" cmp number]
                    "FROM" name ["AS" name]
+    cmp         := ">" | ">=" | "<" | "<="
     product     := "PRODUCT" name "," name ["ROOT" oid] ["AS" name]
     point       := "POINT" path ":" oid "IN" name
     exists      := "EXISTS" path "IN" name
@@ -59,6 +65,8 @@ class SelectStatement:
     card_bounds: tuple[int, int] | None
     source: str
     target: str | None
+    prob_op: str | None = None     # AND PROB <cmp> <number> (assertion on
+    prob_bound: float | None = None  # the condition probability)
 
 
 @dataclass(frozen=True)
@@ -156,15 +164,25 @@ class SaveStatement:
 
 @dataclass(frozen=True)
 class ExplainStatement:
-    """``EXPLAIN [ANALYZE] <statement>``.
+    """``EXPLAIN [ANALYZE | LINT] <statement>``.
 
     ``analyze=False`` plans and optimizes without executing;
     ``analyze=True`` also executes (with the statement's normal side
     effects, e.g. registering an ``AS`` target) and reports per-node
-    timings, cardinalities and cache status.
+    timings, cardinalities and cache status.  ``lint=True`` plans
+    without executing and appends the static checker's diagnostics plus
+    a machine-checked soundness justification per applied rewrite.
     """
 
     analyze: bool
+    statement: "Statement"
+    lint: bool = False
+
+
+@dataclass(frozen=True)
+class CheckStatement:
+    """``CHECK <statement>``: static diagnostics only, never executed."""
+
     statement: "Statement"
 
 
@@ -173,5 +191,5 @@ Statement = (
     | ExistsStatement | ChainStatement | ProbStatement | CountStatement
     | DistStatement | UnrollStatement | EstimateStatement | WorldsStatement
     | ShowStatement | ListStatement | DropStatement | LoadStatement
-    | SaveStatement | ExplainStatement
+    | SaveStatement | ExplainStatement | CheckStatement
 )

@@ -36,18 +36,21 @@ from repro.algebra.selection import (
     ObjectValueCondition,
     select_local,
 )
+from repro.check.dataguide import DataGuideCache
+from repro.check.diagnostics import ERROR, CheckError, Diagnostic, DiagnosticReport
 from repro.core.cardinality import CardinalityInterval
 from repro.core.instance import ProbabilisticInstance
-from repro.engine.executor import Engine, ExecutionResult
+from repro.engine.executor import Engine, ExecutionResult, check_probability_guard
 from repro.errors import PXMLError
 from repro.pxql import ast
-from repro.pxql.parser import parse
+from repro.pxql.parser import SpanMap, parse, parse_spanned
 from repro.queries.engine import QueryEngine
 from repro.render import render_distribution, render_instance
 from repro.semantics.global_interpretation import GlobalInterpretation
 from repro.storage.database import Database
 
 _STRATEGIES = ("engine", "naive")
+_CHECK_MODES = ("error", "warn", "off")
 
 
 @dataclass
@@ -76,6 +79,12 @@ class Interpreter:
             (the original eager path; kept for A/B parity testing).
         optimizer: whether the engine applies its rewrite rules.
         cache_size: LRU capacity of the engine's plan and result caches.
+        check: check-before-execute mode.  ``"error"`` (default) runs
+            the static checker before each statement and raises
+            :class:`~repro.check.diagnostics.CheckError` with the whole
+            batch when any error-severity finding is present;
+            ``"warn"`` records findings in :attr:`last_diagnostics`
+            without blocking; ``"off"`` skips the checker entirely.
     """
 
     def __init__(
@@ -84,28 +93,76 @@ class Interpreter:
         strategy: str = "engine",
         optimizer: bool = True,
         cache_size: int = 256,
+        check: str = "error",
     ) -> None:
         if strategy not in _STRATEGIES:
             raise PXMLError(
                 f"unknown interpreter strategy {strategy!r}; "
                 f"choose one of {_STRATEGIES}"
             )
+        if check not in _CHECK_MODES:
+            raise PXMLError(
+                f"unknown check mode {check!r}; choose one of {_CHECK_MODES}"
+            )
         self.database = database if database is not None else Database()
         self.strategy = strategy
+        self.check = check
         self.engine = Engine(self.database, optimizer=optimizer,
                              cache_size=cache_size)
         self._counter = 0
+        self._guides = DataGuideCache()
+        self._spans: SpanMap | None = None
+        self._subject: str | None = None
+        #: The static checker's findings for the last checked statement.
+        self.last_diagnostics: list[Diagnostic] = []
 
     # ------------------------------------------------------------------
     def execute(self, text: str) -> Result:
         """Parse and run one statement."""
-        return self.run(parse(text))
+        statement, spans = parse_spanned(text)
+        return self.run(statement, spans=spans, subject=text.strip())
 
-    def run(self, statement: ast.Statement) -> Result:
+    def run(
+        self,
+        statement: ast.Statement,
+        spans: SpanMap | None = None,
+        subject: str | None = None,
+    ) -> Result:
         handler = getattr(self, f"_run_{type(statement).__name__}", None)
         if handler is None:
             raise PXMLError(f"unsupported statement: {statement!r}")
+        self._spans = spans
+        self._subject = subject
+        if self.check != "off" and not isinstance(
+            statement, (ast.CheckStatement, ast.ExplainStatement)
+        ):
+            self.last_diagnostics = self._static_diagnostics(
+                statement, spans, subject
+            )
+            if self.check == "error":
+                errors = [d for d in self.last_diagnostics
+                          if d.severity == ERROR]
+                if errors:
+                    raise CheckError(errors)
         return handler(statement)
+
+    def _static_diagnostics(
+        self,
+        statement: ast.Statement,
+        spans: SpanMap | None,
+        subject: str | None,
+        rewrites: bool = False,
+    ) -> list[Diagnostic]:
+        """Run the static checker, never letting a checker bug block execution."""
+        try:
+            from repro.check.query import check_statement
+
+            return check_statement(
+                statement, self.database, spans=spans, guides=self._guides,
+                subject=subject, rewrites=rewrites,
+            )
+        except Exception:
+            return []
 
     @property
     def cache_stats(self) -> dict[str, dict[str, int]]:
@@ -170,6 +227,9 @@ class Interpreter:
         if self.strategy == "naive":
             source = self.database.get(stmt.source)
             selection = select_local(source, condition)
+            check_probability_guard(
+                selection.probability, stmt.prob_op, stmt.prob_bound
+            )
             instance = selection.instance
             probability = selection.probability
             name = self._register(stmt.target, instance)
@@ -297,6 +357,14 @@ class Interpreter:
                 "EXPLAIN supports algebra (PROJECT/SELECT/PRODUCT) and "
                 "query (POINT/EXISTS/CHAIN/PROB/COUNT/DIST) statements"
             )
+        if getattr(stmt, "lint", False):
+            diagnostics = self._static_diagnostics(
+                inner, self._spans, self._subject, rewrites=True
+            )
+            self.last_diagnostics = diagnostics
+            report = DiagnosticReport(list(diagnostics))
+            text = self.engine.explain(plan) + "\n" + report.to_text()
+            return Result(diagnostics, None, text)
         if not stmt.analyze:
             text = self.engine.explain(plan)
             return Result(text, None, text)
@@ -313,6 +381,17 @@ class Interpreter:
         elif name is not None:
             text += f"\nresult: registered as {name}"
         return Result(text, name, text)
+
+    # ------------------------------------------------------------------
+    # CHECK: static diagnostics only, never executed
+    # ------------------------------------------------------------------
+    def _run_CheckStatement(self, stmt: ast.CheckStatement) -> Result:
+        diagnostics = self._static_diagnostics(
+            stmt.statement, self._spans, self._subject, rewrites=True
+        )
+        self.last_diagnostics = diagnostics
+        report = DiagnosticReport(list(diagnostics))
+        return Result(diagnostics, None, report.to_text())
 
     # ------------------------------------------------------------------
     # Remaining (eager) statements

@@ -15,7 +15,15 @@ from repro.errors import PXMLError
 
 
 class PXQLSyntaxError(PXMLError):
-    """Raised for malformed PXQL input."""
+    """Raised for malformed PXQL input.
+
+    Carries the character offset the problem was detected at (``None``
+    when unknown), so front-end diagnostics can point into the source.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
 
 
 KEYWORDS = frozenset({
@@ -26,7 +34,7 @@ KEYWORDS = frozenset({
     "IN", "FROM", "AS", "AND",
     "WORLDS", "LIMIT", "SHOW", "LIST", "DROP", "COUNT", "DIST",
     "LOAD", "SAVE", "TO", "UNROLL", "HORIZON", "ESTIMATE", "SAMPLES",
-    "EXPLAIN", "ANALYZE",
+    "EXPLAIN", "ANALYZE", "CHECK", "LINT",
 })
 
 
@@ -35,9 +43,15 @@ class Token:
     kind: str          # KEYWORD, IDENT, STRING, NUMBER, PUNCT, EOF
     value: str
     position: int
+    end: int = -1      # one past the last source character (-1: unknown)
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.value!r})"
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The token's ``(start, end)`` source offsets."""
+        return (self.position, self.end if self.end >= 0 else self.position)
 
 
 _TOKEN_RE = re.compile(
@@ -46,7 +60,7 @@ _TOKEN_RE = re.compile(
   | (?P<string>"(?:[^"\\]|\\.)*")
   | (?P<number>-?\d+(?:\.\d+)?)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_\-@]*(?:\.[A-Za-z0-9_\-@]+)*)
-  | (?P<punct>[=:,()\[\]])
+  | (?P<punct>>=|<=|[=:,()\[\]<>])
     """,
     re.VERBOSE,
 )
@@ -60,7 +74,8 @@ def tokenize(text: str) -> list[Token]:
         match = _TOKEN_RE.match(text, position)
         if match is None:
             raise PXQLSyntaxError(
-                f"unexpected character {text[position]!r} at offset {position}"
+                f"unexpected character {text[position]!r} at offset {position}",
+                position=position,
             )
         position = match.end()
         if match.lastgroup == "ws":
@@ -68,16 +83,16 @@ def tokenize(text: str) -> list[Token]:
         value = match.group()
         if match.lastgroup == "string":
             tokens.append(Token("STRING", value[1:-1].replace('\\"', '"'),
-                                match.start()))
+                                match.start(), match.end()))
         elif match.lastgroup == "number":
-            tokens.append(Token("NUMBER", value, match.start()))
+            tokens.append(Token("NUMBER", value, match.start(), match.end()))
         elif match.lastgroup == "ident":
             upper = value.upper()
             if upper in KEYWORDS and "." not in value:
-                tokens.append(Token("KEYWORD", upper, match.start()))
+                tokens.append(Token("KEYWORD", upper, match.start(), match.end()))
             else:
-                tokens.append(Token("IDENT", value, match.start()))
+                tokens.append(Token("IDENT", value, match.start(), match.end()))
         else:
-            tokens.append(Token("PUNCT", value, match.start()))
-    tokens.append(Token("EOF", "", len(text)))
+            tokens.append(Token("PUNCT", value, match.start(), match.end()))
+    tokens.append(Token("EOF", "", len(text), len(text)))
     return tokens

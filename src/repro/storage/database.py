@@ -44,6 +44,9 @@ def _validate_name(name: str) -> str:
     return name
 
 
+_VALIDATE_MODES = (None, "lint")
+
+
 class Database:
     """A catalog of named probabilistic instances.
 
@@ -51,6 +54,12 @@ class Database:
         directory: optional backing directory.  When given, instances
             already stored there are listed lazily (loaded on first use)
             and :meth:`save` / :meth:`save_all` write back to it.
+        validate: admission policy for instances entering the catalog
+            (:meth:`register`, :meth:`load_file`, lazy directory loads,
+            :meth:`reload`).  ``None`` (default) admits anything;
+            ``"lint"`` runs the static model pass
+            (:func:`repro.check.model.lint_instance`) and refuses
+            instances with error-severity findings.
 
     Every name carries a monotonically increasing *version*: registering
     (or re-registering, lazily loading, touching) an instance assigns the
@@ -59,13 +68,38 @@ class Database:
     cached results implicitly.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        validate: str | None = None,
+    ) -> None:
+        if validate not in _VALIDATE_MODES:
+            raise DatabaseError(
+                f"unknown validate mode {validate!r}; "
+                f"choose one of {_VALIDATE_MODES}"
+            )
         self._instances: dict[str, ProbabilisticInstance] = {}
         self._versions: dict[str, int] = {}
         self._version_counter = 0
+        self._validate = validate
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+
+    def _admit(self, name: str, instance: ProbabilisticInstance) -> None:
+        """Apply the admission policy before an instance enters the catalog."""
+        if self._validate != "lint":
+            return
+        from repro.check.model import has_errors, lint_instance
+
+        issues = lint_instance(instance)
+        if has_errors(issues):
+            problems = "\n".join(
+                str(issue) for issue in issues if issue.severity == "error"
+            )
+            raise DatabaseError(
+                f"instance {name!r} rejected by lint validation:\n{problems}"
+            )
 
     # ------------------------------------------------------------------
     # Catalog
@@ -111,6 +145,7 @@ class Database:
         _validate_name(name)
         if not replace and name in self._instances:
             raise DatabaseError(f"instance {name!r} already exists")
+        self._admit(name, instance)
         self._instances[name] = instance
         self._next_version(name)
 
@@ -123,11 +158,31 @@ class Database:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
                 instance = read_instance(path)
+                self._admit(name, instance)
                 self._instances[name] = instance
                 if name not in self._versions:
                     self._next_version(name)
                 return instance
         raise DatabaseError(f"unknown instance: {name!r}")
+
+    def reload(self, name: str) -> ProbabilisticInstance:
+        """Re-read an instance from the backing directory, replacing the
+        in-memory copy and bumping its version.
+
+        Useful after the file was edited externally; the admission
+        policy (``validate="lint"``) applies to the fresh copy.
+        """
+        _validate_name(name)
+        if self._directory is None:
+            raise DatabaseError("database has no backing directory")
+        path = self._directory / f"{name}{_SUFFIX}"
+        if not path.exists():
+            raise DatabaseError(f"unknown instance: {name!r}")
+        instance = read_instance(path)
+        self._admit(name, instance)
+        self._instances[name] = instance
+        self._next_version(name)
+        return instance
 
     def drop(self, name: str) -> None:
         """Remove an instance from the catalog (and its file, if backed)."""
@@ -178,7 +233,11 @@ class Database:
         return [self.save(name) for name in sorted(self._instances)]
 
     def load_file(self, name: str, path: str | Path) -> ProbabilisticInstance:
-        """Load an instance from an arbitrary file and register it."""
+        """Load an instance from an arbitrary file and register it.
+
+        The admission policy (``validate="lint"``) applies via
+        :meth:`register`.
+        """
         instance = read_instance(path)
         self.register(name, instance, replace=True)
         return instance

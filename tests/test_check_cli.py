@@ -1,0 +1,110 @@
+"""Tests for ``python -m repro.check`` (repro.check.cli)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check.cli import collect_diagnostics, main
+from repro.core.builder import InstanceBuilder
+from repro.io.json_codec import write_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def write_sloppy(path):
+    b = InstanceBuilder("S")
+    b.children("S", "x", ["a", "b"])
+    b.opf("S", {("a",): 1.0, ("a", "b"): 0.0})
+    b.leaf("a", "t", ["v"], {"v": 1.0})
+    b.leaf("b", "t", None, {"v": 1.0})
+    write_instance(b.build(), path)
+
+
+class TestCollect:
+    def test_examples_corpus_is_error_free(self):
+        report = collect_diagnostics([str(EXAMPLES)])
+        assert report.count("error") == 0
+        # ... but the deliberately sloppy fixture does produce findings.
+        assert any(
+            "sloppy" in (d.subject or "") for d in report.diagnostics
+        )
+        assert report.count("warning") >= 1
+
+    def test_instance_file(self, tmp_path):
+        target = tmp_path / "one.pxml.json"
+        write_sloppy(target)
+        report = collect_diagnostics([str(target)])
+        assert any(d.code == "PX112" for d in report.diagnostics)
+
+    def test_unreadable_instance_file(self, tmp_path):
+        target = tmp_path / "junk.pxml.json"
+        target.write_text("{not json")
+        report = collect_diagnostics([str(target)])
+        assert any(d.code == "PX120" for d in report.diagnostics)
+        assert report.fails("error")
+
+    def test_script_checks_against_sibling_instances(self, tmp_path):
+        write_sloppy(tmp_path / "s.pxml.json")
+        script = tmp_path / "queries.pxql"
+        script.write_text(
+            "# comment\n"
+            "EXISTS S.x IN s\n"
+            "PROJECT S.nothing FROM s\n"
+            "EXISTS S.x IN ghost\n"
+        )
+        report = collect_diagnostics([str(script)])
+        by_code = {d.code for d in report.diagnostics}
+        assert "PX210" in by_code     # never-match projection
+        assert "PX201" in by_code     # unknown instance 'ghost'
+
+    def test_script_trusts_earlier_as_targets(self, tmp_path):
+        write_sloppy(tmp_path / "s.pxml.json")
+        script = tmp_path / "session.pxql"
+        script.write_text(
+            "PROJECT S.x FROM s AS kept\n"
+            "EXISTS S.x IN kept\n"
+        )
+        report = collect_diagnostics([str(script)])
+        assert not any(d.code in ("PX201", "PX301")
+                       for d in report.diagnostics)
+
+    def test_syntax_error_becomes_px310(self, tmp_path):
+        script = tmp_path / "bad.pxql"
+        script.write_text("SELEKT gibberish\n")
+        report = collect_diagnostics([str(script)])
+        assert any(d.code == "PX310" for d in report.diagnostics)
+
+
+class TestMain:
+    def test_examples_gate_passes(self, capsys):
+        assert main([str(EXAMPLES), "--fail-on", "error"]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_warning_gate_fails_on_examples(self, capsys):
+        assert main([str(EXAMPLES), "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_json_format(self, capsys):
+        assert main([str(EXAMPLES), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["totals"]["error"] == 0
+        assert isinstance(payload["diagnostics"], list)
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.check", str(EXAMPLES),
+             "--format", "json", "--fail-on", "error"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["totals"]["error"] == 0
+
+    def test_bad_path_is_error(self, tmp_path, capsys):
+        bogus = tmp_path / "nope.txt"
+        bogus.write_text("")
+        assert main([str(bogus)]) == 1
+        capsys.readouterr()

@@ -1,0 +1,159 @@
+"""Property tests for the static checker (hypothesis over generated instances).
+
+Three contracts from the subsystem's design:
+
+1. *Lint soundness*: an instance the model pass calls clean (no
+   error-severity issues) never raises in ``validate()``.
+2. *Dataguide exactness*: on generated instances the guide contains a
+   label path iff some object on it has nonzero existence probability,
+   and on trees the per-path lower bound equals the best per-object
+   existence probability exactly.
+3. *Checker/runtime agreement*: on >= 20 generated instances the plan
+   checker's never-match and unsatisfiable-guard verdicts agree with
+   what naive execution actually does.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import existence_probability
+from repro.check.dataguide import build_dataguide
+from repro.check.model import has_errors, lint_instance
+from repro.check.plans import check_plan
+from repro.engine.plan import PlanBuilder
+from repro.errors import EmptyResultError
+from repro.pxql import Interpreter
+from repro.semistructured.paths import PathExpression, match_path
+from repro.storage.database import Database
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+)
+
+SPEC_STRATEGY = st.builds(
+    WorkloadSpec,
+    depth=st.integers(min_value=1, max_value=3),
+    branching=st.integers(min_value=1, max_value=2),
+    labeling=st.sampled_from(["SL", "FR"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    opf_kind=st.sampled_from(["tabular", "independent"]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=SPEC_STRATEGY)
+def test_lint_clean_instances_validate(spec):
+    instance = generate_workload(spec).instance
+    issues = lint_instance(instance)
+    if not has_errors(issues):
+        instance.validate()    # must not raise
+
+
+def _structural_paths(graph, root):
+    """All label paths of the weak graph, by BFS (graphs are acyclic)."""
+    paths = {(): {root}}
+    frontier = {(): {root}}
+    while frontier:
+        next_frontier = {}
+        for labels, objects in frontier.items():
+            for oid in objects:
+                for child in graph.children(oid):
+                    extended = (*labels, graph.label(oid, child))
+                    next_frontier.setdefault(extended, set()).add(child)
+        for labels, objects in next_frontier.items():
+            paths.setdefault(labels, set()).update(objects)
+        frontier = next_frontier
+    return paths
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=SPEC_STRATEGY)
+def test_dataguide_paths_iff_nonzero_existence(spec):
+    instance = generate_workload(spec).instance
+    guide = build_dataguide(instance)
+    graph = instance.weak.graph()
+    for labels, objects in _structural_paths(graph, instance.root).items():
+        alive = {o for o in objects if existence_probability(instance, o) > 0.0}
+        assert guide.targets(labels) == frozenset(alive), labels
+        entry = guide.entry(labels)
+        if alive:
+            assert entry is not None
+            if guide.is_tree:
+                best = max(existence_probability(instance, o) for o in alive)
+                assert entry.lower == pytest.approx(best)
+                assert entry.upper >= entry.lower - 1e-12
+        else:
+            assert entry is None
+
+
+# ----------------------------------------------------------------------
+# Checker verdicts vs naive execution, on >= 20 generated instances
+# ----------------------------------------------------------------------
+AGREEMENT_SPECS = [
+    WorkloadSpec(depth=2, branching=2, labeling=labeling, seed=seed,
+                 opf_kind=opf_kind)
+    for labeling in ("SL", "FR")
+    for opf_kind in ("tabular", "independent")
+    for seed in range(6)
+]
+assert len(AGREEMENT_SPECS) >= 20
+
+
+def _spec_id(spec):
+    return f"{spec.labeling}-{spec.opf_kind}-s{spec.seed}"
+
+
+@pytest.mark.parametrize("spec", AGREEMENT_SPECS, ids=_spec_id)
+def test_never_match_verdicts_agree_with_naive_execution(spec):
+    workload = generate_workload(spec)
+    rng = random.Random(spec.seed + 7000)
+    live_path = random_projection_path(workload, rng)
+    dead_path = PathExpression.parse(f"{live_path}.zzz")
+
+    database = Database()
+    database.register("base", workload.instance)
+    naive = Interpreter(database, strategy="naive", check="off")
+
+    # Checker: the live path is fine, the dead one is a never-match.
+    live_plan = PlanBuilder.scan("base").project(live_path).build()
+    assert "PX210" not in [d.code for d in check_plan(live_plan, database)]
+    dead_plan = PlanBuilder.scan("base").project(dead_path).build()
+    assert "PX210" in [d.code for d in check_plan(dead_plan, database)]
+
+    # Naive execution agrees: the live projection keeps a real match,
+    # the dead one degenerates to the bare root.
+    live = naive.execute(f"PROJECT {live_path} FROM base AS live").value
+    assert len(live) > 1
+    dead = naive.execute(f"PROJECT {dead_path} FROM base AS dead").value
+    assert set(dead.objects) == {workload.instance.root}
+
+    # EXISTS verdicts agree too (PX240 <-> probability zero).
+    exists_plan = PlanBuilder.scan("base").exists(dead_path).build()
+    assert "PX240" in [d.code for d in check_plan(exists_plan, database)]
+    assert naive.execute(f"EXISTS {dead_path} IN base").value == 0.0
+    assert naive.execute(f"EXISTS {live_path} IN base").value > 0.0
+
+
+@pytest.mark.parametrize("spec", AGREEMENT_SPECS, ids=_spec_id)
+def test_unsatisfiable_guard_verdicts_agree_with_naive_execution(spec):
+    workload = generate_workload(spec)
+    rng = random.Random(spec.seed + 8000)
+    path = random_projection_path(workload, rng)
+    graph = workload.instance.weak.graph()
+    oid = rng.choice(sorted(match_path(graph, path).matched))
+
+    database = Database()
+    database.register("base", workload.instance)
+
+    plan = PlanBuilder.scan("base").select(
+        path, oid, prob_op=">", prob_bound=1.0
+    ).build()
+    assert "PX225" in [d.code for d in check_plan(plan, database)]
+
+    naive = Interpreter(database, strategy="naive", check="off")
+    with pytest.raises(EmptyResultError):
+        naive.execute(f"SELECT {path} = {oid} AND PROB > 1.0 FROM base")
