@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench fig7b  [--quick]
     python -m repro.bench fig7c  [--quick]
     python -m repro.bench engine [--quick] [--json OUT.json]
+    python -m repro.bench engine --smoke [--metrics OUT.json]
     python -m repro.bench all    [--quick] [--json OUT.json]
 
 ``fig7a``/``fig7b`` share one ancestor-projection sweep (total time and
@@ -13,6 +14,12 @@ p-update time are two views of the same measurements); ``fig7c`` runs the
 selection sweep; ``engine`` measures the query engine's optimizer and
 cache effect (naive / optimized / cold-cache / warm-cache) on a
 projection-selection-query pipeline.
+
+``--smoke`` is the CI entry point: the quick grid with minimal repeats,
+plus a :mod:`repro.obs` metrics dump (``--metrics``, default
+``results/bench_metrics.json``) summarizing cache counters and operator
+latencies across the run.  ``--append-records`` appends the raw records
+to ``results/bench_records.json`` instead of requiring ``--json``.
 """
 
 from __future__ import annotations
@@ -91,7 +98,22 @@ def main(argv: list[str] | None = None) -> int:
         help="use compact independent OPFs instead of the paper's 2^b tables",
     )
     parser.add_argument("--json", metavar="PATH", help="also dump raw records")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke run: quick grid, minimal repeats, metrics dump",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the shared metrics registry as JSON "
+             "(default with --smoke: results/bench_metrics.json)",
+    )
+    parser.add_argument(
+        "--append-records", action="store_true",
+        help="append raw records to results/bench_records.json",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.quick = True
 
     if args.figure == "report":
         if not args.json:
@@ -127,17 +149,37 @@ def main(argv: list[str] | None = None) -> int:
             records_to_dicts as engine_records_to_dicts,
             run_engine_bench,
         )
+        from repro.obs.metrics import MetricsRegistry
 
-        engine_records = run_engine_bench(quick=args.quick)
+        registry = MetricsRegistry()
+        engine_records = run_engine_bench(
+            quick=args.quick,
+            repeats=2 if args.smoke else 5,
+            metrics=registry,
+        )
         all_records.extend(engine_records_to_dicts(engine_records))
         print("Engine: pipeline time per mode (ms)")
         print(format_engine_records(engine_records))
         print()
 
+        metrics_path = args.metrics
+        if metrics_path is None and args.smoke:
+            metrics_path = "results/bench_metrics.json"
+        if metrics_path is not None:
+            from repro.obs.export import write_metrics_json
+
+            write_metrics_json(registry, metrics_path)
+            print(f"metrics written to {metrics_path}")
+
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(all_records, handle, indent=2)
         print(f"raw records written to {args.json}")
+    if args.append_records:
+        from repro.obs.export import append_bench_records
+
+        path = append_bench_records(all_records)
+        print(f"{len(all_records)} records appended to {path}")
     return 0
 
 

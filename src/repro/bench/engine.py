@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from repro.engine import Engine, PlanBuilder
+from repro.obs.metrics import MetricsRegistry
 from repro.semistructured.paths import match_path
 from repro.storage.database import Database
 from repro.workloads.generator import (
@@ -92,16 +93,19 @@ def pipeline_plan(workload, rng: random.Random):
     )
 
 
-def _engine_for(mode: str, database: Database) -> Engine:
+def _engine_for(
+    mode: str, database: Database, metrics: MetricsRegistry | None = None
+) -> Engine:
     if mode == "naive":
-        return Engine(database, optimizer=False, caching=False)
+        return Engine(database, optimizer=False, caching=False, metrics=metrics)
     if mode == "optimized":
-        return Engine(database, optimizer=True, caching=False)
-    return Engine(database, optimizer=True, caching=True)
+        return Engine(database, optimizer=True, caching=False, metrics=metrics)
+    return Engine(database, optimizer=True, caching=True, metrics=metrics)
 
 
 def _measure_cell(
-    labeling: str, branching: int, depth: int, seed: int, repeats: int
+    labeling: str, branching: int, depth: int, seed: int, repeats: int,
+    metrics: MetricsRegistry | None = None,
 ) -> list[EngineRecord]:
     workload = generate_workload(
         WorkloadSpec(depth=depth, branching=branching, labeling=labeling,
@@ -114,7 +118,7 @@ def _measure_cell(
     for mode in MODES:
         database = Database()
         database.register("base", workload.instance)
-        engine = _engine_for(mode, database)
+        engine = _engine_for(mode, database, metrics)
         if mode == "warm":  # populate the caches outside the clock
             engine.execute_plan(plan)
         before = engine.result_cache.stats
@@ -144,13 +148,21 @@ def _measure_cell(
 
 
 def run_engine_bench(
-    quick: bool = False, seed: int = 11, repeats: int = 5
+    quick: bool = False, seed: int = 11, repeats: int = 5,
+    metrics: MetricsRegistry | None = None,
 ) -> list[EngineRecord]:
-    """Measure every (cell, mode) combination of the grid."""
+    """Measure every (cell, mode) combination of the grid.
+
+    When ``metrics`` is given, every benchmark engine reports into that
+    shared registry (cache counters, operator latency histograms, ...),
+    so a single ``repro.obs`` metrics dump summarizes the whole run.
+    """
     grid = QUICK_GRID if quick else DEFAULT_GRID
     records: list[EngineRecord] = []
     for labeling, branching, depth in grid:
-        records.extend(_measure_cell(labeling, branching, depth, seed, repeats))
+        records.extend(
+            _measure_cell(labeling, branching, depth, seed, repeats, metrics)
+        )
     return records
 
 

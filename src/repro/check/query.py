@@ -101,10 +101,13 @@ def check_statement(
     """Statically check one parsed PXQL statement against a catalog.
 
     Returns the combined plan-pass and query-pass findings; never
-    executes the statement.  ``CHECK`` and ``EXPLAIN`` wrappers are
-    unwrapped to their inner statement first.
+    executes the statement.  ``CHECK``, ``EXPLAIN`` and ``PROFILE``
+    wrappers are unwrapped to their inner statement first.
     """
-    while isinstance(statement, (ast.CheckStatement, ast.ExplainStatement)):
+    while isinstance(
+        statement,
+        (ast.CheckStatement, ast.ExplainStatement, ast.ProfileStatement),
+    ):
         statement = statement.statement
 
     plan = plan_statement(statement)

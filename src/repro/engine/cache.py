@@ -7,13 +7,22 @@ versions)`` tuples — the version half comes from
 monotonically whenever an instance is (re-)registered, reloaded or
 touched, so stale entries can never be returned: a mutated input changes
 the key, and the orphaned entry simply ages out of the LRU order.
+
+When constructed with a ``name`` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, every hit/miss/eviction is
+mirrored into ``<name>.hits`` / ``<name>.misses`` / ``<name>.evictions``
+counters and a ``<name>.size`` gauge, so the registry view and
+:attr:`LRUCache.stats` always agree.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 _MISSING = object()
@@ -49,14 +58,29 @@ class CacheStats:
 class LRUCache:
     """Least-recently-used mapping with instrumentation."""
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        name: str | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
+        self._metrics = metrics if name is not None else None
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"{self.name}.{event}").inc(amount)
+
+    def _track_size(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(f"{self.name}.size").set(len(self._entries))
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default=None):
@@ -64,8 +88,10 @@ class LRUCache:
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
+            self._count("misses")
             return default
         self.hits += 1
+        self._count("hits")
         self._entries.move_to_end(key)
         return value
 
@@ -81,10 +107,13 @@ class LRUCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._count("evictions")
+        self._track_size()
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._entries.clear()
+        self._track_size()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -11,11 +11,22 @@ fingerprint plus the current version of every instance it scans, so two
 different statements that share a sub-expression share its result, and
 re-registering or touching any input invalidates every dependent entry
 implicitly (the key changes).
+
+Since the observability PR the executor is span-backed: every plan node
+execution opens a :class:`repro.obs.tracing.Span` on the engine's
+tracer, and :class:`NodeStats` is a thin per-node view over those spans
+(same wall times, same tree shape) kept for ``EXPLAIN ANALYZE``
+compatibility.  The engine also owns a
+:class:`repro.obs.metrics.MetricsRegistry` covering cache hit ratios,
+operator latencies, and objects scanned; both are made *ambient* during
+execution so the rewrite optimizer, the Section 6 query algorithms and
+the world sampler report into the same trace and registry.
 """
 
 from __future__ import annotations
 
-import time
+import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -51,6 +62,8 @@ from repro.engine.plan import (
     scan_names,
 )
 from repro.engine.rewrite import DEFAULT_RULES, optimize
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Span, Tracer, use_tracer
 from repro.queries.engine import QueryEngine
 
 _PROJECTION_OPERATORS = {
@@ -65,7 +78,18 @@ _MAX_INLINE_DEPTH = 16
 
 @dataclass
 class NodeStats:
-    """Measurements for one executed plan node."""
+    """Measurements for one executed plan node.
+
+    Since the observability PR this is a thin view over the span the
+    executor opened for the node: ``wall_s`` is the span's wall time and
+    :attr:`span` links back to the full record (CPU time, attributes,
+    sub-operation spans).  On a cache hit the executor re-reports the
+    cached subtree *as documentation of shape only*: every descendant
+    is a deep copy marked ``cache="hit"`` with zero wall time, so
+    ``EXPLAIN ANALYZE`` totals never double-count work that was not
+    re-executed and callers can never mutate cached stats through a
+    result.
+    """
 
     label: str
     cache: str                      # "hit" | "miss" | "off" | "scan"
@@ -74,12 +98,57 @@ class NodeStats:
     strategy: str | None = None
     extra: dict = field(default_factory=dict)
     children: list["NodeStats"] = field(default_factory=list)
+    span: Span | None = None
 
     def walk(self) -> Iterator["NodeStats"]:
         """Pre-order traversal."""
         yield self
         for child in self.children:
             yield from child.walk()
+
+
+#: ``extra`` keys that carry timings (zeroed when a cached subtree is
+#: re-reported, so nothing is double-counted).
+_TIMING_EXTRA_KEYS = ("operator_s", "wall_s")
+
+
+def _zero_timing(extra: dict) -> dict:
+    return {
+        key: (0.0 if key in _TIMING_EXTRA_KEYS else value)
+        for key, value in extra.items()
+    }
+
+
+def _hit_view(stats: "NodeStats") -> "NodeStats":
+    """A frozen re-report of a cached subtree: zero time, ``cache="hit"``.
+
+    Deep-copies the whole subtree so repeated hits never alias the
+    cached (or each other's) stats objects.
+    """
+    return NodeStats(
+        stats.label,
+        cache="hit",
+        wall_s=0.0,
+        objects=stats.objects,
+        strategy=stats.strategy,
+        extra=_zero_timing(stats.extra),
+        children=[_hit_view(child) for child in stats.children],
+    )
+
+
+def _copy_stats(stats: "NodeStats") -> "NodeStats":
+    """A deep copy of a stats tree (cached entries must not alias the
+    tree handed to the caller, who is free to mutate it)."""
+    return NodeStats(
+        stats.label,
+        cache=stats.cache,
+        wall_s=stats.wall_s,
+        objects=stats.objects,
+        strategy=stats.strategy,
+        extra=copy.deepcopy(stats.extra),
+        children=[_copy_stats(child) for child in stats.children],
+        span=stats.span,
+    )
 
 
 @dataclass
@@ -139,6 +208,13 @@ class Engine:
             plans that produced them (when their inputs are unchanged),
             turning statement sequences into multi-operator plans the
             rewrite rules can work across.
+        tracer: span collector for executions (own instance if omitted;
+            pass a shared one to join a larger trace, e.g. the PXQL
+            interpreter's statement spans).
+        metrics: metrics registry (own instance if omitted).  Cache
+            counters, operator latency histograms, and objects-scanned
+            totals land here; during execution it is also the ambient
+            registry for the query algorithms and the sampler.
     """
 
     def __init__(
@@ -151,6 +227,8 @@ class Engine:
         samples: int = 2000,
         seed: int | None = None,
         inline_lineage: bool = True,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.database = database
         self.optimizer = optimizer
@@ -159,11 +237,23 @@ class Engine:
         self.samples = samples
         self.seed = seed
         self.inline_lineage = inline_lineage
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cost = CostModel(database)
-        self.result_cache = LRUCache(cache_size)
-        self.plan_cache = LRUCache(cache_size)
+        self.result_cache = LRUCache(
+            cache_size, name="engine.cache.results", metrics=self.metrics
+        )
+        self.plan_cache = LRUCache(
+            cache_size, name="engine.cache.plans", metrics=self.metrics
+        )
         self.rules = DEFAULT_RULES
         self._lineage: dict[str, _Lineage] = {}
+
+    @contextmanager
+    def _ambient(self):
+        """Make this engine's tracer and registry ambient for a region."""
+        with use_tracer(self.tracer), use_registry(self.metrics):
+            yield
 
     # ------------------------------------------------------------------
     # Keys, versions, lineage
@@ -249,8 +339,13 @@ class Engine:
     # ------------------------------------------------------------------
     def execute_plan(self, plan: PlanNode) -> ExecutionResult:
         """Prepare and run a plan."""
-        prepared, applied = self.prepare(plan)
-        value, _extra, stats = self._run(prepared)
+        with self._ambient():
+            with self.tracer.span("engine.execute_plan") as root:
+                prepared, applied = self.prepare(plan)
+                value, _extra, stats = self._run(prepared)
+                root.attributes["rewrites"] = len(applied)
+            self.metrics.counter("engine.executions").inc()
+            self.metrics.histogram("engine.execute_s").observe(root.wall_s)
         return ExecutionResult(value, prepared, stats, applied)
 
     def execute_statement(self, statement: "ast.Statement") -> ExecutionResult:
@@ -263,12 +358,16 @@ class Engine:
         return self.execute_plan(plan)
 
     def _run(self, node: PlanNode) -> tuple[object, dict, NodeStats]:
-        start = time.perf_counter()
         if isinstance(node, ScanNode):
-            pi = self.database.get(node.name)
+            with self.tracer.span(
+                f"engine.node.{node.label()}", cache="scan"
+            ) as span:
+                pi = self.database.get(node.name)
+                span.attributes["objects"] = len(pi)
+            self.metrics.counter("engine.objects_scanned").inc(len(pi))
             stats = NodeStats(
                 node.label(), cache="scan",
-                wall_s=time.perf_counter() - start, objects=len(pi),
+                wall_s=span.wall_s, objects=len(pi), span=span,
             )
             return pi, {}, stats
 
@@ -276,39 +375,76 @@ class Engine:
             key = self.cache_key(node)
             entry = self.result_cache.get(key)
             if entry is not None:
-                value = entry.value
-                if isinstance(value, ProbabilisticInstance) and self.copy_on_hit:
-                    value = value.copy()
-                elif isinstance(value, dict):
-                    value = dict(value)
-                stats = NodeStats(
-                    entry.stats.label, cache="hit",
-                    wall_s=time.perf_counter() - start,
-                    objects=entry.stats.objects,
-                    strategy=entry.stats.strategy,
-                    extra=dict(entry.extra),
-                    children=entry.stats.children,
-                )
-                return value, dict(entry.extra), stats
+                return self._serve_hit(node, entry)
 
-        child_results = [self._run(child) for child in node.children()]
-        inputs = [value for value, _extra, _stats in child_results]
-        apply_start = time.perf_counter()
-        value, strategy, extra = self._apply(node, inputs)
-        now = time.perf_counter()
+        with self.tracer.span(
+            f"engine.node.{node.label()}",
+            cache="miss" if self.caching else "off",
+        ) as span:
+            child_results = [self._run(child) for child in node.children()]
+            inputs = [value for value, _extra, _stats in child_results]
+            with self.tracer.span(
+                "engine.apply", operator=type(node).__name__
+            ) as apply_span:
+                value, strategy, extra = self._apply(node, inputs)
+            span.attributes["strategy"] = strategy
+            if isinstance(value, ProbabilisticInstance):
+                span.attributes["objects"] = len(value)
+        self.metrics.histogram(
+            f"engine.operator.{type(node).__name__}.wall_s"
+        ).observe(apply_span.wall_s)
         stats = NodeStats(
             node.label(),
             cache="miss" if self.caching else "off",
-            wall_s=now - start,
+            wall_s=span.wall_s,
             objects=len(value) if isinstance(value, ProbabilisticInstance) else None,
             strategy=strategy,
             extra=dict(extra),
             children=[child_stats for _v, _e, child_stats in child_results],
+            span=span,
         )
-        stats.extra.setdefault("operator_s", now - apply_start)
+        stats.extra.setdefault("operator_s", apply_span.wall_s)
         if self.caching:
-            self.result_cache.put(key, _CacheEntry(value, dict(extra), stats))
+            # Cache a deep copy of the stats tree: the caller owns the
+            # returned one and may mutate it freely.
+            self.result_cache.put(
+                key, _CacheEntry(value, dict(extra), _copy_stats(stats))
+            )
         return value, extra, stats
+
+    def _serve_hit(
+        self, node: PlanNode, entry: "_CacheEntry"
+    ) -> tuple[object, dict, NodeStats]:
+        """Hand out a cached sub-plan result.
+
+        The re-reported stats subtree is a deep copy with ``cache="hit"``
+        and zero wall time on every descendant (nothing below this node
+        re-executed, so re-reporting the original miss timings would
+        double-count them — and sharing the live list would let every
+        hit alias the same mutable stats objects).  Values are guarded
+        the same way: instances are copied (``copy_on_hit``) and dict
+        results are deep-copied symmetrically, so callers mutating a
+        returned result can never corrupt subsequent hits.
+        """
+        with self.tracer.span(
+            f"engine.node.{node.label()}", cache="hit"
+        ) as span:
+            value = entry.value
+            if self.copy_on_hit:
+                if isinstance(value, ProbabilisticInstance):
+                    value = value.copy()
+                elif isinstance(value, dict):
+                    value = copy.deepcopy(value)
+        stats = NodeStats(
+            entry.stats.label, cache="hit",
+            wall_s=span.wall_s,
+            objects=entry.stats.objects,
+            strategy=entry.stats.strategy,
+            extra=_zero_timing(entry.extra),
+            children=[_hit_view(child) for child in entry.stats.children],
+            span=span,
+        )
+        return value, dict(entry.extra), stats
 
     def _apply(
         self, node: PlanNode, inputs: list

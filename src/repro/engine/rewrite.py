@@ -35,6 +35,7 @@ The rules and their soundness arguments:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 from repro.engine.cost import CostModel
@@ -44,6 +45,8 @@ from repro.engine.plan import (
     ProjectNode,
     SelectNode,
 )
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
 
 RewriteRule = Callable[[PlanNode, Optional[CostModel]], Optional[PlanNode]]
 
@@ -126,8 +129,17 @@ def optimize(
     passed, every firing appends ``(rule_name, before, after)`` — the
     raw material for the static checker's machine-checkable soundness
     justifications (:mod:`repro.check.rewrites`).
+
+    Observability: the whole fixpoint runs inside an
+    ``engine.optimize`` span on the ambient tracer, each firing attaches
+    an ``engine.rewrite.<rule>`` child span with the before/after
+    labels, and the ambient metrics registry counts firings per rule
+    (``engine.rewrite.rule.<rule>``) plus an ``engine.rewrite.optimize_s``
+    latency histogram.
     """
     applied: list[str] = []
+    tracer = current_tracer()
+    registry = current_registry()
 
     def rewrite(node: PlanNode) -> PlanNode:
         children = node.children()
@@ -139,18 +151,32 @@ def optimize(
         while changed:
             changed = False
             for rule in rules:
+                rule_start = time.perf_counter()
                 replacement = rule(node, cost)
+                rule_s = time.perf_counter() - rule_start
                 if replacement is not None and replacement != node:
                     applied.append(rule.__name__)
+                    tracer.event(
+                        f"engine.rewrite.{rule.__name__}",
+                        wall_s=rule_s,
+                        before=node.label(),
+                        after=replacement.label(),
+                    )
+                    registry.counter(
+                        f"engine.rewrite.rule.{rule.__name__}"
+                    ).inc()
                     if trace is not None:
                         trace.append((rule.__name__, node, replacement))
                     node = replacement
                     changed = True
         return node
 
-    for _ in range(max_passes):
-        before = plan
-        plan = rewrite(plan)
-        if plan == before:
-            break
+    with tracer.span("engine.optimize") as span:
+        for _ in range(max_passes):
+            before = plan
+            plan = rewrite(plan)
+            if plan == before:
+                break
+        span.attributes["applied"] = len(applied)
+    registry.histogram("engine.rewrite.optimize_s").observe(span.wall_s)
     return plan, tuple(applied)

@@ -1,0 +1,164 @@
+"""Exporters for spans and metrics: text trees, JSON lines, bench records.
+
+Three audiences, three formats:
+
+* :func:`render_span_tree` / :func:`render_metrics` — human-readable
+  text, the format ``PROFILE`` and the ``python -m repro.obs`` CLI print;
+* :func:`spans_to_jsonl` / :func:`write_spans_jsonl` — one JSON object
+  per span (flattened, children by id), for machine consumption;
+* :func:`append_bench_records` — append records (benchmark rows or a
+  metrics snapshot wrapped by :func:`metrics_record`) to the repo's
+  ``results/bench_records.json`` array, so ``python -m repro.bench``
+  runs accumulate and stay comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+#: Default location of the shared benchmark record file.
+BENCH_RECORDS_PATH = Path("results") / "bench_records.json"
+
+
+# ----------------------------------------------------------------------
+# Text
+# ----------------------------------------------------------------------
+def _tree_lines(
+    root: Span, render: Callable[[Span], str]
+) -> list[str]:
+    lines = [render(root)]
+
+    def recurse(span: Span, prefix: str) -> None:
+        for index, child in enumerate(span.children):
+            last = index == len(span.children) - 1
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + render(child))
+            recurse(child, prefix + ("   " if last else "│  "))
+
+    recurse(root, "")
+    return lines
+
+
+def render_span(span: Span) -> str:
+    """One span as a single line: name, wall/CPU, salient attributes."""
+    details = [f"{span.wall_s * 1e3:.3f} ms"]
+    if span.cpu_s:
+        details.append(f"cpu {span.cpu_s * 1e3:.3f} ms")
+    if span.status != "ok":
+        details.append(f"status={span.status}")
+    for key in sorted(span.attributes):
+        value = span.attributes[key]
+        if isinstance(value, float):
+            details.append(f"{key}={value:.6g}")
+        else:
+            details.append(f"{key}={value}")
+    return f"{span.name}  ({', '.join(details)})"
+
+
+def render_span_tree(root: Span) -> str:
+    """The whole span tree as an indented text block."""
+    return "\n".join(_tree_lines(root, render_span))
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """All instruments of a registry as aligned text lines."""
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        if isinstance(instrument, Counter):
+            lines.append(f"{name} = {instrument.value:g}  (counter)")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"{name} = {instrument.value:g}  (gauge)")
+        elif isinstance(instrument, Histogram):
+            lines.append(
+                f"{name}: count={instrument.count} "
+                f"mean={instrument.mean:.6g} "
+                f"p50<={instrument.quantile(0.5):g} "
+                f"p99<={instrument.quantile(0.99):g}  (histogram)"
+            )
+    return "\n".join(lines) if lines else "(no metrics)"
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def spans_to_jsonl(roots: Sequence[Span]) -> str:
+    """Every span of every tree, one JSON object per line (pre-order)."""
+    lines = [
+        json.dumps(span.to_dict(), sort_keys=True)
+        for root in roots
+        for span in root.walk()
+    ]
+    return "\n".join(lines)
+
+
+def write_spans_jsonl(roots: Sequence[Span], path: str | Path) -> Path:
+    """Write :func:`spans_to_jsonl` output to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    text = spans_to_jsonl(roots)
+    target.write_text(text + ("\n" if text else ""), encoding="utf-8")
+    return target
+
+
+def metrics_to_json(registry: MetricsRegistry) -> str:
+    """A registry as one pretty-printed JSON object."""
+    return json.dumps(registry.as_dict(), indent=2, sort_keys=True)
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`metrics_to_json` output to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(metrics_to_json(registry) + "\n", encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Bench-record appending
+# ----------------------------------------------------------------------
+def metrics_record(
+    registry: MetricsRegistry, **context: object
+) -> dict[str, object]:
+    """Wrap a metrics snapshot as one bench record (``operation="metrics"``).
+
+    ``context`` keys (e.g. ``label="engine-smoke"``, ``quick=True``) are
+    stored alongside, so snapshots from different runs stay tellable
+    apart inside the shared record file.
+    """
+    record: dict[str, object] = {"operation": "metrics"}
+    record.update(context)
+    record["metrics"] = registry.as_dict()
+    return record
+
+
+def append_bench_records(
+    records: Sequence[dict[str, object]],
+    path: str | Path = BENCH_RECORDS_PATH,
+) -> Path:
+    """Append ``records`` to the JSON array at ``path`` (created if absent).
+
+    The file holds one flat JSON array of heterogeneous records
+    (distinguished by their ``operation`` field); corrupt or non-array
+    content is refused rather than silently overwritten.
+    """
+    target = Path(path)
+    existing: list[object] = []
+    if target.exists():
+        loaded = json.loads(target.read_text(encoding="utf-8"))
+        if not isinstance(loaded, list):
+            raise ValueError(
+                f"{target} does not hold a JSON array of bench records"
+            )
+        existing = loaded
+    existing.extend(records)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+    )
+    return target

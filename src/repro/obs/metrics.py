@@ -1,0 +1,265 @@
+"""The metrics registry of :mod:`repro.obs`.
+
+Three instrument kinds, all process-local and lock-free (CPython-atomic
+increments):
+
+* :class:`Counter` — a monotonically increasing total (cache hits,
+  statements executed, worlds sampled);
+* :class:`Gauge` — a last-written value (cache size, threshold in use);
+* :class:`Histogram` — counts over fixed, cumulative-style buckets plus
+  a running sum/count (operator latencies, statement latencies).
+
+A :class:`MetricsRegistry` get-or-creates instruments by dotted name.
+There is a process-global default (:func:`global_registry`) and every
+:class:`~repro.engine.executor.Engine` / PXQL interpreter owns its own
+instance; modules without a registry of their own (the catalog, the
+query algorithms, the sampler) write to the *ambient* registry
+(:func:`current_registry` / :func:`use_registry`), which the engine
+rebinds to its own for the duration of an execution.
+
+The metric names emitted across the stack are catalogued in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PXMLError
+
+
+class MetricError(PXMLError):
+    """Raised for malformed metric registrations (kind clashes, bad buckets)."""
+
+
+#: Default latency buckets (seconds): 0.1 ms .. 10 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    description: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, object]:
+        return {"kind": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-written value."""
+
+    name: str
+    description: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict[str, object]:
+        return {"kind": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Counts of observations over fixed bucket upper bounds.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit ``+inf`` bucket catches the rest.  ``counts[i]`` is the
+    number of observations ``<= buckets[i]`` exclusive of earlier
+    buckets (i.e. plain, not cumulative, per-bucket counts);
+    ``counts[-1]`` belongs to the overflow bucket.
+    """
+
+    name: str
+    description: str = ""
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.buckets or list(self.buckets) != sorted(self.buckets):
+            raise MetricError(
+                f"histogram {self.name!r} needs increasing, non-empty buckets"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """The running mean (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """A bucket-resolution upper bound on the ``q``-quantile.
+
+        Returns the upper bound of the bucket the quantile falls in
+        (``inf`` for the overflow bucket, 0 when empty).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bound in enumerate(self.buckets):
+            seen += self.counts[index]
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by dotted name.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    re-requesting it with a different kind raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get_or_create(
+        self, name: str, factory: Counter | Gauge | Histogram
+    ) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is None:
+            self._instruments[name] = factory
+            return factory
+        if type(existing) is not type(factory):
+            raise MetricError(
+                f"metric {name!r} is a {type(existing).__name__}, "
+                f"not a {type(factory).__name__}"
+            )
+        return existing
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        instrument = self._get_or_create(name, Counter(name, description))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        instrument = self._get_or_create(name, Gauge(name, description))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        instrument = self._get_or_create(
+            name, Histogram(name, description, buckets)
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument under ``name``, if registered."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """A counter/gauge's value (``default`` when unregistered)."""
+        instrument = self._instruments.get(name)
+        if isinstance(instrument, (Counter, Gauge)):
+            return instrument.value
+        return default
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """All instruments in JSON-friendly form, keyed by name."""
+        return {
+            name: instrument.as_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def clear(self) -> None:
+        """Drop every instrument (fresh registry semantics)."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+_ACTIVE_REGISTRY: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _GLOBAL_REGISTRY
+
+
+def current_registry() -> MetricsRegistry:
+    """The ambient registry: the innermost :func:`use_registry`, else global."""
+    registry = _ACTIVE_REGISTRY.get()
+    return registry if registry is not None else _GLOBAL_REGISTRY
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` the ambient registry for the ``with`` region."""
+    token = _ACTIVE_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE_REGISTRY.reset(token)

@@ -1,0 +1,83 @@
+"""A slow-query log: statements whose wall time crossed a threshold.
+
+The PXQL interpreter times every statement; those at or above
+:attr:`SlowQueryLog.threshold_s` are recorded here together with their
+span tree, so ``PROFILE``-grade detail is available after the fact for
+exactly the statements that were worth keeping.  The buffer is a bounded
+ring — old entries age out, the log never grows without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.tracing import Span
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One statement that crossed the slow threshold."""
+
+    statement: str
+    wall_s: float
+    threshold_s: float
+    span: Span | None = None
+    unix_time: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (the span flattened to its id, if any)."""
+        return {
+            "statement": self.statement,
+            "wall_s": self.wall_s,
+            "threshold_s": self.threshold_s,
+            "span_id": self.span.span_id if self.span is not None else None,
+            "unix_time": self.unix_time,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[slow {self.wall_s * 1e3:.3f} ms >= "
+            f"{self.threshold_s * 1e3:.3f} ms] {self.statement}"
+        )
+
+
+class SlowQueryLog:
+    """Bounded log of statements slower than a configurable threshold.
+
+    Args:
+        threshold_s: statements with wall time >= this are recorded.
+            ``float("inf")`` disables the log; ``0.0`` records everything.
+        capacity: ring-buffer size.
+    """
+
+    def __init__(self, threshold_s: float = 0.25, capacity: int = 128) -> None:
+        if threshold_s < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold_s = threshold_s
+        self._records: deque[SlowQueryRecord] = deque(maxlen=capacity)
+
+    def observe(
+        self, statement: str, wall_s: float, span: Span | None = None
+    ) -> SlowQueryRecord | None:
+        """Record ``statement`` if it crossed the threshold.
+
+        Returns the record when one was made, else ``None``.
+        """
+        if wall_s < self.threshold_s:
+            return None
+        record = SlowQueryRecord(statement, wall_s, self.threshold_s, span)
+        self._records.append(record)
+        return record
+
+    def records(self) -> list[SlowQueryRecord]:
+        """The recorded entries, oldest first."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -2,7 +2,7 @@
 
 One dataclass per statement kind.  The grammar (EBNF-ish):
 
-    statement   := check | explain | plain
+    statement   := check | explain | profile | plain
     plain       := project | select | product | point | exists | chain
                  | prob | count | dist | worlds | show | list | drop
                  | load | save
@@ -13,6 +13,10 @@ One dataclass per statement kind.  The grammar (EBNF-ish):
                    (plain must be an algebra or query statement;
                     LINT adds the static checker's findings and the
                     per-rewrite soundness justifications to the plan)
+    profile     := "PROFILE" plain
+                   (executes the statement — side effects included —
+                    and returns its span tree: per-node wall/CPU times,
+                    cache status, rewrite firings; see repro.obs)
 
     project     := "PROJECT" [kind] path "FROM" name ["AS" name]
     kind        := "ANCESTOR" | "DESCENDANT" | "SINGLE"
@@ -186,10 +190,25 @@ class CheckStatement:
     statement: "Statement"
 
 
+@dataclass(frozen=True)
+class ProfileStatement:
+    """``PROFILE <statement>``: execute and return the span tree.
+
+    The inner statement runs with its normal semantics and side effects
+    (an ``AS`` target is registered, caches are consulted and filled);
+    the result value is the root :class:`repro.obs.tracing.Span` of the
+    execution, whose per-node wall times sum consistently (within
+    scheduler tolerance) to the root on both cache-cold and cache-warm
+    runs.
+    """
+
+    statement: "Statement"
+
+
 Statement = (
     ProjectStatement | SelectStatement | ProductStatement | PointStatement
     | ExistsStatement | ChainStatement | ProbStatement | CountStatement
     | DistStatement | UnrollStatement | EstimateStatement | WorldsStatement
     | ShowStatement | ListStatement | DropStatement | LoadStatement
-    | SaveStatement | ExplainStatement | CheckStatement
+    | SaveStatement | ExplainStatement | CheckStatement | ProfileStatement
 )

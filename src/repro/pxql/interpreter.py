@@ -42,6 +42,10 @@ from repro.core.cardinality import CardinalityInterval
 from repro.core.instance import ProbabilisticInstance
 from repro.engine.executor import Engine, ExecutionResult, check_probability_guard
 from repro.errors import PXMLError
+from repro.obs.export import render_span_tree
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Tracer, use_tracer
 from repro.pxql import ast
 from repro.pxql.parser import SpanMap, parse, parse_spanned
 from repro.queries.engine import QueryEngine
@@ -85,6 +89,13 @@ class Interpreter:
             batch when any error-severity finding is present;
             ``"warn"`` records findings in :attr:`last_diagnostics`
             without blocking; ``"off"`` skips the checker entirely.
+        slow_query_s: statements at least this slow (wall-clock) are
+            recorded in :attr:`slow_log` with their span tree.
+        tracer: span collector shared with the engine (own instance if
+            omitted).  Every statement becomes a root span; plan-node,
+            rewrite, query, sampler and catalog spans nest beneath it.
+        metrics: metrics registry shared with the engine (own instance
+            if omitted).
     """
 
     def __init__(
@@ -94,6 +105,9 @@ class Interpreter:
         optimizer: bool = True,
         cache_size: int = 256,
         check: str = "error",
+        slow_query_s: float = 0.25,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise PXMLError(
@@ -107,8 +121,12 @@ class Interpreter:
         self.database = database if database is not None else Database()
         self.strategy = strategy
         self.check = check
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_log = SlowQueryLog(threshold_s=slow_query_s)
         self.engine = Engine(self.database, optimizer=optimizer,
-                             cache_size=cache_size)
+                             cache_size=cache_size,
+                             tracer=self.tracer, metrics=self.metrics)
         self._counter = 0
         self._guides = DataGuideCache()
         self._spans: SpanMap | None = None
@@ -136,6 +154,8 @@ class Interpreter:
         if self.check != "off" and not isinstance(
             statement, (ast.CheckStatement, ast.ExplainStatement)
         ):
+            # PROFILE is checked through its inner statement (the
+            # checker unwraps it): it executes, so it must be gated.
             self.last_diagnostics = self._static_diagnostics(
                 statement, spans, subject
             )
@@ -144,7 +164,22 @@ class Interpreter:
                           if d.severity == ERROR]
                 if errors:
                     raise CheckError(errors)
-        return handler(statement)
+        label = subject if subject is not None else type(statement).__name__
+        with use_tracer(self.tracer), use_registry(self.metrics):
+            with self.tracer.span(
+                "pxql.statement",
+                kind=type(statement).__name__,
+                statement=label,
+            ) as span:
+                try:
+                    result = handler(statement)
+                except BaseException:
+                    self.metrics.counter("pxql.errors").inc()
+                    raise
+        self.metrics.counter("pxql.statements").inc()
+        self.metrics.histogram("pxql.statement_s").observe(span.wall_s)
+        self.slow_log.observe(label, span.wall_s, span)
+        return result
 
     def _static_diagnostics(
         self,
@@ -392,6 +427,34 @@ class Interpreter:
         self.last_diagnostics = diagnostics
         report = DiagnosticReport(list(diagnostics))
         return Result(diagnostics, None, report.to_text())
+
+    # ------------------------------------------------------------------
+    # PROFILE: execute and return the span tree
+    # ------------------------------------------------------------------
+    def _run_ProfileStatement(self, stmt: ast.ProfileStatement) -> Result:
+        inner = stmt.statement
+        handler = getattr(self, f"_run_{type(inner).__name__}", None)
+        if handler is None or isinstance(
+            inner, (ast.ExplainStatement, ast.CheckStatement,
+                    ast.ProfileStatement)
+        ):
+            raise PXMLError(
+                "PROFILE takes an executable statement "
+                "(not EXPLAIN/CHECK/PROFILE)"
+            )
+        with self.tracer.span(
+            "pxql.profile",
+            kind=type(inner).__name__,
+            statement=self._subject or type(inner).__name__,
+        ) as root:
+            inner_result = handler(inner)
+        self.metrics.counter("pxql.profiles").inc()
+        text = render_span_tree(root)
+        if inner_result.instance_name is not None:
+            text += f"\nresult: registered as {inner_result.instance_name}"
+        elif not isinstance(inner_result.value, (ProbabilisticInstance, str)):
+            text += f"\nresult: {inner_result.value}"
+        return Result(root, inner_result.instance_name, text)
 
     # ------------------------------------------------------------------
     # Remaining (eager) statements

@@ -34,7 +34,7 @@ KEYWORDS = frozenset({
     "IN", "FROM", "AS", "AND",
     "WORLDS", "LIMIT", "SHOW", "LIST", "DROP", "COUNT", "DIST",
     "LOAD", "SAVE", "TO", "UNROLL", "HORIZON", "ESTIMATE", "SAMPLES",
-    "EXPLAIN", "ANALYZE", "CHECK", "LINT",
+    "EXPLAIN", "ANALYZE", "CHECK", "LINT", "PROFILE",
 })
 
 

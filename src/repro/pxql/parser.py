@@ -119,6 +119,8 @@ class _Parser:
     def parse(self) -> ast.Statement:
         if self._accept_keyword("CHECK"):
             statement: ast.Statement = ast.CheckStatement(self._parse_plain())
+        elif self._accept_keyword("PROFILE"):
+            statement = ast.ProfileStatement(self._parse_plain())
         elif self._accept_keyword("EXPLAIN"):
             lint = self._accept_keyword("LINT") is not None
             analyze = (not lint) and self._accept_keyword("ANALYZE") is not None

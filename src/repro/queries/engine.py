@@ -17,11 +17,11 @@ path ``p``?" — can be answered three ways:
 
 from __future__ import annotations
 
-import time
-
 from repro.bayesnet.mapping import PXMLBayesianNetwork
 from repro.core.instance import ProbabilisticInstance
 from repro.errors import QueryError
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import Span, current_tracer
 from repro.queries.chain import chain_probability
 from repro.queries.point import existential_query, point_query
 from repro.semantics.global_interpretation import GlobalInterpretation
@@ -34,11 +34,16 @@ _STRATEGIES = ("auto", "local", "bayes", "enumerate", "sample")
 class QueryEngine:
     """Answers probabilistic point/existential/chain queries.
 
-    After every query the engine leaves an observability record in
+    Every query runs inside a ``query.<kind>`` span on the ambient
+    tracer (:func:`repro.obs.tracing.current_tracer`), so standalone use
+    reports into the global tracer and engine-driven use nests under the
+    executor's plan-node spans.  The span-backed measurement also feeds
     :attr:`stats`: the strategy actually used, the query kind, the wall
     time, and — under the ``sample`` strategy — the sample count and the
     estimate's standard error.  The plan executor and PXQL's
-    ``EXPLAIN ANALYZE`` surface this per query node.
+    ``EXPLAIN ANALYZE`` / ``PROFILE`` surface this per query node, and
+    the ambient metrics registry counts queries per kind
+    (``query.<kind>``) with a ``query.wall_s`` latency histogram.
     """
 
     def __init__(
@@ -62,14 +67,18 @@ class QueryEngine:
         self._bn: PXMLBayesianNetwork | None = None
         self._global: GlobalInterpretation | None = None
 
-    def _record(self, query: str, start: float, extra: dict | None = None) -> None:
+    def _record(self, query: str, span: Span, extra: dict | None = None) -> None:
         self.stats = {
             "query": query,
             "strategy": self.strategy,
-            "wall_s": time.perf_counter() - start,
+            "wall_s": span.wall_s,
         }
         if extra:
             self.stats.update(extra)
+            span.attributes.update(extra)
+        registry = current_registry()
+        registry.counter(f"query.{query}").inc()
+        registry.histogram("query.wall_s").observe(span.wall_s)
 
     # ------------------------------------------------------------------
     def _bayes(self) -> PXMLBayesianNetwork:
@@ -93,49 +102,52 @@ class QueryEngine:
 
     def point(self, path: PathExpression | str, oid: Oid) -> float:
         """``P(o in p)`` (Definition 6.1)."""
-        start = time.perf_counter()
         path = self._as_path(path)
         extra: dict = {}
-        if self.strategy == "local":
-            value = point_query(self.pi, path, oid)
-        elif self.strategy == "bayes":
-            value = self._bayes().point_query(path, oid)
-        elif self.strategy == "sample":
-            from repro.semantics.sampling import estimate_point_query
+        with current_tracer().span(
+            "query.point", strategy=self.strategy
+        ) as span:
+            if self.strategy == "local":
+                value = point_query(self.pi, path, oid)
+            elif self.strategy == "bayes":
+                value = self._bayes().point_query(path, oid)
+            elif self.strategy == "sample":
+                from repro.semantics.sampling import estimate_point_query
 
-            estimate = estimate_point_query(
-                self.pi, path, oid, self.samples, self.seed
-            )
-            value, extra = estimate.probability, self._estimate_extra(estimate)
-        else:
-            value = self._enumeration().prob_object_at_path(path, oid)
-        self._record("point", start, extra)
+                estimate = estimate_point_query(
+                    self.pi, path, oid, self.samples, self.seed
+                )
+                value, extra = estimate.probability, self._estimate_extra(estimate)
+            else:
+                value = self._enumeration().prob_object_at_path(path, oid)
+        self._record("point", span, extra)
         return value
 
     def exists(self, path: PathExpression | str) -> float:
         """``P(exists o: o in p)``."""
-        start = time.perf_counter()
         path = self._as_path(path)
         extra: dict = {}
-        if self.strategy == "local":
-            value = existential_query(self.pi, path)
-        elif self.strategy == "bayes":
-            value = self._bayes().existential_query(path)
-        elif self.strategy == "sample":
-            from repro.semantics.sampling import estimate_existential_query
+        with current_tracer().span(
+            "query.exists", strategy=self.strategy
+        ) as span:
+            if self.strategy == "local":
+                value = existential_query(self.pi, path)
+            elif self.strategy == "bayes":
+                value = self._bayes().existential_query(path)
+            elif self.strategy == "sample":
+                from repro.semantics.sampling import estimate_existential_query
 
-            estimate = estimate_existential_query(
-                self.pi, path, self.samples, self.seed
-            )
-            value, extra = estimate.probability, self._estimate_extra(estimate)
-        else:
-            value = self._enumeration().prob_path_nonempty(path)
-        self._record("exists", start, extra)
+                estimate = estimate_existential_query(
+                    self.pi, path, self.samples, self.seed
+                )
+                value, extra = estimate.probability, self._estimate_extra(estimate)
+            else:
+                value = self._enumeration().prob_path_nonempty(path)
+        self._record("exists", span, extra)
         return value
 
     def chain(self, chain: list[Oid]) -> float:
         """``P(r.o1...on)`` for an explicit object chain."""
-        start = time.perf_counter()
         extra: dict = {}
 
         def has_chain(world) -> bool:
@@ -144,38 +156,43 @@ class QueryEngine:
                     return False
             return True
 
-        if self.strategy == "local":
-            value = chain_probability(self.pi, chain)
-        elif self.strategy == "bayes":
-            value = self._bayes().chain_probability(chain)
-        elif self.strategy == "sample":
-            from repro.semantics.sampling import estimate_probability
+        with current_tracer().span(
+            "query.chain", strategy=self.strategy
+        ) as span:
+            if self.strategy == "local":
+                value = chain_probability(self.pi, chain)
+            elif self.strategy == "bayes":
+                value = self._bayes().chain_probability(chain)
+            elif self.strategy == "sample":
+                from repro.semantics.sampling import estimate_probability
 
-            estimate = estimate_probability(
-                self.pi, has_chain, self.samples, self.seed
-            )
-            value, extra = estimate.probability, self._estimate_extra(estimate)
-        else:
-            value = self._enumeration().event_probability(has_chain)
-        self._record("chain", start, extra)
+                estimate = estimate_probability(
+                    self.pi, has_chain, self.samples, self.seed
+                )
+                value, extra = estimate.probability, self._estimate_extra(estimate)
+            else:
+                value = self._enumeration().event_probability(has_chain)
+        self._record("chain", span, extra)
         return value
 
     def object_exists(self, oid: Oid) -> float:
         """``P(o occurs in a compatible world)`` — situation 4 of Section 2."""
-        start = time.perf_counter()
         extra: dict = {}
-        if self.strategy in ("bayes", "local"):
-            # The local algorithms have no direct form for bare existence
-            # on DAGs; the BN marginal is cheap and exact either way.
-            value = self._bayes().prob_exists(oid)
-        elif self.strategy == "sample":
-            from repro.semantics.sampling import estimate_probability
+        with current_tracer().span(
+            "query.object_exists", strategy=self.strategy
+        ) as span:
+            if self.strategy in ("bayes", "local"):
+                # The local algorithms have no direct form for bare existence
+                # on DAGs; the BN marginal is cheap and exact either way.
+                value = self._bayes().prob_exists(oid)
+            elif self.strategy == "sample":
+                from repro.semantics.sampling import estimate_probability
 
-            estimate = estimate_probability(
-                self.pi, lambda world: oid in world, self.samples, self.seed
-            )
-            value, extra = estimate.probability, self._estimate_extra(estimate)
-        else:
-            value = self._enumeration().prob_object_exists(oid)
-        self._record("object_exists", start, extra)
+                estimate = estimate_probability(
+                    self.pi, lambda world: oid in world, self.samples, self.seed
+                )
+                value, extra = estimate.probability, self._estimate_extra(estimate)
+            else:
+                value = self._enumeration().prob_object_exists(oid)
+        self._record("object_exists", span, extra)
         return value

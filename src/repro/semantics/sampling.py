@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from repro.core.instance import ProbabilisticInstance
 from repro.core.potential import ChildSet
 from repro.errors import CyclicModelError, SemanticsError
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
 from repro.semistructured.graph import Oid
 from repro.semistructured.instance import SemistructuredInstance
 from repro.semistructured.types import Value
@@ -127,13 +129,21 @@ def estimate_probability(
     samples: int = 1000,
     seed: int | None = None,
 ) -> Estimate:
-    """Estimate ``P(event)`` by forward sampling."""
+    """Estimate ``P(event)`` by forward sampling.
+
+    Runs inside a ``sampling.estimate`` span on the ambient tracer and
+    counts every drawn world in the ambient ``sampling.worlds_sampled``
+    metric.
+    """
     if samples <= 0:
         raise SemanticsError("need a positive sample count")
-    sampler = WorldSampler(pi, seed)
-    hits = sum(1 for _ in range(samples) if event(sampler.sample()))
-    probability = hits / samples
-    stderr = math.sqrt(probability * (1.0 - probability) / samples)
+    with current_tracer().span("sampling.estimate", samples=samples) as span:
+        sampler = WorldSampler(pi, seed)
+        hits = sum(1 for _ in range(samples) if event(sampler.sample()))
+        probability = hits / samples
+        stderr = math.sqrt(probability * (1.0 - probability) / samples)
+        span.attributes["probability"] = probability
+    current_registry().counter("sampling.worlds_sampled").inc(samples)
     return Estimate(probability, stderr, samples)
 
 

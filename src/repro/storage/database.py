@@ -16,6 +16,8 @@ from pathlib import Path
 from repro.core.instance import ProbabilisticInstance
 from repro.errors import PXMLError
 from repro.io.json_codec import read_instance, write_instance
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
 
 
 class DatabaseError(PXMLError):
@@ -107,7 +109,18 @@ class Database:
     def _next_version(self, name: str) -> int:
         self._version_counter += 1
         self._versions[name] = self._version_counter
+        current_tracer().event(
+            "db.version", name=name, version=self._version_counter
+        )
+        current_registry().counter("db.version_bumps").inc()
         return self._version_counter
+
+    def _read(self, path: Path, name: str) -> ProbabilisticInstance:
+        """Load one instance file inside a ``db.load`` span."""
+        with current_tracer().span("db.load", name=name, path=str(path)):
+            instance = read_instance(path)
+        current_registry().counter("db.loads").inc()
+        return instance
 
     def version(self, name: str) -> int:
         """The current version of ``name`` (assigning one if on disk only).
@@ -148,6 +161,7 @@ class Database:
         self._admit(name, instance)
         self._instances[name] = instance
         self._next_version(name)
+        current_registry().counter("db.registers").inc()
 
     def get(self, name: str) -> ProbabilisticInstance:
         """Look up an instance, loading from the backing directory if needed."""
@@ -157,7 +171,7 @@ class Database:
         if self._directory is not None:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
-                instance = read_instance(path)
+                instance = self._read(path, name)
                 self._admit(name, instance)
                 self._instances[name] = instance
                 if name not in self._versions:
@@ -178,7 +192,7 @@ class Database:
         path = self._directory / f"{name}{_SUFFIX}"
         if not path.exists():
             raise DatabaseError(f"unknown instance: {name!r}")
-        instance = read_instance(path)
+        instance = self._read(path, name)
         self._admit(name, instance)
         self._instances[name] = instance
         self._next_version(name)
@@ -196,6 +210,7 @@ class Database:
                 found = True
         if not found:
             raise DatabaseError(f"unknown instance: {name!r}")
+        current_registry().counter("db.drops").inc()
 
     def names(self) -> list[str]:
         """All instance names (in-memory plus on-disk)."""
@@ -225,7 +240,9 @@ class Database:
         if self._directory is None:
             raise DatabaseError("database has no backing directory")
         path = self._directory / f"{name}{_SUFFIX}"
-        write_instance(self.get(name), path)
+        with current_tracer().span("db.save", name=name, path=str(path)):
+            write_instance(self.get(name), path)
+        current_registry().counter("db.saves").inc()
         return path
 
     def save_all(self) -> list[Path]:
@@ -238,7 +255,7 @@ class Database:
         The admission policy (``validate="lint"``) applies via
         :meth:`register`.
         """
-        instance = read_instance(path)
+        instance = self._read(Path(path), name)
         self.register(name, instance, replace=True)
         return instance
 

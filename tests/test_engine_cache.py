@@ -261,3 +261,149 @@ class TestQueryEngineStats:
         assert engine.stats["query"] == "chain"
         engine.object_exists("A")
         assert engine.stats["query"] == "object_exists"
+
+
+class TestCacheHitStatsRegression:
+    """Regressions for the two cache-hit aliasing bugs.
+
+    Before the fix, a cache hit's ``NodeStats`` reused the cached
+    entry's *live* children list (so every hit aliased the same mutable
+    objects and re-reported the original miss wall times), and
+    dict-valued hits were handed out as shallow ``dict(value)`` copies
+    (so mutating a nested value corrupted the cache).
+    """
+
+    @pytest.fixture
+    def database(self):
+        db = Database()
+        db.register("bib", small_instance())
+        return db
+
+    def _pipeline(self):
+        return PlanBuilder.scan("bib").project("R.x").select("R.x", "A").build()
+
+    def test_warm_descendants_marked_hit_with_zero_wall(self, database):
+        engine = Engine(database)
+        engine.execute_plan(self._pipeline())
+        warm = engine.execute_plan(self._pipeline())
+        assert warm.stats.cache == "hit"
+        descendants = [
+            node for node in warm.stats.walk() if node is not warm.stats
+        ]
+        assert descendants  # the subtree is re-reported...
+        for node in descendants:
+            assert node.cache == "hit"        # ...but nothing re-executed
+            assert node.wall_s == 0.0
+            for key in ("operator_s", "wall_s"):
+                if key in node.extra:
+                    assert node.extra[key] == 0.0
+
+    def test_warm_wall_time_not_double_counted(self, database):
+        engine = Engine(database)
+        cold = engine.execute_plan(self._pipeline())
+        warm = engine.execute_plan(self._pipeline())
+        cold_total = sum(node.wall_s for node in cold.stats.walk())
+        warm_total = sum(node.wall_s for node in warm.stats.walk())
+        # A hit reports only the (tiny) lookup time at the hit node, not
+        # the original execution times of the whole cached subtree.
+        assert warm_total <= warm.stats.wall_s + 1e-12
+        assert warm_total < cold_total
+
+    def test_consecutive_hits_do_not_alias_stats(self, database):
+        engine = Engine(database)
+        engine.execute_plan(self._pipeline())
+        first = engine.execute_plan(self._pipeline())
+        # Maul the first hit's stats tree as a caller legitimately may.
+        for node in first.stats.walk():
+            node.cache = "poisoned"
+            node.wall_s = 123.0
+            node.extra["poison"] = True
+            node.children.clear()
+        second = engine.execute_plan(self._pipeline())
+        assert second.stats.cache == "hit"
+        for node in second.stats.walk():
+            assert node.cache != "poisoned"
+            assert "poison" not in node.extra
+
+    def test_mutating_miss_stats_cannot_poison_later_hits(self, database):
+        engine = Engine(database)
+        cold = engine.execute_plan(self._pipeline())
+        for node in cold.stats.walk():
+            node.extra["poison"] = True
+        warm = engine.execute_plan(self._pipeline())
+        for node in warm.stats.walk():
+            assert "poison" not in node.extra
+
+    def test_caching_on_off_identical_values_and_object_counts(self, database):
+        cached = Engine(database)
+        uncached = Engine(database, caching=False)
+        plan = self._pipeline()
+        cached.execute_plan(plan)              # populate
+        warm = cached.execute_plan(plan)
+        plain = uncached.execute_plan(plan)
+        assert warm.value.objects == plain.value.objects
+        assert warm.condition_probability == pytest.approx(
+            plain.condition_probability
+        )
+        # explain_analyze sees the same per-node object counts either way
+        warm_objects = [node.objects for node in warm.stats.walk()]
+        plain_objects = [node.objects for node in plain.stats.walk()]
+        assert warm_objects == plain_objects
+        assert "hit" in cached.explain_analyze(warm)
+        assert "off" in uncached.explain_analyze(plain)
+
+    def test_dict_hit_mutation_does_not_corrupt_cache(self, database):
+        from repro.engine.plan import QueryNode, ScanNode
+        from repro.semistructured.paths import PathExpression
+
+        engine = Engine(database)
+        node = QueryNode("dist", ScanNode("bib"),
+                         path=PathExpression.parse("R.x"))
+        cold = engine.execute_plan(node)
+        assert isinstance(cold.value, dict)
+        first = engine.execute_plan(node)
+        assert first.stats.cache == "hit"
+        first.value[0] = 0.999                 # caller mauls the hit
+        second = engine.execute_plan(node)
+        assert second.value == cold.value
+        assert second.value is not first.value
+
+    def test_seeded_nested_dict_hit_is_deep_copied(self, database):
+        from repro.engine.executor import NodeStats, _CacheEntry
+        from repro.engine.plan import QueryNode, ScanNode
+        from repro.semistructured.paths import PathExpression
+
+        engine = Engine(database)
+        node = QueryNode("dist", ScanNode("bib"),
+                         path=PathExpression.parse("R.x"))
+        engine.result_cache.put(
+            engine.cache_key(node),
+            _CacheEntry({"a": {"b": 1}}, {}, NodeStats(node.label(), "miss")),
+        )
+        first, _extra, _stats = engine._run(node)
+        first["a"]["b"] = 999                  # nested mutation
+        second, _extra, _stats = engine._run(node)
+        assert second == {"a": {"b": 1}}
+
+    def test_engine_metrics_match_cache_counters(self, database):
+        engine = Engine(database)
+        pipeline = self._pipeline()
+        point = PlanBuilder.scan("bib").point("R.x", "A").build()
+        engine.execute_plan(pipeline)          # misses
+        engine.execute_plan(pipeline)          # hit
+        engine.execute_plan(point)             # miss
+        engine.execute_plan(point)             # hit
+        stats = engine.result_cache.stats
+        assert stats.hits > 0 and stats.misses > 0
+        assert engine.metrics.value("engine.cache.results.hits") == stats.hits
+        assert engine.metrics.value(
+            "engine.cache.results.misses"
+        ) == stats.misses
+        assert engine.metrics.value("engine.cache.results.size") == stats.size
+        plan_stats = engine.plan_cache.stats
+        assert engine.metrics.value(
+            "engine.cache.plans.hits"
+        ) == plan_stats.hits
+        assert engine.metrics.value(
+            "engine.cache.plans.misses"
+        ) == plan_stats.misses
