@@ -101,12 +101,14 @@ def check_statement(
     """Statically check one parsed PXQL statement against a catalog.
 
     Returns the combined plan-pass and query-pass findings; never
-    executes the statement.  ``CHECK``, ``EXPLAIN`` and ``PROFILE``
-    wrappers are unwrapped to their inner statement first.
+    executes the statement.  ``CHECK``, ``EXPLAIN``, ``PROFILE`` and
+    ``... WITH TIMEOUT`` wrappers are unwrapped to their inner statement
+    first.
     """
     while isinstance(
         statement,
-        (ast.CheckStatement, ast.ExplainStatement, ast.ProfileStatement),
+        (ast.CheckStatement, ast.ExplainStatement, ast.ProfileStatement,
+         ast.TimeoutStatement),
     ):
         statement = statement.statement
 

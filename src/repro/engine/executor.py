@@ -62,9 +62,13 @@ from repro.engine.plan import (
     scan_names,
 )
 from repro.engine.rewrite import DEFAULT_RULES, optimize
+from repro.errors import BudgetExceeded
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.tracing import Span, Tracer, use_tracer
 from repro.queries.engine import QueryEngine
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import current_budget
+from repro.resilience.faults import fault_point
 
 _PROJECTION_OPERATORS = {
     "ancestor": ancestor_projection_local,
@@ -208,6 +212,13 @@ class Engine:
             plans that produced them (when their inputs are unchanged),
             turning statement sequences into multi-operator plans the
             rewrite rules can work across.
+        breaker: circuit breaker over the optimizer/cache layer (own
+            instance if omitted).  Rewrite-optimizer failures degrade
+            that statement to the unoptimized plan and count against the
+            breaker; cache get/put failures are isolated (treated as a
+            miss / skipped) and count too.  Once tripped, plans run
+            unoptimized and uncached — correct, just slower — until the
+            cool-down elapses and a probe succeeds.
         tracer: span collector for executions (own instance if omitted;
             pass a shared one to join a larger trace, e.g. the PXQL
             interpreter's statement spans).
@@ -229,6 +240,7 @@ class Engine:
         inline_lineage: bool = True,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.database = database
         self.optimizer = optimizer
@@ -247,6 +259,10 @@ class Engine:
             cache_size, name="engine.cache.plans", metrics=self.metrics
         )
         self.rules = DEFAULT_RULES
+        self.breaker = (
+            breaker if breaker is not None
+            else CircuitBreaker(name="engine.optimizer")
+        )
         self._lineage: dict[str, _Lineage] = {}
 
     @contextmanager
@@ -320,19 +336,63 @@ class Engine:
         return plan_statement(statement)
 
     def prepare(self, plan: PlanNode) -> tuple[PlanNode, tuple[str, ...]]:
-        """Expand lineage and optimize; memoized in the plan cache."""
+        """Expand lineage and optimize; memoized in the plan cache.
+
+        The optimizer/cache layer degrades rather than fails: a rewrite
+        failure falls back to the unoptimized (still correct) plan and
+        counts against :attr:`breaker`; with the breaker open the layer
+        is skipped entirely until its cool-down elapses.
+        """
         expanded = self.expand(plan)
-        if not self.optimizer:
+        if not self.optimizer or not self.breaker.allow():
             return expanded, ()
         key = self.cache_key(expanded)
         if self.caching:
-            cached = self.plan_cache.get(key)
+            cached = self._cache_get(self.plan_cache, key)
             if cached is not None:
                 return cached
-        prepared = optimize(expanded, self.cost, self.rules)
+        try:
+            prepared = optimize(expanded, self.cost, self.rules)
+        except Exception as exc:
+            self.breaker.record_failure()
+            self.metrics.counter("resilience.optimizer_errors").inc()
+            self.tracer.event(
+                "resilience.optimizer_error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return expanded, ()
+        self.breaker.record_success()
         if self.caching:
-            self.plan_cache.put(key, prepared)
+            self._cache_put(self.plan_cache, key, prepared)
         return prepared
+
+    # ------------------------------------------------------------------
+    # Isolated cache access
+    # ------------------------------------------------------------------
+    def _cache_error(self, op: str, cache: LRUCache, exc: Exception) -> None:
+        self.metrics.counter("resilience.cache_errors").inc()
+        self.tracer.event(
+            "resilience.cache_error", cache=cache.name, op=op,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self.breaker.record_failure()
+
+    def _cache_get(self, cache: LRUCache, key: tuple):
+        """A cache lookup that can never fail a query (errors = miss)."""
+        try:
+            fault_point(f"{cache.name}.get")
+            return cache.get(key)
+        except Exception as exc:
+            self._cache_error("get", cache, exc)
+            return None
+
+    def _cache_put(self, cache: LRUCache, key: tuple, value) -> None:
+        """A cache insert that can never fail a query (errors = skip)."""
+        try:
+            fault_point(f"{cache.name}.put")
+            cache.put(key, value)
+        except Exception as exc:
+            self._cache_error("put", cache, exc)
 
     # ------------------------------------------------------------------
     # Execution
@@ -358,6 +418,12 @@ class Engine:
         return self.execute_plan(plan)
 
     def _run(self, node: PlanNode) -> tuple[object, dict, NodeStats]:
+        budget = current_budget()
+        if budget is not None:
+            # Cooperative guardrail: deadline / node-evaluation limits
+            # surface here, at plan-node boundaries, as BudgetExceeded.
+            budget.tick_node(node.label())
+
         if isinstance(node, ScanNode):
             with self.tracer.span(
                 f"engine.node.{node.label()}", cache="scan"
@@ -371,15 +437,21 @@ class Engine:
             )
             return pi, {}, stats
 
-        if self.caching:
+        use_cache = self.caching and self.breaker.allow()
+        if use_cache:
             key = self.cache_key(node)
-            entry = self.result_cache.get(key)
+            entry = self._cache_get(self.result_cache, key)
             if entry is not None:
-                return self._serve_hit(node, entry)
+                value, extra, stats = self._serve_hit(node, entry)
+                if budget is not None and isinstance(
+                    value, ProbabilisticInstance
+                ):
+                    budget.charge_objects(len(value), node.label())
+                return value, extra, stats
 
         with self.tracer.span(
             f"engine.node.{node.label()}",
-            cache="miss" if self.caching else "off",
+            cache="miss" if use_cache else "off",
         ) as span:
             child_results = [self._run(child) for child in node.children()]
             inputs = [value for value, _extra, _stats in child_results]
@@ -393,9 +465,11 @@ class Engine:
         self.metrics.histogram(
             f"engine.operator.{type(node).__name__}.wall_s"
         ).observe(apply_span.wall_s)
+        if budget is not None and isinstance(value, ProbabilisticInstance):
+            budget.charge_objects(len(value), node.label())
         stats = NodeStats(
             node.label(),
-            cache="miss" if self.caching else "off",
+            cache="miss" if use_cache else "off",
             wall_s=span.wall_s,
             objects=len(value) if isinstance(value, ProbabilisticInstance) else None,
             strategy=strategy,
@@ -404,11 +478,12 @@ class Engine:
             span=span,
         )
         stats.extra.setdefault("operator_s", apply_span.wall_s)
-        if self.caching:
+        if use_cache:
             # Cache a deep copy of the stats tree: the caller owns the
             # returned one and may mutate it freely.
-            self.result_cache.put(
-                key, _CacheEntry(value, dict(extra), _copy_stats(stats))
+            self._cache_put(
+                self.result_cache,
+                key, _CacheEntry(value, dict(extra), _copy_stats(stats)),
             )
         return value, extra, stats
 

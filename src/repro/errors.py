@@ -92,3 +92,36 @@ class QueryError(PXMLError):
 
 class CodecError(PXMLError):
     """Raised when (de)serialization of an instance fails."""
+
+
+class CorruptInstanceError(CodecError):
+    """An instance file failed its integrity check (checksum mismatch,
+    undecodable bytes, or a torn/truncated payload)."""
+
+
+class ResilienceError(PXMLError):
+    """Raised by the resilience subsystem (:mod:`repro.resilience`)."""
+
+
+class BudgetExceeded(ResilienceError):
+    """A cooperative execution budget ran out (deadline, node evaluations,
+    or result objects).
+
+    Attributes:
+        limit: which limit was hit (``"deadline"``, ``"node_evals"``,
+            ``"result_objects"``).
+        where: the checkpoint that detected it (a plan-node label, the
+            sampler, ...).
+        span: when raised under ``PROFILE``, the partial span tree of the
+            interrupted execution (attached by the interpreter).
+    """
+
+    def __init__(self, message: str, limit: str = "", where: str = "") -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.where = where
+        self.span = None
+
+
+class FaultError(ResilienceError):
+    """The deterministic fault injector fired an ``error`` fault."""

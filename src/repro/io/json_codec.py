@@ -11,7 +11,9 @@ Leaf values must be JSON-representable scalars (str, int, float, bool).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -25,7 +27,8 @@ from repro.core.distributions import (
 from repro.core.instance import ProbabilisticInstance
 from repro.core.interpretation import LocalInterpretation
 from repro.core.weak_instance import WeakInstance
-from repro.errors import CodecError
+from repro.errors import CodecError, CorruptInstanceError
+from repro.resilience.faults import fault_point
 from repro.semistructured.instance import SemistructuredInstance
 from repro.semistructured.types import LeafType, TypeRegistry
 
@@ -192,15 +195,90 @@ def loads(text: str) -> ProbabilisticInstance:
     return decode_instance(json.loads(text))
 
 
+def checksum_sidecar(path: str | Path) -> Path:
+    """The checksum-sidecar path of an instance file."""
+    path = Path(path)
+    return path.with_name(path.name + ".sha256")
+
+
+def content_checksum(text: str) -> str:
+    """The hex SHA-256 digest of an instance file's text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _replace_atomically(payload: str, target: Path) -> None:
+    """Publish ``payload`` at ``target`` via tmp file + fsync + replace.
+
+    Readers see either the old bytes or the new bytes, never a torn
+    mixture: the payload is fully written and flushed to a sibling tmp
+    file first, and ``os.replace`` swaps it in as one atomic rename.
+    """
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point(f"codec.write.tmp:{target.name}")
+        fault_point("codec.write.tmp")
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def write_instance(pi: ProbabilisticInstance, path: str | Path) -> int:
-    """Write a probabilistic instance to ``path``; returns bytes written."""
+    """Atomically write a probabilistic instance to ``path``.
+
+    The data file is published with tmp-file + fsync + ``os.replace``
+    (crash-safe: never torn), then a ``<name>.sha256`` sidecar records
+    the content checksum :func:`read_instance` verifies.  A crash in the
+    tiny window between the two replaces leaves a fresh data file with a
+    stale sidecar; that surfaces on load as
+    :class:`~repro.errors.CorruptInstanceError` — a clean, typed error
+    the catalog's quarantine policy can absorb — never a wrong answer.
+    Returns the number of characters written.
+    """
     payload = dumps(pi)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(payload)
+    corrupted = fault_point("codec.write.payload", payload)
+    payload = corrupted if corrupted is not None else payload
+    path = Path(path)
+    _replace_atomically(payload, path)
+    fault_point("codec.write.replace")
+    _replace_atomically(content_checksum(payload) + "\n", checksum_sidecar(path))
     return len(payload)
 
 
 def read_instance(path: str | Path) -> ProbabilisticInstance:
-    """Read a probabilistic instance from ``path``."""
+    """Read a probabilistic instance from ``path``, verifying integrity.
+
+    When a checksum sidecar exists its digest must match the file text;
+    any mismatch — and any undecodable payload — raises
+    :class:`~repro.errors.CorruptInstanceError` (a
+    :class:`~repro.errors.CodecError`).  ``OSError`` s propagate for the
+    caller's retry/translation layer.
+    """
+    path = Path(path)
+    fault_point(f"codec.read.open:{path.name}")
+    fault_point("codec.read.open")
     with open(path, "r", encoding="utf-8") as handle:
-        return loads(handle.read())
+        text = handle.read()
+    text = fault_point("codec.read", text)
+    sidecar = checksum_sidecar(path)
+    try:
+        recorded = sidecar.read_text(encoding="utf-8").strip()
+    except OSError:
+        recorded = None
+    if recorded is not None and recorded != content_checksum(text):
+        raise CorruptInstanceError(
+            f"checksum mismatch for {path}: file does not match its "
+            f"{sidecar.name} sidecar (torn write or bit rot)"
+        )
+    try:
+        return loads(text)
+    except CorruptInstanceError:
+        raise
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise CorruptInstanceError(
+            f"cannot decode {path}: {type(exc).__name__}: {exc}"
+        ) from exc

@@ -2,11 +2,15 @@
 
 One dataclass per statement kind.  The grammar (EBNF-ish):
 
-    statement   := check | explain | profile | plain
+    statement   := (check | explain | profile | set | plain)
+                   ["WITH" "TIMEOUT" number]
     plain       := project | select | product | point | exists | chain
                  | prob | count | dist | worlds | show | list | drop
                  | load | save
 
+    set         := "SET" "TIMEOUT" number
+                   (session-wide statement deadline in seconds; 0 clears.
+                    "WITH TIMEOUT s" overrides it for one statement)
     check       := "CHECK" plain
                    (static diagnostics only; the statement never runs)
     explain     := "EXPLAIN" ["ANALYZE" | "LINT"] plain
@@ -205,10 +209,38 @@ class ProfileStatement:
     statement: "Statement"
 
 
+@dataclass(frozen=True)
+class SetStatement:
+    """``SET TIMEOUT <seconds>``: a session option assignment.
+
+    ``option`` is currently always ``"timeout"``; ``value`` is the new
+    per-statement deadline in seconds (0 clears it).
+    """
+
+    option: str
+    value: float
+
+
+@dataclass(frozen=True)
+class TimeoutStatement:
+    """``<statement> WITH TIMEOUT <seconds>``: a one-statement deadline.
+
+    The inner statement runs under a deadline-only execution budget
+    (:class:`repro.resilience.budget.Budget`), overriding any session
+    default from ``SET TIMEOUT``; exceeding it raises
+    :class:`~repro.errors.BudgetExceeded` at the next cooperative
+    checkpoint (a plan-node boundary or a sampling batch).
+    """
+
+    statement: "Statement"
+    seconds: float
+
+
 Statement = (
     ProjectStatement | SelectStatement | ProductStatement | PointStatement
     | ExistsStatement | ChainStatement | ProbStatement | CountStatement
     | DistStatement | UnrollStatement | EstimateStatement | WorldsStatement
     | ShowStatement | ListStatement | DropStatement | LoadStatement
     | SaveStatement | ExplainStatement | CheckStatement | ProfileStatement
+    | SetStatement | TimeoutStatement
 )

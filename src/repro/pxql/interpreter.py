@@ -22,6 +22,8 @@ back to the exact Bayesian-network / global engines automatically.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.algebra.projection_more import (
@@ -41,7 +43,7 @@ from repro.check.diagnostics import ERROR, CheckError, Diagnostic, DiagnosticRep
 from repro.core.cardinality import CardinalityInterval
 from repro.core.instance import ProbabilisticInstance
 from repro.engine.executor import Engine, ExecutionResult, check_probability_guard
-from repro.errors import PXMLError
+from repro.errors import BudgetExceeded, EmptyResultError, PXMLError
 from repro.obs.export import render_span_tree
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.slowlog import SlowQueryLog
@@ -50,11 +52,27 @@ from repro.pxql import ast
 from repro.pxql.parser import SpanMap, parse, parse_spanned
 from repro.queries.engine import QueryEngine
 from repro.render import render_distribution, render_instance
+from repro.resilience.budget import Budget, use_budget
 from repro.semantics.global_interpretation import GlobalInterpretation
-from repro.storage.database import Database
+from repro.storage.database import Database, DatabaseError
 
 _STRATEGIES = ("engine", "naive")
 _CHECK_MODES = ("error", "warn", "off")
+
+#: Statement kinds routed through the engine — the ones the graceful
+#: degradation path can re-run on the naive strategy.
+_ENGINE_ROUTED = (
+    ast.ProjectStatement, ast.SelectStatement, ast.ProductStatement,
+    ast.PointStatement, ast.ExistsStatement, ast.ChainStatement,
+    ast.ProbStatement, ast.CountStatement, ast.DistStatement,
+)
+
+#: Failures that must *not* trigger the naive fallback: budgets are
+#: user-imposed limits, check/catalog/empty-result errors are semantic —
+#: the naive path would fail identically (or worse, mask the limit).
+_FALLBACK_EXEMPT = (
+    BudgetExceeded, CheckError, DatabaseError, EmptyResultError,
+)
 
 
 @dataclass
@@ -133,6 +151,11 @@ class Interpreter:
         self._subject: str | None = None
         #: The static checker's findings for the last checked statement.
         self.last_diagnostics: list[Diagnostic] = []
+        #: Session-wide statement deadline set by ``SET TIMEOUT`` (None: off).
+        self._session_timeout_s: float | None = None
+        #: Record of graceful degradations: ``(statement label, engine error)``
+        #: for every statement that was retried on the naive path.
+        self.fallbacks: list[tuple[str, Exception]] = []
 
     # ------------------------------------------------------------------
     def execute(self, text: str) -> Result:
@@ -146,6 +169,10 @@ class Interpreter:
         spans: SpanMap | None = None,
         subject: str | None = None,
     ) -> Result:
+        timeout_s = self._session_timeout_s
+        if isinstance(statement, ast.TimeoutStatement):
+            timeout_s = statement.seconds
+            statement = statement.statement
         handler = getattr(self, f"_run_{type(statement).__name__}", None)
         if handler is None:
             raise PXMLError(f"unsupported statement: {statement!r}")
@@ -172,7 +199,8 @@ class Interpreter:
                 statement=label,
             ) as span:
                 try:
-                    result = handler(statement)
+                    with self._budget_scope(timeout_s):
+                        result = self._dispatch(handler, statement, label)
                 except BaseException:
                     self.metrics.counter("pxql.errors").inc()
                     raise
@@ -180,6 +208,48 @@ class Interpreter:
         self.metrics.histogram("pxql.statement_s").observe(span.wall_s)
         self.slow_log.observe(label, span.wall_s, span)
         return result
+
+    @contextmanager
+    def _budget_scope(self, timeout_s: float | None) -> Iterator[Budget | None]:
+        """Install a deadline-only execution budget when a timeout is set."""
+        if timeout_s is None or timeout_s <= 0:
+            yield None
+            return
+        with use_budget(Budget(deadline_s=timeout_s)) as budget:
+            yield budget
+
+    def _dispatch(self, handler, statement: ast.Statement, label: str):
+        """Run a handler, degrading engine failures to the naive path.
+
+        An unexpected engine-strategy failure on an engine-routed
+        statement is retried once with ``strategy="naive"`` — the
+        original eager path, which shares no planner/optimizer/cache
+        machinery with the engine — and recorded in :attr:`fallbacks`,
+        the ``resilience.fallbacks`` counter and a ``resilience.fallback``
+        trace event.  Budget, check, catalog and empty-result errors
+        propagate untouched (see ``_FALLBACK_EXEMPT``).
+        """
+        try:
+            return handler(statement)
+        except _FALLBACK_EXEMPT:
+            raise
+        except Exception as exc:
+            if self.strategy != "engine" or not isinstance(
+                statement, _ENGINE_ROUTED
+            ):
+                raise
+            self.metrics.counter("resilience.fallbacks").inc()
+            self.tracer.event(
+                "resilience.fallback",
+                statement=label,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self.fallbacks.append((label, exc))
+            self.strategy = "naive"
+            try:
+                return handler(statement)
+            finally:
+                self.strategy = "engine"
 
     def _static_diagnostics(
         self,
@@ -447,7 +517,14 @@ class Interpreter:
             kind=type(inner).__name__,
             statement=self._subject or type(inner).__name__,
         ) as root:
-            inner_result = handler(inner)
+            try:
+                inner_result = handler(inner)
+            except BudgetExceeded as exc:
+                # Ship the partial span tree with the error: everything
+                # executed before the budget tripped is already recorded
+                # under ``root``.
+                exc.span = root
+                raise
         self.metrics.counter("pxql.profiles").inc()
         text = render_span_tree(root)
         if inner_result.instance_name is not None:
@@ -455,6 +532,20 @@ class Interpreter:
         elif not isinstance(inner_result.value, (ProbabilisticInstance, str)):
             text += f"\nresult: {inner_result.value}"
         return Result(root, inner_result.instance_name, text)
+
+    # ------------------------------------------------------------------
+    # SET: session options
+    # ------------------------------------------------------------------
+    def _run_SetStatement(self, stmt: ast.SetStatement) -> Result:
+        if stmt.option != "timeout":
+            raise PXMLError(f"unknown session option {stmt.option!r}")
+        self._session_timeout_s = stmt.value if stmt.value > 0 else None
+        if self._session_timeout_s is None:
+            return Result(None, None, "timeout cleared")
+        return Result(
+            self._session_timeout_s, None,
+            f"timeout set to {self._session_timeout_s:g}s per statement",
+        )
 
     # ------------------------------------------------------------------
     # Remaining (eager) statements

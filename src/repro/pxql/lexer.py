@@ -35,6 +35,7 @@ KEYWORDS = frozenset({
     "WORLDS", "LIMIT", "SHOW", "LIST", "DROP", "COUNT", "DIST",
     "LOAD", "SAVE", "TO", "UNROLL", "HORIZON", "ESTIMATE", "SAMPLES",
     "EXPLAIN", "ANALYZE", "CHECK", "LINT", "PROFILE",
+    "SET", "TIMEOUT", "WITH",
 })
 
 

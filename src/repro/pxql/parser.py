@@ -103,6 +103,17 @@ class _Parser:
             )
         return int(token.value)
 
+    def _expect_number(self, role: str | None = None) -> float:
+        token = self._advance()
+        if token.kind != "NUMBER":
+            raise PXQLSyntaxError(
+                f"expected a number, got {token.value!r}",
+                position=token.position,
+            )
+        if role is not None:
+            self.spans[role] = token.span
+        return float(token.value)
+
     def _expect_eof(self) -> None:
         token = self._peek()
         if token.kind != "EOF":
@@ -125,8 +136,22 @@ class _Parser:
             lint = self._accept_keyword("LINT") is not None
             analyze = (not lint) and self._accept_keyword("ANALYZE") is not None
             statement = ast.ExplainStatement(analyze, self._parse_plain(), lint)
+        elif self._accept_keyword("SET"):
+            self._expect_keyword("TIMEOUT")
+            seconds = self._expect_number("timeout")
+            if seconds < 0:
+                raise PXQLSyntaxError("SET TIMEOUT needs seconds >= 0")
+            statement = ast.SetStatement("timeout", seconds)
         else:
             statement = self._parse_plain()
+        if not isinstance(statement, ast.SetStatement) and self._accept_keyword(
+            "WITH"
+        ):
+            self._expect_keyword("TIMEOUT")
+            seconds = self._expect_number("timeout")
+            if seconds <= 0:
+                raise PXQLSyntaxError("WITH TIMEOUT needs seconds > 0")
+            statement = ast.TimeoutStatement(statement, seconds)
         self._expect_eof()
         return statement
 

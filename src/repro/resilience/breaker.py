@@ -1,0 +1,96 @@
+"""A circuit breaker for degradable engine layers.
+
+The engine's rewrite-optimizer/cache layer is an *accelerator*: every
+query has a correct slow path without it (execute the unoptimized plan,
+skip the caches).  A :class:`CircuitBreaker` guards such a layer the
+classical way:
+
+* **closed** — calls flow; failures are counted, successes reset the
+  count;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker *trips*: :meth:`allow` answers ``False`` and the engine takes
+  the degraded path without touching the faulty layer;
+* **half-open** — once ``reset_after_s`` has elapsed, probes are let
+  through again; the first success closes the breaker, any failure
+  re-trips it immediately.
+
+State transitions land in the ambient metrics
+(``resilience.breaker_trips`` counter, ``resilience.breaker_open``
+gauge) and as ``resilience.breaker`` tracer events.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after repeated failures; probe again after a cool-down."""
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        current_tracer().event(
+            "resilience.breaker", name=self.name, state=state
+        )
+        current_registry().gauge(f"resilience.breaker_open.{self.name}").set(
+            1.0 if state == OPEN else 0.0
+        )
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (may start a probe)."""
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.reset_after_s:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_failure(self) -> None:
+        """Count a failure; trip when the threshold is reached."""
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
+            self.trips += 1
+            self._opened_at = self.clock()
+            current_registry().counter("resilience.breaker_trips").inc()
+            self._transition(OPEN)
+
+    def record_success(self) -> None:
+        """A successful call closes the breaker and clears the count."""
+        self.failures = 0
+        self._transition(CLOSED)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"failures={self.failures}/{self.failure_threshold}, "
+            f"trips={self.trips})"
+        )

@@ -1,0 +1,138 @@
+"""Cooperative execution budgets.
+
+A :class:`Budget` bounds one execution region three ways: a wall-clock
+*deadline*, a maximum number of *plan-node evaluations*, and a maximum
+number of *result objects* materialized.  Budgets are cooperative — the
+executor checks at plan-node boundaries, the sampler between drawn
+worlds — so a running operator finishes its current unit of work before
+:class:`~repro.errors.BudgetExceeded` surfaces; the acceptance bound is
+"stops within one node boundary", not preemption.
+
+The active budget travels as ambient context (a :class:`ContextVar`),
+exactly like the tracer and the metrics registry in :mod:`repro.obs`:
+:func:`use_budget` activates one for a ``with`` region and
+:func:`current_budget` reads it from anywhere beneath.  PXQL's
+``SET TIMEOUT <s>`` / ``WITH TIMEOUT <s>`` build deadline-only budgets
+this way around each statement.
+
+The clock is injectable so tests can drive deadlines deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceeded
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
+
+
+@dataclass
+class Budget:
+    """Limits for one execution region; any subset may be set.
+
+    Args:
+        deadline_s: wall-clock seconds from :meth:`start` (``None`` =
+            unlimited).
+        max_node_evals: total plan-node evaluations allowed.
+        max_result_objects: total objects across produced instances.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    deadline_s: float | None = None
+    max_node_evals: int | None = None
+    max_result_objects: int | None = None
+    clock: Callable[[], float] = time.monotonic
+    node_evals: int = field(default=0, init=False)
+    result_objects: int = field(default=0, init=False)
+    started_at: float | None = field(default=None, init=False)
+
+    def start(self) -> "Budget":
+        """Arm the deadline clock (idempotent); returns ``self``."""
+        if self.started_at is None:
+            self.started_at = self.clock()
+        return self
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since :meth:`start` (0 when not started)."""
+        if self.started_at is None:
+            return 0.0
+        return self.clock() - self.started_at
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline (``None`` when unlimited)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.elapsed_s
+
+    def _fail(self, limit: str, where: str, message: str) -> None:
+        current_registry().counter("budget.exceeded").inc()
+        current_tracer().event("budget.exceeded", limit=limit, where=where)
+        raise BudgetExceeded(message, limit=limit, where=where)
+
+    def check_deadline(self, where: str = "") -> None:
+        """Raise :class:`BudgetExceeded` when past the deadline."""
+        remaining = self.remaining_s
+        if remaining is not None and remaining < 0:
+            self._fail(
+                "deadline", where,
+                f"deadline of {self.deadline_s:g}s exceeded"
+                f"{f' at {where}' if where else ''} "
+                f"(elapsed {self.elapsed_s:.3g}s)",
+            )
+
+    def tick_node(self, label: str = "") -> None:
+        """Charge one plan-node evaluation and check every limit."""
+        self.start()
+        self.node_evals += 1
+        if (
+            self.max_node_evals is not None
+            and self.node_evals > self.max_node_evals
+        ):
+            self._fail(
+                "node_evals", label,
+                f"plan-node evaluation limit of {self.max_node_evals} "
+                f"exceeded{f' at {label}' if label else ''}",
+            )
+        self.check_deadline(label)
+
+    def charge_objects(self, count: int, where: str = "") -> None:
+        """Charge ``count`` materialized result objects."""
+        self.result_objects += count
+        if (
+            self.max_result_objects is not None
+            and self.result_objects > self.max_result_objects
+        ):
+            self._fail(
+                "result_objects", where,
+                f"result-object limit of {self.max_result_objects} "
+                f"exceeded{f' at {where}' if where else ''} "
+                f"({self.result_objects} materialized)",
+            )
+
+
+_ACTIVE_BUDGET: ContextVar[Budget | None] = ContextVar(
+    "repro_resilience_budget", default=None
+)
+
+
+def current_budget() -> Budget | None:
+    """The ambient budget, if one is active (``None`` = unlimited)."""
+    return _ACTIVE_BUDGET.get()
+
+
+@contextmanager
+def use_budget(budget: Budget) -> Iterator[Budget]:
+    """Arm ``budget`` and make it ambient for the ``with`` region."""
+    budget.start()
+    token = _ACTIVE_BUDGET.set(budget)
+    try:
+        yield budget
+    finally:
+        _ACTIVE_BUDGET.reset(token)

@@ -1,0 +1,210 @@
+"""Deterministic fault injection for chaos testing.
+
+Production code is sprinkled with named *hook points* —
+``fault_point("codec.write.replace")`` — that are free no-ops until a
+:class:`FaultInjector` is installed (a context manager over a
+:class:`ContextVar`, like the ambient tracer).  An installed injector
+matches each visited site against its :class:`FaultSpec` s and fires
+three kinds of fault, all driven by one seeded RNG so a chaos run is
+exactly reproducible from its seed:
+
+* ``"error"`` — raise (default :class:`~repro.errors.FaultError`; pass
+  ``exception=OSError`` to simulate I/O failures the retry layer
+  handles);
+* ``"corrupt"`` — mangle the payload flowing through the hook point
+  (one byte is replaced with NUL, which no JSON document survives);
+* ``"slow"`` — sleep ``delay_s`` (injectable sleep), for deadline and
+  slow-path testing.
+
+Hook points in the tree (see ``docs/RESILIENCE.md``):
+
+======================  ====================================================
+site                    where
+======================  ====================================================
+``codec.read.open``     before an instance file is opened
+``codec.read``          the file text just read (corruptable payload)
+``codec.write.payload`` the serialized text about to be written (payload)
+``codec.write.tmp``     after the tmp file is written+fsynced, before
+                        ``os.replace`` — an ``error`` here is a crash that
+                        never published the new bytes
+``codec.write.replace`` after the data file is published, before the
+                        checksum sidecar — the torn-sidecar crash window
+``db.drop.unlink``      before the catalog unlinks an instance file
+``engine.cache.*.get``  before an engine cache lookup (results / plans)
+``engine.cache.*.put``  before an engine cache insert
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Iterator
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from types import TracebackType
+from typing import TypeVar
+
+from repro.errors import FaultError
+
+PayloadT = TypeVar("PayloadT", str, bytes, None)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject at matching hook points.
+
+    Args:
+        site: a hook-point name or ``fnmatch`` pattern
+            (``"engine.cache.*"``).
+        kind: ``"error"``, ``"corrupt"``, or ``"slow"``.
+        nth: fire starting with the nth matching visit (1-based).
+        times: how many visits fire in total (``None`` = every one from
+            ``nth`` on).
+        probability: fire each visit with this seeded probability
+            instead of the ``nth``/``times`` schedule.
+        exception: exception type for ``"error"`` faults
+            (default :class:`FaultError`).
+        delay_s: sleep duration for ``"slow"`` faults.
+    """
+
+    site: str
+    kind: str = "error"
+    nth: int = 1
+    times: int | None = 1
+    probability: float | None = None
+    exception: type[Exception] | None = None
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "corrupt", "slow"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.nth < 1:
+            raise ValueError("nth is 1-based")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault that fired: which spec, where, on which visit."""
+
+    site: str
+    kind: str
+    visit: int
+
+
+@dataclass
+class _SpecState:
+    spec: FaultSpec
+    seen: int = 0
+    fired: int = 0
+
+
+def _corrupt(payload: str | bytes, rng: random.Random) -> str | bytes:
+    """Replace one position with NUL — fatal to JSON and checksums alike."""
+    if not payload:
+        return "\x00" if isinstance(payload, str) else b"\x00"
+    index = rng.randrange(len(payload))
+    if isinstance(payload, str):
+        return payload[:index] + "\x00" + payload[index + 1:]
+    return payload[:index] + b"\x00" + payload[index + 1:]
+
+
+class FaultInjector:
+    """Installs fault specs as the ambient injector for a ``with`` region.
+
+    One injector owns one seeded RNG (shared by probability draws and
+    corruption positions) and a log of fired :class:`FaultEvent` s for
+    assertions.  Nesting installs shadow the outer injector.
+    """
+
+    def __init__(
+        self,
+        *specs: FaultSpec,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._states = [_SpecState(spec) for spec in specs]
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.events: list[FaultEvent] = []
+        self._token: object | None = None
+
+    def fired(self, site: str | None = None) -> int:
+        """How many faults fired (optionally only at ``site`` patterns)."""
+        if site is None:
+            return len(self.events)
+        return sum(1 for e in self.events if fnmatchcase(e.site, site))
+
+    # ------------------------------------------------------------------
+    def visit(self, site: str, payload: PayloadT) -> PayloadT:
+        """Consult every matching spec; used via :func:`fault_point`."""
+        for state in self._states:
+            spec = state.spec
+            if not fnmatchcase(site, spec.site):
+                continue
+            state.seen += 1
+            if spec.probability is not None:
+                fire = self._rng.random() < spec.probability
+            else:
+                fire = state.seen >= spec.nth and (
+                    spec.times is None or state.fired < spec.times
+                )
+            if not fire:
+                continue
+            state.fired += 1
+            self.events.append(FaultEvent(site, spec.kind, state.seen))
+            if spec.kind == "error":
+                exception = spec.exception if spec.exception else FaultError
+                raise exception(
+                    f"injected fault at {site} (visit {state.seen})"
+                )
+            if spec.kind == "corrupt":
+                if payload is not None:
+                    payload = _corrupt(payload, self._rng)  # type: ignore[assignment]
+            else:  # "slow"
+                self._sleep(spec.delay_s)
+        return payload
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        self._token = _ACTIVE_INJECTOR.set(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._token is not None:
+            _ACTIVE_INJECTOR.reset(self._token)  # type: ignore[arg-type]
+            self._token = None
+
+
+_ACTIVE_INJECTOR: ContextVar[FaultInjector | None] = ContextVar(
+    "repro_resilience_injector", default=None
+)
+
+
+def current_injector() -> FaultInjector | None:
+    """The installed injector, if any."""
+    return _ACTIVE_INJECTOR.get()
+
+
+def fault_point(site: str, payload: PayloadT = None) -> PayloadT:
+    """A named hook point: a no-op unless a :class:`FaultInjector` is
+    installed, in which case matching faults raise, corrupt the returned
+    payload, or sleep.  Callers that pass a payload must use the return
+    value in place of it.
+    """
+    injector = _ACTIVE_INJECTOR.get()
+    if injector is None:
+        return payload
+    return injector.visit(site, payload)
+
+
+def iter_specs(injector: FaultInjector) -> Iterator[FaultSpec]:
+    """The injector's specs (for reporting/debugging)."""
+    for state in injector._states:
+        yield state.spec

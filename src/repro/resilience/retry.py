@@ -1,0 +1,91 @@
+"""Retry with exponential backoff and seeded jitter.
+
+The catalog wraps its disk I/O in :func:`retry_call` so transient
+``OSError`` s (NFS hiccups, antivirus locks, the fault injector's
+raise-on-Nth-IO) do not fail a query that would succeed a moment later.
+Backoff doubles from ``base_delay_s`` up to ``max_delay_s``; a seeded
+jitter fraction decorrelates concurrent retriers deterministically.
+Both the sleep function and the jitter RNG are injectable, so tests run
+instantly and reproducibly.
+
+Every performed retry is counted in the ambient ``resilience.retries``
+metric and recorded as a ``resilience.retry`` event on the ambient
+tracer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.obs.metrics import current_registry
+from repro.obs.tracing import current_tracer
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry.
+
+    Args:
+        attempts: total tries (1 = no retry).
+        base_delay_s: backoff before the first retry; doubles per retry.
+        max_delay_s: backoff ceiling.
+        jitter: fraction of each delay replaced by a uniform draw
+            (0 = fully deterministic delays, 1 = full jitter).
+        seed: seed for the jitter RNG (``None`` = nondeterministic).
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+    seed: int | None = 0
+
+    def delay_for(self, retry_index: int, rng: random.Random) -> float:
+        """The backoff before the ``retry_index``-th retry (0-based)."""
+        delay = min(self.max_delay_s, self.base_delay_s * (2.0 ** retry_index))
+        if self.jitter > 0.0:
+            spread = delay * self.jitter
+            delay = delay - spread + rng.random() * 2.0 * spread
+        return max(0.0, delay)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    give_up_on: tuple[type[BaseException], ...] = (),
+    sleep: Callable[[float], None] = time.sleep,
+    site: str = "",
+) -> T:
+    """Call ``fn``, retrying per ``policy`` on matching exceptions.
+
+    ``give_up_on`` wins over ``retry_on`` (e.g. retry ``OSError`` but not
+    ``FileNotFoundError``: a vanished file will not reappear).  The last
+    exception propagates unchanged once the attempts are exhausted.
+    """
+    rng = random.Random(policy.seed)
+    attempts = max(1, policy.attempts)
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except give_up_on:
+            raise
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            delay = policy.delay_for(attempt, rng)
+            current_registry().counter("resilience.retries").inc()
+            current_tracer().event(
+                "resilience.retry",
+                site=site, attempt=attempt + 1, delay_s=delay,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            if delay > 0.0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -25,6 +25,7 @@ from repro.core.potential import ChildSet
 from repro.errors import CyclicModelError, SemanticsError
 from repro.obs.metrics import current_registry
 from repro.obs.tracing import current_tracer
+from repro.resilience.budget import current_budget
 from repro.semistructured.graph import Oid
 from repro.semistructured.instance import SemistructuredInstance
 from repro.semistructured.types import Value
@@ -133,18 +134,35 @@ def estimate_probability(
 
     Runs inside a ``sampling.estimate`` span on the ambient tracer and
     counts every drawn world in the ambient ``sampling.worlds_sampled``
-    metric.
+    metric.  When an ambient :class:`repro.resilience.budget.Budget` is
+    active, its deadline is checked cooperatively between drawn worlds
+    (every :data:`_BUDGET_CHECK_EVERY` samples), so a runaway estimate
+    stops with :class:`~repro.errors.BudgetExceeded` instead of running
+    unbounded.
     """
     if samples <= 0:
         raise SemanticsError("need a positive sample count")
+    budget = current_budget()
+    drawn = 0
     with current_tracer().span("sampling.estimate", samples=samples) as span:
         sampler = WorldSampler(pi, seed)
-        hits = sum(1 for _ in range(samples) if event(sampler.sample()))
+        try:
+            hits = 0
+            for drawn in range(1, samples + 1):
+                if budget is not None and drawn % _BUDGET_CHECK_EVERY == 1:
+                    budget.check_deadline("sampling.estimate")
+                if event(sampler.sample()):
+                    hits += 1
+        finally:
+            current_registry().counter("sampling.worlds_sampled").inc(drawn)
         probability = hits / samples
         stderr = math.sqrt(probability * (1.0 - probability) / samples)
         span.attributes["probability"] = probability
-    current_registry().counter("sampling.worlds_sampled").inc(samples)
     return Estimate(probability, stderr, samples)
+
+
+#: How many worlds are drawn between cooperative deadline checks.
+_BUDGET_CHECK_EVERY = 32
 
 
 def estimate_point_query(

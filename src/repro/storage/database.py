@@ -10,21 +10,33 @@ these databases.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import os
+import time
+from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from repro.core.instance import ProbabilisticInstance
-from repro.errors import PXMLError
-from repro.io.json_codec import read_instance, write_instance
+from repro.errors import CodecError, PXMLError
+from repro.io.json_codec import checksum_sidecar, read_instance, write_instance
 from repro.obs.metrics import current_registry
 from repro.obs.tracing import current_tracer
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy, retry_call
 
 
 class DatabaseError(PXMLError):
-    """Raised for catalog problems: unknown names, clashes, bad dirs."""
+    """Raised for catalog problems: unknown names, clashes, bad dirs,
+    vanished files, and (depending on policy) corrupt instance files."""
 
 
 _SUFFIX = ".pxml.json"
+
+#: Subdirectory corrupt instance files are moved into under the
+#: ``on_corrupt="quarantine"`` policy.
+QUARANTINE_DIR = "quarantine"
+
+#: Default retry behavior around catalog disk I/O.
+DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay_s=0.005, max_delay_s=0.1)
 
 _FORBIDDEN_NAME_PARTS = ("/", "\\", "..")
 
@@ -47,6 +59,7 @@ def _validate_name(name: str) -> str:
 
 
 _VALIDATE_MODES = (None, "lint")
+_CORRUPT_MODES = ("raise", "quarantine")
 
 
 class Database:
@@ -62,6 +75,18 @@ class Database:
             ``"lint"`` runs the static model pass
             (:func:`repro.check.model.lint_instance`) and refuses
             instances with error-severity findings.
+        on_corrupt: what to do when an instance file fails to decode or
+            fails its checksum.  ``"raise"`` (default) raises
+            :class:`DatabaseError` and leaves the file in place;
+            ``"quarantine"`` moves the file (and its sidecar) into the
+            ``quarantine/`` subdirectory — so one bad file can never
+            poison the rest of the catalog — then raises
+            :class:`DatabaseError` for that name only.  Either way the
+            error is typed; raw decode exceptions never escape.
+        retry: retry-with-backoff policy around catalog disk I/O
+            (transient ``OSError`` s); defaults to :data:`DEFAULT_RETRY`.
+        retry_sleep: the sleep function backoff uses (injectable for
+            tests).
 
     Every name carries a monotonically increasing *version*: registering
     (or re-registering, lazily loading, touching) an instance assigns the
@@ -74,16 +99,27 @@ class Database:
         self,
         directory: str | Path | None = None,
         validate: str | None = None,
+        on_corrupt: str = "raise",
+        retry: RetryPolicy | None = None,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if validate not in _VALIDATE_MODES:
             raise DatabaseError(
                 f"unknown validate mode {validate!r}; "
                 f"choose one of {_VALIDATE_MODES}"
             )
+        if on_corrupt not in _CORRUPT_MODES:
+            raise DatabaseError(
+                f"unknown on_corrupt mode {on_corrupt!r}; "
+                f"choose one of {_CORRUPT_MODES}"
+            )
         self._instances: dict[str, ProbabilisticInstance] = {}
         self._versions: dict[str, int] = {}
         self._version_counter = 0
         self._validate = validate
+        self._on_corrupt = on_corrupt
+        self._retry = retry if retry is not None else DEFAULT_RETRY
+        self._retry_sleep = retry_sleep
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -116,11 +152,73 @@ class Database:
         return self._version_counter
 
     def _read(self, path: Path, name: str) -> ProbabilisticInstance:
-        """Load one instance file inside a ``db.load`` span."""
+        """Load one instance file inside a ``db.load`` span.
+
+        Transient ``OSError`` s are retried with backoff; a racing
+        deletion (``FileNotFoundError`` after the existence check — the
+        TOCTOU window) and exhausted retries surface as
+        :class:`DatabaseError` naming the instance, never as a raw OS
+        exception.  Corrupt files follow the ``on_corrupt`` policy.
+        """
         with current_tracer().span("db.load", name=name, path=str(path)):
-            instance = read_instance(path)
+            try:
+                instance = retry_call(
+                    lambda: read_instance(path),
+                    self._retry,
+                    retry_on=(OSError,),
+                    give_up_on=(FileNotFoundError,),
+                    sleep=self._retry_sleep,
+                    site=f"db.load:{name}",
+                )
+            except CodecError as exc:
+                raise self._corrupt_error(name, path, exc) from exc
+            except FileNotFoundError as exc:
+                raise DatabaseError(
+                    f"unknown instance: {name!r} (file {path} vanished)"
+                ) from exc
+            except OSError as exc:
+                raise DatabaseError(
+                    f"cannot load instance {name!r} from {path}: {exc}"
+                ) from exc
         current_registry().counter("db.loads").inc()
         return instance
+
+    def _corrupt_error(
+        self, name: str, path: Path, exc: CodecError
+    ) -> DatabaseError:
+        """Apply the ``on_corrupt`` policy; returns the error to raise."""
+        current_tracer().event("db.corrupt", name=name, path=str(path))
+        if self._on_corrupt != "quarantine" or self._directory is None:
+            return DatabaseError(f"instance {name!r} is corrupt: {exc}")
+        quarantine = self._directory / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            sidecar = checksum_sidecar(path)
+            if sidecar.exists():
+                os.replace(sidecar, quarantine / sidecar.name)
+        except OSError as move_error:
+            return DatabaseError(
+                f"instance {name!r} is corrupt and could not be "
+                f"quarantined ({move_error}): {exc}"
+            )
+        self._instances.pop(name, None)
+        self._versions.pop(name, None)
+        current_registry().counter("db.corrupt_quarantined").inc()
+        return DatabaseError(
+            f"instance {name!r} was corrupt and has been quarantined "
+            f"to {quarantine / path.name}: {exc}"
+        )
+
+    def quarantined(self) -> list[str]:
+        """Names of instances sitting in the quarantine directory."""
+        if self._directory is None:
+            return []
+        quarantine = self._directory / QUARANTINE_DIR
+        return sorted(
+            path.name[: -len(_SUFFIX)]
+            for path in quarantine.glob(f"*{_SUFFIX}")
+        )
 
     def version(self, name: str) -> int:
         """The current version of ``name`` (assigning one if on disk only).
@@ -199,17 +297,37 @@ class Database:
         return instance
 
     def drop(self, name: str) -> None:
-        """Remove an instance from the catalog (and its file, if backed)."""
+        """Remove an instance from the catalog (and its file, if backed).
+
+        The file is unlinked *before* the in-memory entry and version
+        are popped: if the unlink fails, the catalog is left exactly as
+        it was (instance still resolvable, version intact) and a
+        :class:`DatabaseError` reports why — never a half-dropped state
+        where memory forgot a name whose file survived.
+        """
         _validate_name(name)
-        found = self._instances.pop(name, None) is not None
-        self._versions.pop(name, None)
+        found = name in self._instances
         if self._directory is not None:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
-                path.unlink()
+                try:
+                    fault_point("db.drop.unlink")
+                    path.unlink()
+                except FileNotFoundError:
+                    pass  # racing deletion: the file is gone either way
+                except OSError as exc:
+                    raise DatabaseError(
+                        f"cannot drop instance {name!r}: {exc}"
+                    ) from exc
                 found = True
+                try:
+                    checksum_sidecar(path).unlink(missing_ok=True)
+                except OSError:
+                    pass  # best-effort: a stale sidecar is harmless
         if not found:
             raise DatabaseError(f"unknown instance: {name!r}")
+        self._instances.pop(name, None)
+        self._versions.pop(name, None)
         current_registry().counter("db.drops").inc()
 
     def names(self) -> list[str]:
@@ -227,21 +345,49 @@ class Database:
         return len(self.names())
 
     def items(self) -> Iterator[tuple[str, ProbabilisticInstance]]:
-        """Iterate ``(name, instance)``, loading lazily."""
+        """Iterate ``(name, instance)``, loading lazily.
+
+        Under ``on_corrupt="quarantine"``, names whose files turn out
+        corrupt are quarantined and *skipped*, so one bad file never
+        aborts iteration over the rest of the catalog.
+        """
         for name in self.names():
-            yield name, self.get(name)
+            try:
+                yield name, self.get(name)
+            except DatabaseError:
+                if self._on_corrupt == "quarantine":
+                    continue
+                raise
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, name: str) -> Path:
-        """Persist one instance; requires a backing directory."""
+        """Persist one instance; requires a backing directory.
+
+        The write is atomic (tmp file + fsync + rename, see
+        :func:`repro.io.json_codec.write_instance`); transient
+        ``OSError`` s are retried with backoff, and exhausted retries
+        raise :class:`DatabaseError` naming the instance.
+        """
         _validate_name(name)
         if self._directory is None:
             raise DatabaseError("database has no backing directory")
         path = self._directory / f"{name}{_SUFFIX}"
+        instance = self.get(name)
         with current_tracer().span("db.save", name=name, path=str(path)):
-            write_instance(self.get(name), path)
+            try:
+                retry_call(
+                    lambda: write_instance(instance, path),
+                    self._retry,
+                    retry_on=(OSError,),
+                    sleep=self._retry_sleep,
+                    site=f"db.save:{name}",
+                )
+            except OSError as exc:
+                raise DatabaseError(
+                    f"cannot save instance {name!r} to {path}: {exc}"
+                ) from exc
         current_registry().counter("db.saves").inc()
         return path
 

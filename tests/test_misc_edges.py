@@ -9,7 +9,7 @@ from repro.bench.__main__ import main as bench_main
 from repro.core.builder import InstanceBuilder
 from repro.core.interpretation import LocalInterpretation
 from repro.core.distributions import TabularOPF, TabularVPF
-from repro.errors import CodecError, ModelError, PXMLError
+from repro.errors import CodecError, CorruptInstanceError, ModelError, PXMLError
 from repro.io import json_codec, xml_codec
 from repro.paper import figure2_instance
 
@@ -61,7 +61,7 @@ class TestCodecErrorPaths:
     def test_corrupt_json_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json", encoding="utf-8")
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(CorruptInstanceError):
             json_codec.read_instance(path)
 
     def test_unknown_opf_kind_rejected(self):
