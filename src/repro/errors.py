@@ -125,3 +125,44 @@ class BudgetExceeded(ResilienceError):
 
 class FaultError(ResilienceError):
     """The deterministic fault injector fired an ``error`` fault."""
+
+
+class LockError(PXMLError):
+    """Raised by the cross-process file-locking layer
+    (:mod:`repro.storage.locking`)."""
+
+
+class LockTimeout(LockError):
+    """A file lock could not be acquired within its timeout.
+
+    Attributes:
+        path: the lock file that stayed contended.
+        holder: best-effort description of the current holder (from the
+            lock file's metadata), or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, path: str = "",
+                 holder: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.holder = holder
+
+
+class ServerError(PXMLError):
+    """Raised by the serving layer (:mod:`repro.server`)."""
+
+
+class Overloaded(ServerError):
+    """Admission control rejected a request.
+
+    Raised when the server's bounded admission queue is full, or when
+    the server is draining/stopped — a typed backpressure signal
+    callers can retry on, never unbounded queue growth.
+
+    Attributes:
+        reason: ``"queue_full"``, ``"draining"``, or ``"stopped"``.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -227,6 +227,19 @@ def _replace_atomically(payload: str, target: Path) -> None:
         raise
 
 
+def replace_atomically(payload: str, target: str | Path) -> Path:
+    """Atomically publish arbitrary text at ``target`` (public form).
+
+    Same guarantee as instance writes: tmp file + fsync + ``os.replace``,
+    so concurrent readers and crash recovery see either the complete old
+    text or the complete new text.  Used by every catalog-adjacent
+    read-modify-write (bench records, generation counter).
+    """
+    target = Path(target)
+    _replace_atomically(payload, target)
+    return target
+
+
 def write_instance(pi: ProbabilisticInstance, path: str | Path) -> int:
     """Atomically write a probabilistic instance to ``path``.
 

@@ -146,19 +146,29 @@ def append_bench_records(
     The file holds one flat JSON array of heterogeneous records
     (distinguished by their ``operation`` field); corrupt or non-array
     content is refused rather than silently overwritten.
+
+    The read-modify-write runs under a sibling ``<name>.lock`` file lock
+    (cross-process, see :class:`repro.storage.locking.FileLock`) and the
+    result is published atomically (tmp + fsync + ``os.replace``), so
+    two concurrent bench runs appending to the shared record file can
+    neither lose each other's rows nor leave a torn file behind.
     """
+    # Imported here, not at module top: repro.storage.locking reports
+    # into repro.obs metrics, and a top-level import would be a cycle.
+    from repro.io.json_codec import replace_atomically
+    from repro.storage.locking import FileLock
+
     target = Path(path)
-    existing: list[object] = []
-    if target.exists():
-        loaded = json.loads(target.read_text(encoding="utf-8"))
-        if not isinstance(loaded, list):
-            raise ValueError(
-                f"{target} does not hold a JSON array of bench records"
-            )
-        existing = loaded
-    existing.extend(records)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
-        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
-    )
+    with FileLock(target.with_name(target.name + ".lock")):
+        existing: list[object] = []
+        if target.exists():
+            loaded = json.loads(target.read_text(encoding="utf-8"))
+            if not isinstance(loaded, list):
+                raise ValueError(
+                    f"{target} does not hold a JSON array of bench records"
+                )
+            existing = loaded
+        existing.extend(records)
+        replace_atomically(json.dumps(existing, indent=2) + "\n", target)
     return target

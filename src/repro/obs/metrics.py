@@ -1,7 +1,9 @@
 """The metrics registry of :mod:`repro.obs`.
 
-Three instrument kinds, all process-local and lock-free (CPython-atomic
-increments):
+Three instrument kinds, all process-local and thread-safe (every
+instrument guards its mutable state with a small lock, and the registry
+serializes get-or-create, so concurrent workers never lose an increment
+or observe a torn histogram):
 
 * :class:`Counter` — a monotonically increasing total (cache hits,
   statements executed, worlds sampled);
@@ -23,6 +25,7 @@ The metric names emitted across the stack are catalogued in
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -44,17 +47,21 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 
 @dataclass
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total (thread-safe)."""
 
     name: str
     description: str = ""
     value: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0)."""
         if amount < 0:
             raise MetricError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> dict[str, object]:
         return {"kind": "counter", "value": self.value}
@@ -62,20 +69,26 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A last-written value."""
+    """A last-written value (thread-safe)."""
 
     name: str
     description: str = ""
     value: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def as_dict(self) -> dict[str, object]:
         return {"kind": "gauge", "value": self.value}
@@ -106,21 +119,24 @@ class Histogram:
             )
         if not self.counts:
             self.counts = [0] * (len(self.buckets) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.total += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.total += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> float:
         """The running mean (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
         """A bucket-resolution upper bound on the ``q``-quantile.
@@ -130,25 +146,27 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile {q} outside [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for index, bound in enumerate(self.buckets):
-            seen += self.counts[index]
-            if seen >= rank:
-                return bound
-        return float("inf")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for index, bound in enumerate(self.buckets):
+                seen += self.counts[index]
+                if seen >= rank:
+                    return bound
+            return float("inf")
 
     def as_dict(self) -> dict[str, object]:
-        return {
-            "kind": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "buckets": list(self.buckets),
-            "counts": list(self.counts),
-        }
+        with self._lock:
+            return {
+                "kind": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.total / self.count if self.count else 0.0,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+            }
 
 
 Instrument = Counter | Gauge | Histogram
@@ -163,20 +181,22 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Instrument] = {}
+        self._lock = threading.RLock()
 
     def _get_or_create(
         self, name: str, factory: Counter | Gauge | Histogram
     ) -> Instrument:
-        existing = self._instruments.get(name)
-        if existing is None:
-            self._instruments[name] = factory
-            return factory
-        if type(existing) is not type(factory):
-            raise MetricError(
-                f"metric {name!r} is a {type(existing).__name__}, "
-                f"not a {type(factory).__name__}"
-            )
-        return existing
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                self._instruments[name] = factory
+                return factory
+            if type(existing) is not type(factory):
+                raise MetricError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {type(factory).__name__}"
+                )
+            return existing
 
     def counter(self, name: str, description: str = "") -> Counter:
         """The counter registered under ``name`` (created on first use)."""
@@ -206,35 +226,40 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
         """All registered metric names, sorted."""
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def get(self, name: str) -> Instrument | None:
         """The instrument under ``name``, if registered."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def value(self, name: str, default: float = 0.0) -> float:
         """A counter/gauge's value (``default`` when unregistered)."""
-        instrument = self._instruments.get(name)
+        with self._lock:
+            instrument = self._instruments.get(name)
         if isinstance(instrument, (Counter, Gauge)):
             return instrument.value
         return default
 
     def as_dict(self) -> dict[str, dict[str, object]]:
         """All instruments in JSON-friendly form, keyed by name."""
-        return {
-            name: instrument.as_dict()
-            for name, instrument in sorted(self._instruments.items())
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument.as_dict() for name, instrument in instruments}
 
     def clear(self) -> None:
         """Drop every instrument (fresh registry semantics)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
 
 _GLOBAL_REGISTRY = MetricsRegistry()

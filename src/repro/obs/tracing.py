@@ -15,17 +15,25 @@ defaults to the process-global tracer, and :func:`use_tracer` rebinds it
 for a ``with`` region.  The engine executor and the PXQL interpreter
 activate their own tracer this way, so everything beneath a statement
 lands in one connected span tree.
+
+A :class:`Tracer` may be shared across threads (the PXQL server shares
+one per server): the *active span stack* is thread-local, so two
+workers' span trees can never interleave, while the finished-roots ring
+is shared and guarded by a lock.  Individual :class:`Span` objects are
+plain data and are **not** internally synchronized — a span belongs to
+the thread that opened it until it finishes.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, cast
 
 #: Attribute values a span may carry (kept JSON-friendly).
 Attribute = object
@@ -100,8 +108,23 @@ class Tracer:
 
     def __init__(self, enabled: bool = True, capacity: int = 256) -> None:
         self.enabled = enabled
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._finished: deque[Span] = deque(maxlen=capacity)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's active span stack (created on first use).
+
+        Thread-local by design: span nesting is a property of one
+        thread's call stack, so a tracer shared across worker threads
+        keeps one stack per thread and the trees never interleave.
+        """
+        stack = cast("list[Span] | None", getattr(self._local, "stack", None))
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -117,10 +140,11 @@ class Tracer:
         if not self.enabled:
             yield span
             return
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         if parent is not None:
             span.parent_id = parent.span_id
-        self._stack.append(span)
+        stack.append(span)
         wall_0 = time.perf_counter()
         cpu_0 = time.process_time()
         try:
@@ -131,11 +155,12 @@ class Tracer:
         finally:
             span.wall_s = time.perf_counter() - wall_0
             span.cpu_s = time.process_time() - cpu_0
-            self._stack.pop()
+            stack.pop()
             if parent is not None:
                 parent.children.append(span)
             else:
-                self._finished.append(span)
+                with self._lock:
+                    self._finished.append(span)
 
     def event(self, name: str, /, wall_s: float = 0.0,
               **attributes: Attribute) -> Span:
@@ -147,38 +172,45 @@ class Tracer:
         span = Span(name=name, wall_s=wall_s, attributes=dict(attributes))
         if not self.enabled:
             return span
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         if parent is not None:
             span.parent_id = parent.span_id
             parent.children.append(span)
         else:
-            self._finished.append(span)
+            with self._lock:
+                self._finished.append(span)
         return span
 
     # ------------------------------------------------------------------
     @property
     def active(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def last(self) -> Span | None:
         """The most recently finished root span."""
-        return self._finished[-1] if self._finished else None
+        with self._lock:
+            return self._finished[-1] if self._finished else None
 
     def roots(self) -> list[Span]:
         """The finished root spans, oldest first."""
-        return list(self._finished)
+        with self._lock:
+            return list(self._finished)
 
     def take(self) -> list[Span]:
         """Drain and return the finished root spans."""
-        roots = list(self._finished)
-        self._finished.clear()
+        with self._lock:
+            roots = list(self._finished)
+            self._finished.clear()
         return roots
 
     def clear(self) -> None:
         """Drop all finished roots (open spans are unaffected)."""
-        self._finished.clear()
+        with self._lock:
+            self._finished.clear()
 
 
 #: The process-global default tracer (disabled by default: ambient

@@ -5,7 +5,7 @@ Production code is sprinkled with named *hook points* —
 :class:`FaultInjector` is installed (a context manager over a
 :class:`ContextVar`, like the ambient tracer).  An installed injector
 matches each visited site against its :class:`FaultSpec` s and fires
-three kinds of fault, all driven by one seeded RNG so a chaos run is
+four kinds of fault, all driven by one seeded RNG so a chaos run is
 exactly reproducible from its seed:
 
 * ``"error"`` — raise (default :class:`~repro.errors.FaultError`; pass
@@ -14,7 +14,13 @@ exactly reproducible from its seed:
 * ``"corrupt"`` — mangle the payload flowing through the hook point
   (one byte is replaced with NUL, which no JSON document survives);
 * ``"slow"`` — sleep ``delay_s`` (injectable sleep), for deadline and
-  slow-path testing.
+  slow-path testing;
+* ``"barrier"`` — a *thread-scheduling* fault: the visiting thread
+  rendezvouses with up to ``parties - 1`` other threads at the same
+  site (bounded by ``delay_s`` seconds, default 50 ms), then all are
+  released simultaneously.  Placed at a lock boundary this piles
+  threads up and stampedes the lock — the classic race amplifier for
+  concurrency chaos suites.
 
 Hook points in the tree (see ``docs/RESILIENCE.md``):
 
@@ -32,12 +38,32 @@ site                    where
 ``db.drop.unlink``      before the catalog unlinks an instance file
 ``engine.cache.*.get``  before an engine cache lookup (results / plans)
 ``engine.cache.*.put``  before an engine cache insert
+``lock.engine.cache.*`` the engine cache's internal lock boundary
+``lock.db.mutate``      before the catalog takes its in-memory lock for a
+                        mutation (register / drop / save / touch)
+``lock.db.file``        before the catalog's cross-process file lock is
+                        acquired
+``lock.breaker``        before the circuit breaker's state lock
 ======================  ====================================================
+
+The ``lock.*`` family are *scheduling* sites: ``barrier`` and ``slow``
+faults there perturb thread interleavings at lock boundaries without
+changing semantics, while ``error`` faults still work for testing the
+callers' typed-error paths.
+
+The injector itself is thread-safe: spec bookkeeping, the event log and
+the seeded RNG live under one internal lock, while sleeps and barrier
+waits happen outside it (a delayed thread never blocks the injector).
+Note the ambient installation is a :class:`ContextVar`: a thread spawned
+*after* ``__enter__`` does not inherit it automatically — run thread
+targets via ``contextvars.copy_context().run(...)`` (the PXQL server
+does this for every request it dispatches).
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections.abc import Callable, Iterator
 from contextvars import ContextVar
@@ -50,6 +76,9 @@ from repro.errors import FaultError
 
 PayloadT = TypeVar("PayloadT", str, bytes, None)
 
+#: Default rendezvous window of a ``barrier`` fault (seconds).
+DEFAULT_BARRIER_TIMEOUT_S = 0.05
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -58,7 +87,7 @@ class FaultSpec:
     Args:
         site: a hook-point name or ``fnmatch`` pattern
             (``"engine.cache.*"``).
-        kind: ``"error"``, ``"corrupt"``, or ``"slow"``.
+        kind: ``"error"``, ``"corrupt"``, ``"slow"``, or ``"barrier"``.
         nth: fire starting with the nth matching visit (1-based).
         times: how many visits fire in total (``None`` = every one from
             ``nth`` on).
@@ -66,7 +95,9 @@ class FaultSpec:
             instead of the ``nth``/``times`` schedule.
         exception: exception type for ``"error"`` faults
             (default :class:`FaultError`).
-        delay_s: sleep duration for ``"slow"`` faults.
+        delay_s: sleep duration for ``"slow"`` faults; rendezvous
+            timeout for ``"barrier"`` faults (0 = the 50 ms default).
+        parties: thread count a ``"barrier"`` fault waits for.
     """
 
     site: str
@@ -76,12 +107,15 @@ class FaultSpec:
     probability: float | None = None
     exception: type[Exception] | None = None
     delay_s: float = 0.0
+    parties: int = 2
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "corrupt", "slow"):
+        if self.kind not in ("error", "corrupt", "slow", "barrier"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.nth < 1:
             raise ValueError("nth is 1-based")
+        if self.parties < 2:
+            raise ValueError("a barrier needs at least 2 parties")
 
 
 @dataclass(frozen=True)
@@ -98,6 +132,7 @@ class _SpecState:
     spec: FaultSpec
     seen: int = 0
     fired: int = 0
+    barrier: threading.Barrier | None = field(default=None, repr=False)
 
 
 def _corrupt(payload: str | bytes, rng: random.Random) -> str | bytes:
@@ -115,7 +150,9 @@ class FaultInjector:
 
     One injector owns one seeded RNG (shared by probability draws and
     corruption positions) and a log of fired :class:`FaultEvent` s for
-    assertions.  Nesting installs shadow the outer injector.
+    assertions.  Nesting installs shadow the outer injector.  All
+    bookkeeping is lock-protected, so one injector may serve many
+    threads (delays and barrier waits happen outside the lock).
     """
 
     def __init__(
@@ -127,48 +164,86 @@ class FaultInjector:
         self._states = [_SpecState(spec) for spec in specs]
         self._rng = random.Random(seed)
         self._sleep = sleep
+        self._lock = threading.Lock()
         self.events: list[FaultEvent] = []
-        self._token: object | None = None
+        # ContextVar tokens are only valid in the context that set them,
+        # so one injector entered by several threads keeps one token
+        # stack per thread.
+        self._tokens = threading.local()
 
     def fired(self, site: str | None = None) -> int:
         """How many faults fired (optionally only at ``site`` patterns)."""
+        with self._lock:
+            events = list(self.events)
         if site is None:
-            return len(self.events)
-        return sum(1 for e in self.events if fnmatchcase(e.site, site))
+            return len(events)
+        return sum(1 for e in events if fnmatchcase(e.site, site))
 
     # ------------------------------------------------------------------
+    def _wait_at_barrier(self, state: _SpecState) -> None:
+        """Rendezvous at a spec's barrier (created lazily, self-healing).
+
+        A timed-out (broken) barrier is reset for subsequent visits —
+        a missed rendezvous degrades to a short stall, never an error.
+        """
+        with self._lock:
+            barrier = state.barrier
+            if barrier is None or barrier.broken:
+                timeout = (
+                    state.spec.delay_s
+                    if state.spec.delay_s > 0
+                    else DEFAULT_BARRIER_TIMEOUT_S
+                )
+                barrier = threading.Barrier(state.spec.parties, timeout=timeout)
+                state.barrier = barrier
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            pass
+
     def visit(self, site: str, payload: PayloadT) -> PayloadT:
         """Consult every matching spec; used via :func:`fault_point`."""
-        for state in self._states:
-            spec = state.spec
-            if not fnmatchcase(site, spec.site):
-                continue
-            state.seen += 1
-            if spec.probability is not None:
-                fire = self._rng.random() < spec.probability
+        delayed: list[_SpecState] = []
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if not fnmatchcase(site, spec.site):
+                    continue
+                state.seen += 1
+                if spec.probability is not None:
+                    fire = self._rng.random() < spec.probability
+                else:
+                    fire = state.seen >= spec.nth and (
+                        spec.times is None or state.fired < spec.times
+                    )
+                if not fire:
+                    continue
+                state.fired += 1
+                self.events.append(FaultEvent(site, spec.kind, state.seen))
+                if spec.kind == "error":
+                    exception = spec.exception if spec.exception else FaultError
+                    raise exception(
+                        f"injected fault at {site} (visit {state.seen})"
+                    )
+                if spec.kind == "corrupt":
+                    if payload is not None:
+                        payload = _corrupt(payload, self._rng)  # type: ignore[assignment]
+                else:  # "slow" or "barrier" — performed outside the lock
+                    delayed.append(state)
+        for state in delayed:
+            if state.spec.kind == "barrier":
+                self._wait_at_barrier(state)
             else:
-                fire = state.seen >= spec.nth and (
-                    spec.times is None or state.fired < spec.times
-                )
-            if not fire:
-                continue
-            state.fired += 1
-            self.events.append(FaultEvent(site, spec.kind, state.seen))
-            if spec.kind == "error":
-                exception = spec.exception if spec.exception else FaultError
-                raise exception(
-                    f"injected fault at {site} (visit {state.seen})"
-                )
-            if spec.kind == "corrupt":
-                if payload is not None:
-                    payload = _corrupt(payload, self._rng)  # type: ignore[assignment]
-            else:  # "slow"
-                self._sleep(spec.delay_s)
+                self._sleep(state.spec.delay_s)
         return payload
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "FaultInjector":
-        self._token = _ACTIVE_INJECTOR.set(self)
+        stack = getattr(self._tokens, "stack", None)
+        if stack is None:
+            stack = []
+            self._tokens.stack = stack
+        stack.append(_ACTIVE_INJECTOR.set(self))
         return self
 
     def __exit__(
@@ -177,9 +252,9 @@ class FaultInjector:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> None:
-        if self._token is not None:
-            _ACTIVE_INJECTOR.reset(self._token)  # type: ignore[arg-type]
-            self._token = None
+        stack = getattr(self._tokens, "stack", None)
+        if stack:
+            _ACTIVE_INJECTOR.reset(stack.pop())
 
 
 _ACTIVE_INJECTOR: ContextVar[FaultInjector | None] = ContextVar(
@@ -195,8 +270,8 @@ def current_injector() -> FaultInjector | None:
 def fault_point(site: str, payload: PayloadT = None) -> PayloadT:
     """A named hook point: a no-op unless a :class:`FaultInjector` is
     installed, in which case matching faults raise, corrupt the returned
-    payload, or sleep.  Callers that pass a payload must use the return
-    value in place of it.
+    payload, stall the thread, or rendezvous it with other threads.
+    Callers that pass a payload must use the return value in place of it.
     """
     injector = _ACTIVE_INJECTOR.get()
     if injector is None:

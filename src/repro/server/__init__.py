@@ -1,0 +1,33 @@
+"""Concurrent PXQL serving: worker pool, admission control, probes.
+
+This package turns the interpreter into a long-running service:
+
+* :class:`~repro.server.server.PXQLServer` — a supervised pool of
+  worker threads executing PXQL against one shared thread-safe
+  :class:`~repro.storage.database.Database`, with per-request
+  :class:`~repro.resilience.budget.Budget` s, graceful drain-then-stop
+  (including on ``SIGTERM``/``SIGINT``), and liveness/readiness probes
+  backed by :mod:`repro.obs` metrics;
+* :class:`~repro.server.admission.AdmissionQueue` /
+  :class:`~repro.server.admission.PendingResult` — the bounded handoff
+  and the write-once future behind every submission; a full queue is a
+  typed :class:`~repro.errors.Overloaded`, never unbounded growth.
+
+The cross-process half of the story (catalog lock file + generation
+counter) lives in :mod:`repro.storage.locking`; the thread-safety of
+the shared core (caches, metrics, tracer, breaker, database) is each
+component's own contract.  ``docs/SERVER.md`` ties it together.
+"""
+
+from repro.errors import Overloaded, ServerError
+from repro.server.admission import AdmissionQueue, PendingResult, Request
+from repro.server.server import PXQLServer
+
+__all__ = [
+    "AdmissionQueue",
+    "Overloaded",
+    "PXQLServer",
+    "PendingResult",
+    "Request",
+    "ServerError",
+]

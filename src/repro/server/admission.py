@@ -1,0 +1,151 @@
+"""Bounded admission for the PXQL server: requests, futures, the queue.
+
+Admission control is the server's backpressure story: the queue between
+:meth:`PXQLServer.submit` and the worker pool is **bounded**, and a full
+queue answers with a typed :class:`~repro.errors.Overloaded` instead of
+growing without limit.  Callers see exactly three terminal shapes for a
+submission — a result, a typed error (``Overloaded`` at admission,
+``BudgetExceeded``/``PXMLError`` from execution), or a wait timeout —
+never a silently dropped request.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import Overloaded, ServerError
+from repro.resilience.budget import Budget
+
+
+class PendingResult:
+    """A write-once future for one admitted request.
+
+    The submitting thread waits on :meth:`result`; the worker that
+    executes the request resolves it exactly once with either a value
+    or an exception.  Thread-safe by construction (one event, one
+    writer).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: object = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been resolved (value or error)."""
+        return self._event.is_set()
+
+    def set_result(self, value: object) -> None:
+        """Resolve with a value (worker side; first resolution wins)."""
+        if not self._event.is_set():
+            self._value = value
+            self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        """Resolve with an exception (worker side; first resolution wins)."""
+        if not self._event.is_set():
+            self._error = error
+            self._event.set()
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until resolved (or ``timeout_s``); whether it resolved."""
+        return self._event.wait(timeout_s)
+
+    def error(self, timeout_s: float | None = None) -> BaseException | None:
+        """The resolving exception, or ``None`` for a value resolution."""
+        if not self._event.wait(timeout_s):
+            raise ServerError(
+                f"request did not complete within {timeout_s:g}s"
+                if timeout_s is not None
+                else "request did not complete"
+            )
+        return self._error
+
+    def result(self, timeout_s: float | None = None) -> object:
+        """The request's outcome: returns its value or raises its error.
+
+        Raises :class:`~repro.errors.ServerError` when the request is
+        still unresolved after ``timeout_s`` (the request itself keeps
+        running; use a :class:`~repro.resilience.budget.Budget` to bound
+        the execution, not just the wait).
+        """
+        error = self.error(timeout_s)
+        if error is not None:
+            raise error
+        return self._value
+
+
+@dataclass
+class Request:
+    """One admitted unit of work waiting for (or on) a worker.
+
+    Attributes:
+        text: the PXQL statement to execute.
+        result: the future the submitter is waiting on.
+        context: the submitter's :mod:`contextvars` snapshot — the
+            worker runs the request inside it, so ambient installations
+            (fault injector, budget, tracer) made by the submitting
+            thread reach the worker thread.
+        budget: optional per-request execution budget.
+        submitted_at: monotonic admission time (queue-wait metric).
+    """
+
+    text: str
+    result: PendingResult = field(default_factory=PendingResult)
+    context: contextvars.Context = field(
+        default_factory=contextvars.copy_context
+    )
+    budget: Budget | None = None
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+class AdmissionQueue:
+    """A bounded handoff between submitters and the worker pool.
+
+    ``maxsize`` is the backpressure knob: :meth:`put` on a full queue
+    raises :class:`~repro.errors.Overloaded` (``reason="queue_full"``)
+    immediately — admission never blocks and the queue never grows
+    beyond its bound.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ServerError("admission queue needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._queue: queue.Queue[Request] = queue.Queue(maxsize=maxsize)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting (approximate under concurrency)."""
+        return self._queue.qsize()
+
+    def put(self, request: Request) -> None:
+        """Admit a request, or raise :class:`Overloaded` when full."""
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise Overloaded(
+                f"admission queue full ({self.maxsize} waiting); retry later",
+                reason="queue_full",
+            ) from None
+
+    def get(self, timeout_s: float) -> Request | None:
+        """The next request, or ``None`` after ``timeout_s`` of silence."""
+        try:
+            return self._queue.get(timeout=timeout_s)
+        except queue.Empty:
+            return None
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return everything still queued (shutdown path)."""
+        pending: list[Request] = []
+        while True:
+            try:
+                pending.append(self._queue.get_nowait())
+            except queue.Empty:
+                return pending

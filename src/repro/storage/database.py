@@ -11,17 +11,25 @@ these databases.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from repro.core.instance import ProbabilisticInstance
-from repro.errors import CodecError, PXMLError
+from repro.errors import CodecError, LockError, PXMLError
 from repro.io.json_codec import checksum_sidecar, read_instance, write_instance
 from repro.obs.metrics import current_registry
 from repro.obs.tracing import current_tracer
 from repro.resilience.faults import fault_point
 from repro.resilience.retry import RetryPolicy, retry_call
+from repro.storage.locking import (
+    CATALOG_LOCK_NAME,
+    GENERATION_NAME,
+    FileLock,
+    bump_generation,
+    read_generation,
+)
 
 
 class DatabaseError(PXMLError):
@@ -93,6 +101,22 @@ class Database:
     next value of a database-wide counter.  The engine's caches key on
     these versions, so any mutation of the catalog invalidates dependent
     cached results implicitly.
+
+    **Concurrency.**  A :class:`Database` is thread-safe: the in-memory
+    catalog (instances, versions, counter) lives under one internal
+    lock, held only for dict operations — never across disk I/O.  When
+    backed by a directory it is also *cross-process* safe: every
+    mutating disk operation (``save``, ``drop``, quarantine moves) runs
+    under an ``fcntl`` advisory lock file (``catalog.lock``, see
+    :class:`repro.storage.locking.FileLock`) and bumps the atomic
+    ``catalog.generation`` counter, so two databases on one directory
+    can never interleave a save with a drop, and each can detect that
+    the other changed the catalog (:meth:`generation`).  Reads take no
+    file lock — PR 4's atomic writes plus checksums make a concurrent
+    read see either the old or the new instance, never a torn one.
+    Lock ordering is *file lock before memory lock*; the memory lock is
+    never held while acquiring the file lock, so the pair cannot
+    deadlock.
     """
 
     def __init__(
@@ -120,9 +144,14 @@ class Database:
         self._on_corrupt = on_corrupt
         self._retry = retry if retry is not None else DEFAULT_RETRY
         self._retry_sleep = retry_sleep
+        self._lock = threading.RLock()
         self._directory = Path(directory) if directory is not None else None
+        self._file_lock: FileLock | None = None
+        self._generation_path: Path | None = None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            self._file_lock = FileLock(self._directory / CATALOG_LOCK_NAME)
+            self._generation_path = self._directory / GENERATION_NAME
 
     def _admit(self, name: str, instance: ProbabilisticInstance) -> None:
         """Apply the admission policy before an instance enters the catalog."""
@@ -143,6 +172,7 @@ class Database:
     # Catalog
     # ------------------------------------------------------------------
     def _next_version(self, name: str) -> int:
+        """Assign the next catalog version (callers hold ``self._lock``)."""
         self._version_counter += 1
         self._versions[name] = self._version_counter
         current_tracer().event(
@@ -150,6 +180,23 @@ class Database:
         )
         current_registry().counter("db.version_bumps").inc()
         return self._version_counter
+
+    def _bump_generation(self) -> None:
+        """Advance the on-disk generation (callers hold the file lock)."""
+        if self._generation_path is not None:
+            bump_generation(self._generation_path)
+
+    def generation(self) -> int:
+        """The catalog's on-disk generation counter (0 when unbacked).
+
+        Bumped under the cross-process lock by every mutating disk
+        operation — save, drop, quarantine — by *any* database instance
+        on this directory, so a changed value means the catalog moved
+        underneath you.
+        """
+        if self._generation_path is None:
+            return 0
+        return read_generation(self._generation_path)
 
     def _read(self, path: Path, name: str) -> ProbabilisticInstance:
         """Load one instance file inside a ``db.load`` span.
@@ -192,18 +239,22 @@ class Database:
             return DatabaseError(f"instance {name!r} is corrupt: {exc}")
         quarantine = self._directory / QUARANTINE_DIR
         try:
-            quarantine.mkdir(parents=True, exist_ok=True)
-            os.replace(path, quarantine / path.name)
-            sidecar = checksum_sidecar(path)
-            if sidecar.exists():
-                os.replace(sidecar, quarantine / sidecar.name)
-        except OSError as move_error:
+            assert self._file_lock is not None
+            with self._file_lock:
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, quarantine / path.name)
+                sidecar = checksum_sidecar(path)
+                if sidecar.exists():
+                    os.replace(sidecar, quarantine / sidecar.name)
+                self._bump_generation()
+        except (OSError, LockError) as move_error:
             return DatabaseError(
                 f"instance {name!r} is corrupt and could not be "
                 f"quarantined ({move_error}): {exc}"
             )
-        self._instances.pop(name, None)
-        self._versions.pop(name, None)
+        with self._lock:
+            self._instances.pop(name, None)
+            self._versions.pop(name, None)
         current_registry().counter("db.corrupt_quarantined").inc()
         return DatabaseError(
             f"instance {name!r} was corrupt and has been quarantined "
@@ -227,10 +278,16 @@ class Database:
         know at all.
         """
         _validate_name(name)
-        if name in self._versions:
-            return self._versions[name]
-        if name in self._instances or self._on_disk(name):
-            return self._next_version(name)
+        with self._lock:
+            if name in self._versions:
+                return self._versions[name]
+            if name in self._instances:
+                return self._next_version(name)
+        if self._on_disk(name):
+            with self._lock:
+                if name in self._versions:
+                    return self._versions[name]
+                return self._next_version(name)
         raise DatabaseError(f"unknown instance: {name!r}")
 
     def touch(self, name: str) -> int:
@@ -240,9 +297,14 @@ class Database:
         :meth:`get` was modified directly, so engine caches keyed on the
         old version stop matching.
         """
-        if name not in self._instances and not self._on_disk(name):
+        fault_point("lock.db.mutate")
+        with self._lock:
+            if name in self._instances:
+                return self._next_version(name)
+        if not self._on_disk(name):
             raise DatabaseError(f"unknown instance: {name!r}")
-        return self._next_version(name)
+        with self._lock:
+            return self._next_version(name)
 
     def _on_disk(self, name: str) -> bool:
         if self._directory is None:
@@ -254,26 +316,38 @@ class Database:
     ) -> None:
         """Add an instance under ``name``; refuses clashes unless ``replace``."""
         _validate_name(name)
-        if not replace and name in self._instances:
-            raise DatabaseError(f"instance {name!r} already exists")
         self._admit(name, instance)
-        self._instances[name] = instance
-        self._next_version(name)
+        fault_point("lock.db.mutate")
+        with self._lock:
+            if not replace and name in self._instances:
+                raise DatabaseError(f"instance {name!r} already exists")
+            self._instances[name] = instance
+            self._next_version(name)
         current_registry().counter("db.registers").inc()
 
     def get(self, name: str) -> ProbabilisticInstance:
-        """Look up an instance, loading from the backing directory if needed."""
-        if name in self._instances:
-            return self._instances[name]
+        """Look up an instance, loading from the backing directory if needed.
+
+        The lazy load happens *outside* the memory lock (I/O never runs
+        under it); when two threads race the load, one insertion wins
+        and both return the same object.
+        """
+        with self._lock:
+            if name in self._instances:
+                return self._instances[name]
         _validate_name(name)
         if self._directory is not None:
             path = self._directory / f"{name}{_SUFFIX}"
             if path.exists():
                 instance = self._read(path, name)
                 self._admit(name, instance)
-                self._instances[name] = instance
-                if name not in self._versions:
-                    self._next_version(name)
+                with self._lock:
+                    existing = self._instances.get(name)
+                    if existing is not None:
+                        return existing
+                    self._instances[name] = instance
+                    if name not in self._versions:
+                        self._next_version(name)
                 return instance
         raise DatabaseError(f"unknown instance: {name!r}")
 
@@ -292,8 +366,9 @@ class Database:
             raise DatabaseError(f"unknown instance: {name!r}")
         instance = self._read(path, name)
         self._admit(name, instance)
-        self._instances[name] = instance
-        self._next_version(name)
+        with self._lock:
+            self._instances[name] = instance
+            self._next_version(name)
         return instance
 
     def drop(self, name: str) -> None:
@@ -306,33 +381,40 @@ class Database:
         where memory forgot a name whose file survived.
         """
         _validate_name(name)
-        found = name in self._instances
+        fault_point("lock.db.mutate")
+        with self._lock:
+            found = name in self._instances
         if self._directory is not None:
-            path = self._directory / f"{name}{_SUFFIX}"
-            if path.exists():
-                try:
-                    fault_point("db.drop.unlink")
-                    path.unlink()
-                except FileNotFoundError:
-                    pass  # racing deletion: the file is gone either way
-                except OSError as exc:
-                    raise DatabaseError(
-                        f"cannot drop instance {name!r}: {exc}"
-                    ) from exc
-                found = True
-                try:
-                    checksum_sidecar(path).unlink(missing_ok=True)
-                except OSError:
-                    pass  # best-effort: a stale sidecar is harmless
+            assert self._file_lock is not None
+            with self._file_lock:
+                path = self._directory / f"{name}{_SUFFIX}"
+                if path.exists():
+                    try:
+                        fault_point("db.drop.unlink")
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass  # racing deletion: the file is gone either way
+                    except OSError as exc:
+                        raise DatabaseError(
+                            f"cannot drop instance {name!r}: {exc}"
+                        ) from exc
+                    found = True
+                    try:
+                        checksum_sidecar(path).unlink(missing_ok=True)
+                    except OSError:
+                        pass  # best-effort: a stale sidecar is harmless
+                    self._bump_generation()
         if not found:
             raise DatabaseError(f"unknown instance: {name!r}")
-        self._instances.pop(name, None)
-        self._versions.pop(name, None)
+        with self._lock:
+            self._instances.pop(name, None)
+            self._versions.pop(name, None)
         current_registry().counter("db.drops").inc()
 
     def names(self) -> list[str]:
         """All instance names (in-memory plus on-disk)."""
-        names = set(self._instances)
+        with self._lock:
+            names = set(self._instances)
         if self._directory is not None:
             for path in self._directory.glob(f"*{_SUFFIX}"):
                 names.add(path.name[: -len(_SUFFIX)])
@@ -349,7 +431,10 @@ class Database:
 
         Under ``on_corrupt="quarantine"``, names whose files turn out
         corrupt are quarantined and *skipped*, so one bad file never
-        aborts iteration over the rest of the catalog.
+        aborts iteration over the rest of the catalog.  Iteration runs
+        over a *snapshot* of the names: concurrent registers and drops
+        never raise "changed size during iteration", and a name dropped
+        mid-iteration is silently skipped rather than an error.
         """
         for name in self.names():
             try:
@@ -357,6 +442,10 @@ class Database:
             except DatabaseError:
                 if self._on_corrupt == "quarantine":
                     continue
+                with self._lock:
+                    vanished = name not in self._instances
+                if vanished and not self._on_disk(name):
+                    continue  # dropped concurrently: not this caller's problem
                 raise
 
     # ------------------------------------------------------------------
@@ -368,32 +457,57 @@ class Database:
         The write is atomic (tmp file + fsync + rename, see
         :func:`repro.io.json_codec.write_instance`); transient
         ``OSError`` s are retried with backoff, and exhausted retries
-        raise :class:`DatabaseError` naming the instance.
+        raise :class:`DatabaseError` naming the instance.  The write
+        runs under the cross-process catalog lock and bumps the
+        generation counter.
         """
         _validate_name(name)
         if self._directory is None:
             raise DatabaseError("database has no backing directory")
+        fault_point("lock.db.mutate")
         path = self._directory / f"{name}{_SUFFIX}"
-        instance = self.get(name)
-        with current_tracer().span("db.save", name=name, path=str(path)):
-            try:
-                retry_call(
-                    lambda: write_instance(instance, path),
-                    self._retry,
-                    retry_on=(OSError,),
-                    sleep=self._retry_sleep,
-                    site=f"db.save:{name}",
-                )
-            except OSError as exc:
-                raise DatabaseError(
-                    f"cannot save instance {name!r} to {path}: {exc}"
-                ) from exc
+        assert self._file_lock is not None
+        with self._file_lock:
+            instance = self.get(name)
+            with current_tracer().span("db.save", name=name, path=str(path)):
+                try:
+                    retry_call(
+                        lambda: write_instance(instance, path),
+                        self._retry,
+                        retry_on=(OSError,),
+                        sleep=self._retry_sleep,
+                        site=f"db.save:{name}",
+                    )
+                except OSError as exc:
+                    raise DatabaseError(
+                        f"cannot save instance {name!r} to {path}: {exc}"
+                    ) from exc
+            self._bump_generation()
         current_registry().counter("db.saves").inc()
         return path
 
     def save_all(self) -> list[Path]:
-        """Persist every in-memory instance."""
-        return [self.save(name) for name in sorted(self._instances)]
+        """Persist every in-memory instance.
+
+        Operates on a *snapshot* of the in-memory names: concurrent
+        registers/drops never make iteration blow up, a name dropped
+        after the snapshot is skipped, and a save failure leaves the
+        already-written files in place (each individual write is still
+        atomic).
+        """
+        with self._lock:
+            snapshot = sorted(self._instances)
+        paths: list[Path] = []
+        for name in snapshot:
+            try:
+                paths.append(self.save(name))
+            except DatabaseError:
+                with self._lock:
+                    vanished = name not in self._instances
+                if vanished:
+                    continue  # dropped concurrently after the snapshot
+                raise
+        return paths
 
     def load_file(self, name: str, path: str | Path) -> ProbabilisticInstance:
         """Load an instance from an arbitrary file and register it.

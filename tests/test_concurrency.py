@@ -1,0 +1,416 @@
+"""Thread-safety of the shared core: caches, metrics, tracer, breaker,
+catalog, and the cross-process file lock.
+
+Each test hammers one component from many threads and then checks an
+exact invariant — counters that reconcile, a catalog that stayed
+consistent, exactly one half-open probe — because "no crash" alone
+would pass for code that silently tears state.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+
+import pytest
+
+from repro.engine.cache import LRUCache
+from repro.engine.executor import Engine
+from repro.errors import LockTimeout
+from repro.io.json_codec import read_instance
+from repro.obs.export import append_bench_records
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.paper import figure2_instance
+from repro.pxql.parser import parse
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.storage.database import Database, DatabaseError
+from repro.storage.locking import (
+    CATALOG_LOCK_NAME,
+    FileLock,
+    bump_generation,
+    read_generation,
+)
+
+
+def run_threads(count: int, target, *args) -> list[BaseException]:
+    """Run ``target(index, *args)`` on ``count`` threads; collect errors.
+
+    Thread targets run inside a copy of the caller's context, so ambient
+    installations (fault injectors) propagate as the server's workers
+    would see them.
+    """
+    errors: list[BaseException] = []
+    context = contextvars.copy_context()
+
+    def wrap(index: int) -> None:
+        try:
+            contextvars.Context.run(context.copy(), target, index, *args)
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrap, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+# ----------------------------------------------------------------------
+# LRU cache
+# ----------------------------------------------------------------------
+class TestLRUCacheContention:
+    THREADS = 8
+    OPS = 400
+
+    def test_counters_reconcile_under_contention(self):
+        cache = LRUCache(capacity=32)
+
+        def hammer(index: int) -> None:
+            for op in range(self.OPS):
+                key = (index * op) % 48  # collisions and evictions alike
+                if op % 3 == 0:
+                    cache.put(key, (key, index, op))
+                else:
+                    value = cache.get(key)
+                    if value is not None:
+                        # An entry is stored and read atomically: a torn
+                        # write would break the key == value[0] pairing.
+                        assert value[0] == key
+
+        errors = run_threads(self.THREADS, hammer)
+        assert errors == []
+        stats = cache.stats
+        assert stats.gets == stats.hits + stats.misses
+        assert stats.gets == self.THREADS * self.OPS - sum(
+            1 for op in range(self.OPS) if op % 3 == 0
+        ) * self.THREADS
+        assert stats.size <= cache.capacity
+
+    @pytest.mark.parametrize("copy_on_hit", [True, False])
+    def test_engine_caches_under_concurrent_queries(self, copy_on_hit):
+        database = Database()
+        database.register("bib", figure2_instance())
+        engine = Engine(database, copy_on_hit=copy_on_hit)
+        statement = parse("EXISTS R.book.author IN bib")
+        reference = engine.execute_statement(statement).value
+
+        def query(index: int) -> None:
+            for _ in range(10):
+                result = engine.execute_statement(statement)
+                assert result.value == pytest.approx(reference)
+
+        errors = run_threads(self.THREADS, query)
+        assert errors == []
+        for name, stats in engine.cache_stats.items():
+            assert stats["gets"] == stats["hits"] + stats["misses"], name
+
+
+# ----------------------------------------------------------------------
+# Metrics and tracer
+# ----------------------------------------------------------------------
+class TestObsThreadSafety:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def bump(index: int) -> None:
+            for _ in range(2000):
+                registry.counter("hits").inc()
+                registry.gauge("level").set(float(index))
+                registry.histogram("lat").observe(0.001 * index)
+
+        errors = run_threads(8, bump)
+        assert errors == []
+        assert registry.value("hits") == 8 * 2000
+        assert registry.get("lat").count == 8 * 2000
+
+    def test_shared_tracer_keeps_span_trees_per_thread(self):
+        tracer = Tracer(capacity=4096)
+
+        def trace(index: int) -> None:
+            for op in range(50):
+                with tracer.span(f"root.{index}", thread=index):
+                    with tracer.span(f"child.{index}.{op}", thread=index):
+                        pass
+
+        errors = run_threads(8, trace)
+        assert errors == []
+        roots = tracer.roots()
+        assert len(roots) == 8 * 50
+        for root in roots:
+            # Thread-local stacks: a root's children always belong to
+            # the thread that opened the root — interleaving would mix
+            # thread tags within one tree.
+            tags = {span.attributes["thread"] for span in root.walk()}
+            assert len(tags) == 1
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestBreakerHalfOpenRace:
+    def test_exactly_one_probe_in_half_open(self):
+        """Regression: two threads hitting a cooled-down open breaker
+        simultaneously must not both be admitted as probes."""
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=1.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock[0] = 2.0  # past the cool-down: next allow() opens the probe
+
+        barrier = threading.Barrier(8)
+        admitted: list[int] = []
+        lock = threading.Lock()
+
+        def race(index: int) -> None:
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(index)
+
+        errors = run_threads(8, race)
+        assert errors == []
+        assert len(admitted) == 1
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_expiry_prevents_wedging(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=1.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 2.0
+        assert breaker.allow()  # probe granted, outcome never recorded
+        assert not breaker.allow()
+        clock[0] = 4.0  # the prober died; the slot must expire
+        assert breaker.allow()
+
+
+# ----------------------------------------------------------------------
+# File lock and generation counter
+# ----------------------------------------------------------------------
+class TestFileLock:
+    def test_mutual_exclusion_between_lock_instances(self, tmp_path):
+        path = tmp_path / CATALOG_LOCK_NAME
+        counter = {"value": 0}
+
+        def bump(index: int) -> None:
+            lock = FileLock(path, timeout_s=5.0, poll_s=0.001)
+            for _ in range(25):
+                with lock:
+                    current = counter["value"]
+                    counter["value"] = current + 1
+
+        errors = run_threads(8, bump)
+        assert errors == []
+        assert counter["value"] == 8 * 25
+
+    def test_timeout_is_typed_and_names_the_path(self, tmp_path):
+        path = tmp_path / CATALOG_LOCK_NAME
+        holder = FileLock(path)
+        holder.acquire()
+        try:
+            contender = FileLock(path, timeout_s=0.05, poll_s=0.005)
+            with pytest.raises(LockTimeout) as excinfo:
+                contender.acquire()
+            assert str(path) in str(excinfo.value)
+        finally:
+            holder.release()
+
+    def test_reentrant_for_the_holding_thread(self, tmp_path):
+        lock = FileLock(tmp_path / CATALOG_LOCK_NAME)
+        with lock:
+            with lock:
+                assert lock.held
+        assert not lock.held
+
+    def test_stale_holder_metadata_is_detected(self, tmp_path):
+        path = tmp_path / CATALOG_LOCK_NAME
+        # A crashed holder leaves its metadata behind (a clean release
+        # truncates the file); the flock itself died with the process.
+        path.write_text(
+            json.dumps({"pid": 99999999, "host": "ghost", "acquired_at": 0}),
+            encoding="utf-8",
+        )
+        lock = FileLock(path)
+        with lock:
+            pass
+        assert lock.stale_reclaims == 1
+
+    def test_generation_counter_is_monotone(self, tmp_path):
+        path = tmp_path / "catalog.generation"
+        assert read_generation(path) == 0
+        assert bump_generation(path) == 1
+        assert bump_generation(path) == 2
+        assert read_generation(path) == 2
+
+
+# ----------------------------------------------------------------------
+# Database
+# ----------------------------------------------------------------------
+class TestDatabaseConcurrency:
+    def test_register_save_drop_from_many_threads(self, tmp_path):
+        database = Database(tmp_path)
+        database.register("bib", figure2_instance())
+        database.save("bib")
+
+        def hammer(index: int) -> None:
+            name = f"copy{index}"
+            for op in range(10):
+                database.register(name, figure2_instance(), replace=True)
+                database.save(name)
+                assert database.get("bib") is not None
+                if op % 3 == 2:
+                    try:
+                        database.drop(name)
+                    except DatabaseError:
+                        pass  # racing drop of the same name
+
+        errors = run_threads(8, hammer)
+        assert errors == []
+        # The catalog must reload cleanly: every surviving file passes
+        # its checksum, and the lock is not wedged.
+        fresh = Database(tmp_path)
+        for name in fresh.names():
+            fresh.get(name)
+        with FileLock(tmp_path / CATALOG_LOCK_NAME, timeout_s=1.0):
+            pass
+        assert fresh.generation() > 0
+
+    def test_items_and_save_all_iterate_snapshots(self, tmp_path):
+        database = Database(tmp_path)
+        for index in range(12):
+            database.register(f"base{index}", figure2_instance())
+        stop = threading.Event()
+
+        def churn(index: int) -> None:
+            count = 0
+            while not stop.is_set():
+                name = f"churn{index}_{count % 4}"
+                database.register(name, figure2_instance(), replace=True)
+                count += 1
+                try:
+                    database.drop(name)
+                except DatabaseError:
+                    pass
+
+        def iterate(index: int) -> None:
+            try:
+                for _ in range(6):
+                    seen = [name for name, _ in database.items()]
+                    assert len(seen) >= 12  # the stable names never vanish
+                    database.save_all()
+            finally:
+                stop.set()
+
+        errors = run_threads(
+            4, lambda i: churn(i) if i else iterate(i)
+        )
+        stop.set()
+        assert errors == []
+
+    def test_generation_moves_with_saves_and_drops(self, tmp_path):
+        database = Database(tmp_path)
+        database.register("bib", figure2_instance())
+        start = database.generation()
+        database.save("bib")
+        after_save = database.generation()
+        assert after_save == start + 1
+        database.drop("bib")
+        assert database.generation() == after_save + 1
+
+
+# ----------------------------------------------------------------------
+# Bench-record appending (the read-modify-write satellite)
+# ----------------------------------------------------------------------
+class TestBenchRecordAppend:
+    def test_concurrent_appends_lose_nothing(self, tmp_path):
+        target = tmp_path / "bench_records.json"
+
+        def append(index: int) -> None:
+            for op in range(10):
+                append_bench_records(
+                    [{"operation": "probe", "thread": index, "op": op}],
+                    path=target,
+                )
+
+        errors = run_threads(8, append)
+        assert errors == []
+        records = json.loads(target.read_text(encoding="utf-8"))
+        assert len(records) == 8 * 10
+        seen = {(r["thread"], r["op"]) for r in records}
+        assert len(seen) == 8 * 10
+
+    def test_non_array_content_is_refused(self, tmp_path):
+        target = tmp_path / "bench_records.json"
+        target.write_text('{"not": "a list"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            append_bench_records([{"operation": "probe"}], path=target)
+
+
+# ----------------------------------------------------------------------
+# Fault injector: barrier faults and thread safety
+# ----------------------------------------------------------------------
+class TestInjectorConcurrency:
+    def test_barrier_fault_rendezvouses_threads(self):
+        injector = FaultInjector(
+            FaultSpec(
+                site="lock.cache",
+                kind="barrier",
+                parties=4,
+                times=None,
+                delay_s=2.0,
+            )
+        )
+        cache = LRUCache(capacity=8)
+        release_order: list[int] = []
+        lock = threading.Lock()
+
+        def touch(index: int) -> None:
+            with injector:
+                cache.put(index, index)
+            with lock:
+                release_order.append(index)
+
+        errors = run_threads(4, touch)
+        assert errors == []
+        assert len(release_order) == 4
+        assert injector.fired("lock.cache") == 4
+
+    def test_event_log_is_consistent_under_threads(self):
+        injector = FaultInjector(
+            FaultSpec(site="lock.cache", kind="slow", delay_s=0.0, times=None)
+        )
+        cache = LRUCache(capacity=8)
+
+        def touch(index: int) -> None:
+            with injector:
+                for op in range(50):
+                    cache.get(op)
+
+        errors = run_threads(8, touch)
+        assert errors == []
+        assert injector.fired("lock.cache") == 8 * 50
+
+    def test_verify_instances_round_trip_after_contention(self, tmp_path):
+        """End-to-end: saved-under-contention files decode standalone."""
+        database = Database(tmp_path)
+        database.register("bib", figure2_instance())
+
+        def save(index: int) -> None:
+            for _ in range(5):
+                database.save("bib")
+
+        errors = run_threads(6, save)
+        assert errors == []
+        loaded = read_instance(tmp_path / "bib.pxml.json")
+        assert len(loaded) == len(figure2_instance())

@@ -1,0 +1,275 @@
+"""The PXQL server: admission control, budgets, shutdown, probes.
+
+These tests drive :class:`repro.server.PXQLServer` through its whole
+contract — correct results under concurrency, typed ``Overloaded``
+backpressure on a full queue, per-request budget enforcement, graceful
+drain versus immediate stop, signal-triggered shutdown, probe
+transitions, and ContextVar propagation from submitter to worker.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.errors import BudgetExceeded, Overloaded, ServerError
+from repro.obs.metrics import MetricsRegistry
+from repro.pxql.interpreter import Interpreter
+from repro.resilience.budget import Budget
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.server import PXQLServer
+from repro.storage.database import Database
+
+QUERY = "EXISTS R.book.author IN bib"
+
+
+def build_bib():
+    """A small tree-structured bibliography (local algorithms apply)."""
+    b = InstanceBuilder("R")
+    b.children("R", "book", ["B1", "B2"])
+    b.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    b.children("B1", "author", ["A1"])
+    b.opf("B1", {("A1",): 0.5, (): 0.5})
+    b.children("B2", "author", ["A3"])
+    b.opf("B2", {("A3",): 0.6, (): 0.4})
+    b.leaf("A1", "name", ["x", "y"], {"x": 0.7, "y": 0.3})
+    b.leaf("A3", "name", vpf={"y": 1.0})
+    return b.build()
+
+
+@pytest.fixture()
+def database():
+    db = Database()
+    db.register("bib", build_bib())
+    return db
+
+
+@pytest.fixture()
+def reference(database):
+    return Interpreter(database=database).execute(QUERY).value
+
+
+class _GatedInterpreter(Interpreter):
+    """An interpreter whose execution blocks until a gate opens — the
+    deterministic way to fill the admission queue in tests."""
+
+    def __init__(self, gate: threading.Event, **kwargs):
+        super().__init__(**kwargs)
+        self._gate = gate
+
+    def execute(self, text):
+        assert self._gate.wait(10.0), "test gate never opened"
+        return super().execute(text)
+
+
+def gated_server(database, gate, workers=1, queue_size=2, **kwargs):
+    return PXQLServer(
+        database=database,
+        workers=workers,
+        queue_size=queue_size,
+        interpreter_factory=lambda index: _GatedInterpreter(
+            gate, database=database
+        ),
+        poll_s=0.005,
+        **kwargs,
+    )
+
+
+class TestExecution:
+    def test_concurrent_queries_return_the_reference_value(
+        self, database, reference
+    ):
+        with PXQLServer(database=database, workers=4, queue_size=64) as server:
+            futures = [server.submit(QUERY) for _ in range(16)]
+            for future in futures:
+                assert future.result(10.0).value == pytest.approx(reference)
+            health = server.health()
+        assert health["completed"] == 16
+        assert health["failed"] == 0
+
+    def test_unnamed_results_do_not_collide_across_workers(self, database):
+        with PXQLServer(database=database, workers=4, queue_size=64) as server:
+            futures = [
+                server.submit("PROJECT R.book FROM bib") for _ in range(12)
+            ]
+            names = {f.result(10.0).instance_name for f in futures}
+        assert len(names) == 12  # every auto-name is worker-prefixed unique
+
+    def test_execution_errors_travel_through_the_future(self, database):
+        with PXQLServer(database=database, workers=2, queue_size=8) as server:
+            future = server.submit("EXISTS R.book.author IN no_such_instance")
+            with pytest.raises(Exception) as excinfo:
+                future.result(10.0)
+        assert "no_such_instance" in str(excinfo.value)
+
+    def test_submit_before_start_is_refused(self, database):
+        server = PXQLServer(database=database)
+        with pytest.raises(ServerError):
+            server.submit(QUERY)
+
+
+class TestAdmissionControl:
+    def test_full_queue_answers_overloaded(self, database):
+        gate = threading.Event()
+        server = gated_server(database, gate, workers=1, queue_size=2)
+        with server:
+            admitted = [server.submit(QUERY)]
+            # The worker may have dequeued the first request (it is now
+            # blocked on the gate); fill whatever queue space remains.
+            rejected = None
+            for _ in range(8):
+                try:
+                    admitted.append(server.submit(QUERY))
+                except Overloaded as exc:
+                    rejected = exc
+                    break
+            assert rejected is not None
+            assert rejected.reason == "queue_full"
+            assert not server.ready()  # no capacity -> not ready
+            gate.set()
+            for future in admitted:
+                future.result(10.0)
+        assert server.metrics.value("server.rejected") >= 1
+
+    def test_budget_bounds_a_request(self, database):
+        with PXQLServer(database=database, workers=2, queue_size=8) as server:
+            future = server.submit(QUERY, budget=Budget(deadline_s=1e-9))
+            with pytest.raises(BudgetExceeded):
+                future.result(10.0)
+
+    def test_budget_factory_applies_to_every_request(self, database):
+        with PXQLServer(
+            database=database,
+            workers=2,
+            queue_size=8,
+            budget_factory=lambda: Budget(deadline_s=1e-9),
+        ) as server:
+            with pytest.raises(BudgetExceeded):
+                server.execute(QUERY, timeout_s=10.0)
+            # An explicit budget overrides the factory default.
+            result = server.execute(
+                QUERY, budget=Budget(deadline_s=30.0), timeout_s=10.0
+            )
+            assert result.value is not None
+
+
+class TestShutdown:
+    def test_drain_finishes_queued_work(self, database, reference):
+        gate = threading.Event()
+        server = gated_server(database, gate, workers=2, queue_size=8)
+        server.start()
+        futures = [server.submit(QUERY) for _ in range(4)]
+        gate.set()
+        assert server.drain(timeout_s=10.0)
+        for future in futures:
+            assert future.result(0.0).value == pytest.approx(reference)
+        with pytest.raises(Overloaded) as excinfo:
+            server.submit(QUERY)
+        assert excinfo.value.reason == "draining"
+        assert server.stop(drain=False)
+        assert server.state == "stopped"
+
+    def test_immediate_stop_answers_queued_requests(self, database):
+        gate = threading.Event()
+        server = gated_server(database, gate, workers=1, queue_size=4)
+        server.start()
+        futures = []
+        for _ in range(5):
+            try:
+                futures.append(server.submit(QUERY))
+            except Overloaded:
+                break
+        gate.set()
+        server.stop(drain=False, timeout_s=10.0)
+        resolved = 0
+        for future in futures:
+            try:
+                future.result(10.0)
+                resolved += 1
+            except Overloaded as exc:
+                assert exc.reason == "stopped"
+                resolved += 1
+        assert resolved == len(futures)  # every request got an answer
+
+    def test_stop_is_idempotent(self, database):
+        server = PXQLServer(database=database, workers=1).start()
+        assert server.stop()
+        assert server.stop()
+        assert server.state == "stopped"
+
+    def test_signal_triggers_graceful_shutdown(self, database, reference):
+        server = PXQLServer(database=database, workers=2, queue_size=8)
+        server.start()
+        previous = server.install_signal_handlers(signals=(signal.SIGUSR1,))
+        try:
+            future = server.submit(QUERY)
+            signal.raise_signal(signal.SIGUSR1)
+            assert future.result(10.0).value == pytest.approx(reference)
+            deadline = time.monotonic() + 10.0
+            while server.state != "stopped" and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.state == "stopped"
+            assert server.metrics.value("server.signals") == 1
+        finally:
+            signal.signal(signal.SIGUSR1, previous[signal.SIGUSR1])
+            server.stop(drain=False)
+
+
+class TestProbes:
+    def test_probe_lifecycle(self, database):
+        server = PXQLServer(database=database, workers=2, queue_size=4)
+        assert not server.alive()
+        assert not server.ready()
+        server.start()
+        assert server.alive()
+        assert server.ready()
+        server.drain(timeout_s=5.0)
+        assert server.alive()  # draining pool is still live...
+        assert not server.ready()  # ...but not admitting
+        server.stop(drain=False)
+        assert not server.alive()
+        assert not server.ready()
+
+    def test_health_counters_reconcile(self, database):
+        metrics = MetricsRegistry()
+        with PXQLServer(
+            database=database, workers=2, queue_size=16, metrics=metrics
+        ) as server:
+            for _ in range(6):
+                server.execute(QUERY, timeout_s=10.0)
+            try:
+                server.execute(
+                    "EXISTS R.book.author IN missing", timeout_s=10.0
+                )
+            except Exception:
+                pass
+            health = server.health()
+        assert health["submitted"] == 7
+        assert health["completed"] + health["failed"] == 7
+        assert health["queue_depth"] == 0
+
+
+class TestContextPropagation:
+    def test_submitters_fault_injector_reaches_the_worker(self, tmp_path):
+        """Ambient ContextVars are captured at submit and replayed in
+        the worker — an injector installed by the submitting thread
+        fires at hook points the worker visits."""
+        database = Database(tmp_path)
+        database.register("bib", build_bib())
+        injector = FaultInjector(
+            FaultSpec(
+                site="lock.db.mutate", kind="slow", delay_s=0.0, times=None
+            )
+        )
+        with PXQLServer(database=database, workers=2, queue_size=8) as server:
+            with injector:
+                server.execute("SAVE bib", timeout_s=10.0)
+            before = injector.fired("lock.db.mutate")
+            assert before >= 1
+            # Outside the with-block the snapshot no longer carries it.
+            server.execute("SAVE bib", timeout_s=10.0)
+            assert injector.fired("lock.db.mutate") == before
