@@ -1,0 +1,90 @@
+"""Path-index benchmarks: indexed vs graph-walk navigation.
+
+The measured unit is one path match — the locate step every query kind
+shares.  ``walk`` is :func:`repro.semistructured.paths.match_path` on
+the instance graph (per-node ``lch`` calls); ``matcher`` is the cold
+vectorized evaluator on the columnar snapshot; ``indexed`` is the
+production path with the per-snapshot match memo warm, which is how the
+engine evaluates repeated statements against an unchanged catalog.
+Snapshot construction is benchmarked separately since the
+:class:`repro.index.cache.IndexCache` amortizes it across queries.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.index.columnar import ColumnarInstance, match_path_indexed
+from repro.semistructured.paths import match_path
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+)
+
+GRID = [("SL", 2, 5), ("SL", 2, 8), ("SL", 4, 5), ("SL", 4, 7)]
+
+
+@lru_cache(maxsize=None)
+def cached_workload(labeling, branching, depth):
+    return generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling=labeling,
+                     seed=13)
+    )
+
+
+@lru_cache(maxsize=None)
+def cached_snapshot(labeling, branching, depth):
+    return ColumnarInstance.from_instance(
+        cached_workload(labeling, branching, depth).instance
+    )
+
+
+def _grid_id(case):
+    labeling, branching, depth = case
+    return f"{labeling}-b{branching}-d{depth}"
+
+
+@pytest.fixture(params=GRID, ids=_grid_id)
+def index_case(request):
+    labeling, branching, depth = request.param
+    workload = cached_workload(labeling, branching, depth)
+    snapshot = cached_snapshot(labeling, branching, depth)
+    path = random_projection_path(workload, random.Random(14))
+    return workload, snapshot, path
+
+
+def test_match_walk(benchmark, index_case):
+    workload, _snapshot, path = index_case
+    graph = workload.instance.weak.graph()
+    result = benchmark(match_path, graph, path)
+    benchmark.extra_info["objects"] = workload.num_objects
+    assert result.path is path
+
+
+def test_match_matcher_cold(benchmark, index_case):
+    workload, snapshot, path = index_case
+    reference = match_path(workload.instance.weak.graph(), path)
+    result = benchmark(match_path_indexed, snapshot, path, memo=False)
+    benchmark.extra_info["objects"] = workload.num_objects
+    assert (result.levels, result.edges, result.level_edges) == (
+        reference.levels, reference.edges, reference.level_edges
+    )
+
+
+def test_match_indexed_warm(benchmark, index_case):
+    workload, snapshot, path = index_case
+    match_path_indexed(snapshot, path)  # warm the memo + lazy adjacency
+    result = benchmark(match_path_indexed, snapshot, path)
+    benchmark.extra_info["objects"] = workload.num_objects
+    assert result.matched == match_path(
+        workload.instance.weak.graph(), path
+    ).matched
+
+
+def test_snapshot_build(benchmark, index_case):
+    workload, _snapshot, _path = index_case
+    result = benchmark(ColumnarInstance.from_instance, workload.instance)
+    benchmark.extra_info["objects"] = workload.num_objects
+    assert len(result) == workload.num_objects

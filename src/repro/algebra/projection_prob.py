@@ -34,7 +34,6 @@ followed by ``eps_o = sum_{c' != {}} p'(o)(c')`` and division by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 
 from repro.algebra.projection import ancestor_projection
 from repro.core.cardinality import CardinalityInterval
@@ -44,6 +43,7 @@ from repro.core.instance import ProbabilisticInstance
 from repro.core.potential import ChildSet
 from repro.core.weak_instance import WeakInstance
 from repro.errors import NonTreeInstanceError, SemanticsError
+from repro.index.opf import marginalize_opf
 from repro.semantics.global_interpretation import GlobalInterpretation
 from repro.semistructured.graph import Oid
 from repro.semistructured.paths import PathExpression, PathMatch, match_path
@@ -101,6 +101,7 @@ def epsilon_pass(
     pi: ProbabilisticInstance,
     path: PathExpression | str,
     match: PathMatch | None = None,
+    assume_tree: bool = False,
 ) -> EpsilonPass:
     """Run the bottom-up marginalize/normalize sweep of Section 6.1.
 
@@ -108,11 +109,14 @@ def epsilon_pass(
     the query length equal to the instance depth precisely because deeper
     objects "will not be considered and ... does not need updating").
     A precomputed ``match`` may be passed so callers (the benchmark
-    harness) can time the locate step separately.
+    harness, the indexed executor) can time or batch the locate step
+    separately; callers that already verified tree-shape (e.g. from a
+    columnar snapshot) pass ``assume_tree=True`` to skip the O(V) check.
     """
     if isinstance(path, str):
         path = PathExpression.parse(path)
-    _require_tree(pi)
+    if not assume_tree:
+        _require_tree(pi)
     if match is None:
         match = match_path(pi.weak.graph(), path)
     epsilon: dict[Oid, float] = {}
@@ -217,32 +221,12 @@ def _marginalize(
 ) -> dict[ChildSet, float]:
     """The unified marginalization formula (see module docstring).
 
-    Children with ``eps = 1`` (matched objects) always survive, so only
-    the genuinely uncertain children are enumerated over — this keeps the
-    inner loop at ``2^(#uncertain kept children)`` instead of
-    ``2^(#kept children)``.
+    Delegates to :func:`repro.index.opf.marginalize_opf`, which runs the
+    ``2^(#uncertain kept children)`` enumeration as one dense numpy
+    weight matrix when numpy is available and as the original sparse
+    Python loop otherwise (same keys, same values either way).
     """
-    certain = frozenset(c for c in kept if epsilon[c] >= 1.0)
-    uncertain = sorted(c for c in kept if epsilon[c] < 1.0)
-    kept_set = certain | frozenset(uncertain)
-    accum: dict[ChildSet, float] = {}
-    for child_set, probability in opf.support():
-        sure_part = child_set & certain
-        unc_in = [c for c in uncertain if c in child_set]
-        for size in range(len(unc_in) + 1):
-            for chosen in combinations(unc_in, size):
-                weight = probability
-                for child in chosen:
-                    weight *= epsilon[child]
-                for child in unc_in:
-                    if child not in chosen:
-                        weight *= 1.0 - epsilon[child]
-                if weight == 0.0:
-                    continue
-                new_set = sure_part | frozenset(chosen)
-                accum[new_set] = accum.get(new_set, 0.0) + weight
-    del kept_set
-    return accum
+    return marginalize_opf(opf, kept, epsilon)
 
 
 def ancestor_projection_local(

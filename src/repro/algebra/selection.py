@@ -22,6 +22,7 @@ similar way" remark):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.core.cardinality import CardinalityInterval
@@ -188,34 +189,52 @@ def select_local(
     )
 
 
-def chain_to(pi: ProbabilisticInstance, path: PathExpression, oid: Oid) -> list[Oid]:
+def chain_to(
+    pi: ProbabilisticInstance,
+    path: PathExpression,
+    oid: Oid,
+    parent_of: Mapping[Oid, Oid] | None = None,
+) -> list[Oid]:
     """The unique chain ``root, o_1, ..., o_n = oid`` matching ``path``.
 
     Requires a tree-structured weak instance graph.  Raises
     :class:`AlgebraError` when ``oid`` does not satisfy the path in the
     weak instance (in which case the selection probability is zero).
+
+    ``parent_of`` is an optional precomputed child-to-parent map (e.g.
+    ``ColumnarInstance.parent_map()`` from a tree-verified snapshot);
+    passing it skips the O(V) tree check and the per-link parent-set
+    lookups, leaving only the label validation on the graph.
     """
     if path.root != pi.root:
         raise AlgebraError(
             f"path root {path.root!r} differs from instance root {pi.root!r}"
         )
     graph = pi.weak.graph()
-    if not graph.is_tree(pi.root):
+    if parent_of is None and not graph.is_tree(pi.root):
         raise AlgebraError("chain extraction requires a tree-structured instance")
     if oid not in graph:
         raise AlgebraError(f"object {oid!r} is not in the instance")
     chain = [oid]
     current = oid
     for label in reversed(path.labels):
-        parents = graph.parents(current)
-        if not parents:
-            raise AlgebraError(f"object {oid!r} does not satisfy path {path}")
-        (parent,) = parents
+        if parent_of is not None:
+            parent = parent_of.get(current)
+            if parent is None:
+                raise AlgebraError(f"object {oid!r} does not satisfy path {path}")
+        else:
+            parents = graph.parents(current)
+            if not parents:
+                raise AlgebraError(f"object {oid!r} does not satisfy path {path}")
+            (parent,) = parents
         if graph.label(parent, current) != label:
             raise AlgebraError(f"object {oid!r} does not satisfy path {path}")
         chain.append(parent)
         current = parent
-    if current != pi.root or pi.weak.graph().parents(pi.root):
+    if current != pi.root or (
+        parent_of.get(pi.root) is not None if parent_of is not None
+        else graph.parents(pi.root)
+    ):
         raise AlgebraError(f"object {oid!r} does not satisfy path {path}")
     chain.reverse()
     return chain

@@ -7,13 +7,16 @@ Usage::
     python -m repro.bench fig7c  [--quick]
     python -m repro.bench engine [--quick] [--json OUT.json]
     python -m repro.bench engine --smoke [--metrics OUT.json]
+    python -m repro.bench index  [--quick] [--json OUT.json]
+    python -m repro.bench index  --smoke [--metrics OUT.json]
     python -m repro.bench all    [--quick] [--json OUT.json]
 
 ``fig7a``/``fig7b`` share one ancestor-projection sweep (total time and
 p-update time are two views of the same measurements); ``fig7c`` runs the
 selection sweep; ``engine`` measures the query engine's optimizer and
 cache effect (naive / optimized / cold-cache / warm-cache) on a
-projection-selection-query pipeline.
+projection-selection-query pipeline; ``index`` compares indexed vs
+walked path navigation (:mod:`repro.bench.index`).
 
 ``--smoke`` is the CI entry point: the quick grid with minimal repeats,
 plus a :mod:`repro.obs` metrics dump (``--metrics``, default
@@ -90,7 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the PXML paper's Figure 7 experiment series.",
     )
     parser.add_argument(
-        "figure", choices=("fig7a", "fig7b", "fig7c", "engine", "all", "report")
+        "figure",
+        choices=("fig7a", "fig7b", "fig7c", "engine", "index", "all", "report"),
     )
     parser.add_argument("--quick", action="store_true", help="use the small grid")
     parser.add_argument(
@@ -143,24 +147,44 @@ def main(argv: list[str] | None = None) -> int:
         print("Figure 7(c) detail: selection — disk-write component (ms)")
         print(format_series(records, "write"))
         print()
-    if args.figure in ("engine", "all"):
-        from repro.bench.engine import (
-            format_engine_records,
-            records_to_dicts as engine_records_to_dicts,
-            run_engine_bench,
-        )
+    if args.figure in ("engine", "index", "all"):
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
-        engine_records = run_engine_bench(
-            quick=args.quick,
-            repeats=2 if args.smoke else 5,
-            metrics=registry,
-        )
-        all_records.extend(engine_records_to_dicts(engine_records))
-        print("Engine: pipeline time per mode (ms)")
-        print(format_engine_records(engine_records))
-        print()
+
+        if args.figure in ("engine", "all"):
+            from repro.bench.engine import (
+                format_engine_records,
+                records_to_dicts as engine_records_to_dicts,
+                run_engine_bench,
+            )
+
+            engine_records = run_engine_bench(
+                quick=args.quick,
+                repeats=2 if args.smoke else 5,
+                metrics=registry,
+            )
+            all_records.extend(engine_records_to_dicts(engine_records))
+            print("Engine: pipeline time per mode (ms)")
+            print(format_engine_records(engine_records))
+            print()
+
+        if args.figure in ("index", "all"):
+            from repro.bench.index import (
+                format_index_records,
+                records_to_dicts as index_records_to_dicts,
+                run_index_bench,
+            )
+
+            index_records = run_index_bench(
+                quick=args.quick,
+                repeats=3 if args.smoke else 20,
+                metrics=registry,
+            )
+            all_records.extend(index_records_to_dicts(index_records))
+            print("Path index: mean per-query time per mode (ms)")
+            print(format_index_records(index_records))
+            print()
 
         metrics_path = args.metrics
         if metrics_path is None and args.smoke:

@@ -1,0 +1,228 @@
+"""Path-index benchmark: indexed vs walked path navigation.
+
+For each grid cell the benchmark generates a balanced workload, builds
+the :class:`~repro.index.columnar.ColumnarInstance` snapshot once
+through a real :class:`~repro.index.cache.IndexCache` (so the
+``index.builds`` / ``index.hits`` counters in the metrics dump come from
+the production cache, not the harness), draws a handful of random paths,
+and times three things:
+
+* ``walk``    — :func:`~repro.semistructured.paths.match_path` on the
+  instance graph (per-node ``lch`` calls, the pre-index evaluator);
+* ``match``   — :func:`~repro.index.columnar.match_path_indexed` with
+  ``memo=False``: the cold vectorized matcher, every evaluation from
+  scratch;
+* ``indexed`` — the production indexed path (memo on): repeated
+  queries against an unchanged snapshot hit the per-snapshot match
+  memo, which is how the engine actually evaluates them;
+* ``build``   — the one-time snapshot construction the cache amortizes.
+
+Both ``match`` and ``indexed`` records carry their walk-relative
+speedup; the acceptance target is >= 5x for indexed evaluation at the
+largest default cell.  Records land in ``results/bench_records.json``
+with ``operation == "path_index"``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.index.cache import IndexCache
+from repro.index.columnar import match_path_indexed
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.semistructured.paths import PathExpression, match_path
+from repro.storage.database import Database
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+)
+
+#: (labeling, branching, depth) cells; the last is the acceptance cell
+#: (branching 4, depth 7: ~21k objects).
+DEFAULT_GRID: tuple[tuple[str, int, int], ...] = (
+    ("SL", 2, 5), ("SL", 2, 8), ("SL", 4, 5), ("SL", 4, 7),
+)
+
+QUICK_GRID: tuple[tuple[str, int, int], ...] = (
+    ("SL", 2, 4), ("SL", 3, 4),
+)
+
+#: Random paths drawn per cell; every mode times the same ones.
+QUERIES_PER_CELL = 5
+
+MODES = ("walk", "match", "indexed", "build")
+
+
+@dataclass
+class IndexRecord:
+    """One measured (cell, mode) combination."""
+
+    labeling: str
+    branching: int
+    depth: int
+    objects: int
+    edges: int
+    mode: str
+    repeats: int
+    queries: int
+    total_s: float              # mean seconds per query (or per build)
+    speedup: float | None = None  # walk/indexed ratio, on the indexed row
+
+    def as_dict(self) -> dict:
+        return {
+            "operation": "path_index",
+            "labeling": self.labeling,
+            "branching": self.branching,
+            "depth": self.depth,
+            "objects": self.objects,
+            "edges": self.edges,
+            "mode": self.mode,
+            "repeats": self.repeats,
+            "queries": self.queries,
+            "total_s": self.total_s,
+            "speedup": self.speedup,
+        }
+
+
+def _bench_paths(workload, rng: random.Random) -> list[PathExpression]:
+    return [
+        random_projection_path(workload, rng) for _ in range(QUERIES_PER_CELL)
+    ]
+
+
+def _measure_cell(
+    labeling: str, branching: int, depth: int, seed: int, repeats: int,
+) -> list[IndexRecord]:
+    workload = generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling=labeling,
+                     seed=seed)
+    )
+    pi = workload.instance
+    graph = pi.weak.graph()
+    rng = random.Random(seed + 1)
+    paths = _bench_paths(workload, rng)
+
+    database = Database()
+    database.register("base", pi)
+    cache = IndexCache()
+
+    build_start = time.perf_counter()
+    col = cache.get(database, "base", instance=pi)
+    build_s = time.perf_counter() - build_start
+    cache.get(database, "base")      # warm-hit: lands on index.hits
+
+    # Untimed warmup pass per mode: populates the snapshot's lazy
+    # per-label adjacency and its match memo, and brings both
+    # evaluators' working sets into cache, so the timed loops compare
+    # steady-state costs.
+    for path in paths:
+        match_path(graph, path)
+        match_path_indexed(col, path)
+
+    walk_s = 0.0
+    for _ in range(repeats):
+        for path in paths:
+            start = time.perf_counter()
+            match_path(graph, path)
+            walk_s += time.perf_counter() - start
+
+    match_s = 0.0
+    for _ in range(repeats):
+        for path in paths:
+            start = time.perf_counter()
+            match_path_indexed(col, path, memo=False)
+            match_s += time.perf_counter() - start
+
+    indexed_s = 0.0
+    for _ in range(repeats):
+        for path in paths:
+            start = time.perf_counter()
+            match_path_indexed(col, path)
+            indexed_s += time.perf_counter() - start
+
+    evaluations = repeats * len(paths)
+    common = dict(
+        labeling=labeling, branching=branching, depth=depth,
+        objects=len(pi), edges=col.num_edges, queries=len(paths),
+    )
+    return [
+        IndexRecord(mode="walk", repeats=repeats,
+                    total_s=walk_s / evaluations, **common),
+        IndexRecord(mode="match", repeats=repeats,
+                    total_s=match_s / evaluations,
+                    speedup=walk_s / match_s if match_s > 0 else None,
+                    **common),
+        IndexRecord(mode="indexed", repeats=repeats,
+                    total_s=indexed_s / evaluations,
+                    speedup=walk_s / indexed_s if indexed_s > 0 else None,
+                    **common),
+        IndexRecord(mode="build", repeats=1, total_s=build_s, **common),
+    ]
+
+
+def run_index_bench(
+    quick: bool = False, seed: int = 13, repeats: int = 20,
+    metrics: MetricsRegistry | None = None,
+) -> list[IndexRecord]:
+    """Measure every (cell, mode) combination of the grid.
+
+    When ``metrics`` is given it is made ambient for the run, so the
+    production :class:`IndexCache` counters (``index.builds`` /
+    ``index.hits`` / ``index.misses``) land there and the smoke-run
+    metrics dump reflects real cache traffic.
+    """
+    grid = QUICK_GRID if quick else DEFAULT_GRID
+    registry = metrics if metrics is not None else MetricsRegistry()
+    records: list[IndexRecord] = []
+    with use_registry(registry):
+        for labeling, branching, depth in grid:
+            records.extend(
+                _measure_cell(labeling, branching, depth, seed, repeats)
+            )
+    return records
+
+
+def format_index_records(records: list[IndexRecord]) -> str:
+    """An aligned per-cell table: walk / indexed / build, speedup."""
+    cells: dict[tuple[str, int, int, int], dict[str, IndexRecord]] = {}
+    for record in records:
+        key = (record.labeling, record.branching, record.depth, record.objects)
+        cells.setdefault(key, {})[record.mode] = record
+
+    header = (
+        ["cell".ljust(16), f"{'objects':>8}"]
+        + [f"{mode:>12}" for mode in MODES]
+        + [f"{'speedup':>8}"]
+    )
+    lines = ["  ".join(header)]
+    for key in sorted(cells):
+        labeling, branching, depth, objects = key
+        row = [f"{labeling} b={branching} d={depth}".ljust(16), f"{objects:>8}"]
+        for mode in MODES:
+            record = cells[key].get(mode)
+            row.append(
+                f"{record.total_s * 1e3:>12.4f}" if record else " " * 12
+            )
+        indexed = cells[key].get("indexed")
+        speedup = indexed.speedup if indexed else None
+        row.append(f"{speedup:>7.1f}x" if speedup is not None else " " * 8)
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def records_to_dicts(records: list[IndexRecord]) -> list[dict]:
+    """Machine-readable form, mergeable with the other sweeps."""
+    return [record.as_dict() for record in records]
+
+
+__all__ = [
+    "DEFAULT_GRID",
+    "QUICK_GRID",
+    "IndexRecord",
+    "format_index_records",
+    "records_to_dicts",
+    "run_index_bench",
+]

@@ -18,10 +18,14 @@ union bound over incoming chains and the lower bound falls back to zero
 Paths whose upper bound is zero are pruned: the dataguide therefore
 contains a label path **iff** that path has nonzero existence
 probability, which is exactly the oracle the plan checker needs to flag
-statically doomed path expressions.  :class:`DataGuideCache` memoizes
-guides per ``(name, version)`` against a
+statically doomed path expressions — and the oracle the query engine's
+:class:`~repro.index.pathindex.PathIndex` reuses to skip instances that
+provably cannot match.  :class:`DataGuideCache` memoizes guides per
+``(name, version, generation)`` against a
 :class:`~repro.storage.database.Database`, so repeated checks of an
-unchanged catalog are free.
+unchanged catalog are free but cross-process catalog mutations (which
+bump the generation without touching in-process version counters) still
+invalidate.
 """
 
 from __future__ import annotations
@@ -215,23 +219,41 @@ def build_dataguide(
     return DataGuide(weak.root, entries, is_tree, truncated)
 
 
-class DataGuideCache:
-    """Memoizes dataguides per ``(name, version)`` of a database catalog.
+def _cache_token(database, name: str) -> tuple[int, int]:
+    """``(version, generation)`` — the invalidation key for ``name``.
 
-    The catalog only needs ``get(name)`` and ``version(name)``;
-    :class:`repro.storage.database.Database` provides both.  Stale
-    versions of a name are evicted on refresh, so the cache stays
+    ``version(name)`` only advances on in-process re-registration; the
+    catalog-wide ``generation()`` (when the catalog has one) also
+    advances when *another process* mutates the shared store under the
+    catalog file lock.  Keying on both closes the stale-guide window a
+    version-only key left open.  Catalogs without a ``generation``
+    contribute a constant 0 (version-only keying, as before).
+    """
+    generation = getattr(database, "generation", None)
+    return (
+        database.version(name),
+        int(generation()) if callable(generation) else 0,
+    )
+
+
+class DataGuideCache:
+    """Memoizes dataguides per ``(name, version, generation)``.
+
+    The catalog only needs ``get(name)`` and ``version(name)``
+    (``generation()`` is used when present);
+    :class:`repro.storage.database.Database` provides all three.  Stale
+    tokens of a name are evicted on refresh, so the cache stays
     bounded by the number of live names.
     """
 
     def __init__(self, max_paths: int = DEFAULT_MAX_PATHS) -> None:
         self._max_paths = max_paths
-        self._guides: dict[tuple[str, int], DataGuide] = {}
+        self._guides: dict[tuple[str, tuple[int, int]], DataGuide] = {}
 
     def get(self, database, name: str) -> DataGuide:
         """The (possibly cached) dataguide of a named instance."""
-        version = database.version(name)
-        key = (name, version)
+        token = _cache_token(database, name)
+        key = (name, token)
         cached = self._guides.get(key)
         if cached is not None:
             return cached

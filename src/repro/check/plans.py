@@ -475,11 +475,16 @@ def check_plan(
     diagnostics = list(checker.check(plan))
     if rewrites:
         from repro.engine.cost import CostModel
-        from repro.engine.rewrite import optimize
+        from repro.engine.rewrite import INDEX_RULES, optimize
 
         trace: list[tuple[str, PlanNode, PlanNode]] = []
         try:
-            optimize(plan, CostModel(database), trace=trace)
+            # Mirror the engine's two-stage prepare (algebraic rules to a
+            # fixpoint, then index lowering) so every rewrite an
+            # execution could apply gets a checked justification.
+            cost = CostModel(database)
+            optimized, _ = optimize(plan, cost, trace=trace)
+            optimize(optimized, cost, INDEX_RULES, trace=trace)
         except Exception:
             trace = []    # unknown scans etc.; the scan check already fired
         diagnostics.extend(rewrite_diagnostics(trace, subject))

@@ -9,7 +9,9 @@ the language and the algebra:
 * :mod:`repro.engine.cost` — size/entry/tree-ness estimates driving
   rewrite decisions and execution-strategy choice;
 * :mod:`repro.engine.rewrite` — a rule-based optimizer (projection
-  collapse, selection pushdown, product reordering);
+  collapse, selection pushdown, product reordering, plus a second-stage
+  pass lowering path navigation onto the :mod:`repro.index` columnar
+  snapshots where the cost model prices it cheaper);
 * :mod:`repro.engine.executor` — an instrumented executor producing
   per-node timings, cardinalities and cache status (``EXPLAIN ANALYZE``);
 * :mod:`repro.engine.cache` — an LRU result cache keyed by canonical
@@ -20,6 +22,8 @@ from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.cost import CostModel, Estimate
 from repro.engine.executor import Engine, ExecutionResult, NodeStats
 from repro.engine.plan import (
+    IndexedPathStepNode,
+    IndexedScanNode,
     PlanBuilder,
     PlanError,
     PlanNode,
@@ -34,8 +38,11 @@ from repro.engine.plan import (
 )
 from repro.engine.rewrite import (
     DEFAULT_RULES,
+    INDEX_RULES,
     RewriteRule,
     collapse_adjacent_projections,
+    lower_projection_to_index,
+    lower_query_to_index,
     optimize,
     push_selection_below_projection,
     reorder_product_by_size,
@@ -48,6 +55,9 @@ __all__ = [
     "Engine",
     "Estimate",
     "ExecutionResult",
+    "INDEX_RULES",
+    "IndexedPathStepNode",
+    "IndexedScanNode",
     "LRUCache",
     "NodeStats",
     "PlanBuilder",
@@ -61,6 +71,8 @@ __all__ = [
     "SelectNode",
     "collapse_adjacent_projections",
     "fingerprint",
+    "lower_projection_to_index",
+    "lower_query_to_index",
     "optimize",
     "plan_statement",
     "push_selection_below_projection",

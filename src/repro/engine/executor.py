@@ -39,10 +39,12 @@ from repro.algebra.projection_more import (
     single_projection_local,
 )
 from repro.algebra.projection_prob import ancestor_projection_local
+from repro.algebra.projection_prob import epsilon_pass, instance_from_epsilon_pass
 from repro.algebra.selection import (
     ObjectCardinalityCondition,
     ObjectCondition,
     ObjectValueCondition,
+    chain_to,
     select_local,
 )
 from repro.core.cardinality import CardinalityInterval
@@ -50,6 +52,7 @@ from repro.core.instance import ProbabilisticInstance
 from repro.engine.cache import LRUCache
 from repro.engine.cost import CostModel
 from repro.engine.plan import (
+    IndexedPathStepNode,
     PlanError,
     PlanNode,
     ProductNode,
@@ -61,10 +64,13 @@ from repro.engine.plan import (
     plan_statement,
     scan_names,
 )
-from repro.engine.rewrite import DEFAULT_RULES, optimize
-from repro.errors import BudgetExceeded
+from repro.engine.rewrite import DEFAULT_RULES, INDEX_RULES, optimize
+from repro.errors import AlgebraError, BudgetExceeded
+from repro.index import IndexCache, PathIndex, match_path_indexed
+from repro.index.columnar import ColumnarInstance
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.tracing import Span, Tracer, use_tracer
+from repro.queries.chain import chain_probability
 from repro.queries.engine import QueryEngine
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import current_budget
@@ -74,6 +80,16 @@ _PROJECTION_OPERATORS = {
     "ancestor": ancestor_projection_local,
     "descendant": descendant_projection_local,
     "single": single_projection_local,
+}
+
+#: Constant results of the numeric query kinds when the dataguide proves
+#: the path matches nothing with certainty (factories, so dict results
+#: are never shared between statements).
+_SKIP_RESULTS = {
+    "exists": lambda: 0.0,
+    "count": lambda: 0.0,
+    "point": lambda: 0.0,
+    "dist": lambda: {0: 1.0},
 }
 
 #: Maximum depth of lineage inlining (cycle / runaway guard).
@@ -212,6 +228,11 @@ class Engine:
             plans that produced them (when their inputs are unchanged),
             turning statement sequences into multi-operator plans the
             rewrite rules can work across.
+        use_index: lower path navigation onto the structural index
+            (``repro.index``) where the cost model prices it cheaper.
+            The lowering is an equivalence (runtime falls back to the
+            walked operators when the snapshot is not a tree); off = the
+            pre-index plans, for A/B parity and ablation.
         breaker: circuit breaker over the optimizer/cache layer (own
             instance if omitted).  Rewrite-optimizer failures degrade
             that statement to the unoptimized plan and count against the
@@ -238,6 +259,7 @@ class Engine:
         samples: int = 2000,
         seed: int | None = None,
         inline_lineage: bool = True,
+        use_index: bool = True,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         breaker: CircuitBreaker | None = None,
@@ -249,6 +271,7 @@ class Engine:
         self.samples = samples
         self.seed = seed
         self.inline_lineage = inline_lineage
+        self.use_index = use_index
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cost = CostModel(database)
@@ -259,6 +282,8 @@ class Engine:
             cache_size, name="engine.cache.plans", metrics=self.metrics
         )
         self.rules = DEFAULT_RULES
+        self.index_cache = IndexCache()
+        self.path_index = PathIndex()
         self.breaker = (
             breaker if breaker is not None
             else CircuitBreaker(name="engine.optimizer")
@@ -352,7 +377,15 @@ class Engine:
             if cached is not None:
                 return cached
         try:
-            prepared = optimize(expanded, self.cost, self.rules)
+            optimized, applied = optimize(expanded, self.cost, self.rules)
+            if self.use_index:
+                # Second stage: lower path navigation onto the index.
+                # Runs after the algebraic rules reach their fixpoint so
+                # collapse/push still see the Project/Select/Scan shapes
+                # the lowering would otherwise hide.
+                optimized, lowered = optimize(optimized, self.cost, INDEX_RULES)
+                applied = applied + lowered
+            prepared = (optimized, applied)
         except Exception as exc:
             self.breaker.record_failure()
             self.metrics.counter("resilience.optimizer_errors").inc()
@@ -544,7 +577,132 @@ class Engine:
         if isinstance(node, QueryNode):
             (pi,) = inputs
             return self._apply_query(node, pi)
+        if isinstance(node, IndexedPathStepNode):
+            (pi,) = inputs
+            return self._apply_indexed(node, pi)
         raise PlanError(f"cannot execute {type(node).__name__}")
+
+    def _apply_indexed(
+        self, node: IndexedPathStepNode, pi: ProbabilisticInstance
+    ) -> tuple[object, str, dict]:
+        """Evaluate a lowered path step via the columnar index.
+
+        Three exits, in order:
+
+        1. *skip* — for numeric query ops, the catalog's dataguide proves
+           the path has zero existence probability, so the answer is a
+           constant and the instance is never matched at all;
+        2. *indexed* — match on the columnar snapshot and feed the
+           (identical) :class:`PathMatch` to the Section 6 algorithms;
+        3. *fallback* — the snapshot cannot be built or is not a tree
+           (the plan-time estimate was stale): run the walked operator
+           the lowering replaced.  Correctness never depends on the
+           plan-time guess.
+        """
+        name = node.child.name if isinstance(node.child, ScanNode) else None
+
+        if name is not None and node.op != "project-ancestor":
+            # Guide-based pruning is only sound for the numeric query
+            # kinds: a project-ancestor result is an *instance* whose
+            # bare-root skeleton the shortcut could not reproduce.
+            if self.path_index.can_match(self.database, name, node.path) is False:
+                self.metrics.counter("index.skipped_instances").inc()
+                with self.tracer.span(
+                    f"query.{node.op}", strategy="indexed", index="skipped"
+                ) as qspan:
+                    value = _SKIP_RESULTS[node.op]()
+                self._record_indexed_query(node.op, qspan)
+                return value, "indexed", {"index": "skipped"}
+
+        col: ColumnarInstance | None = None
+        if name is not None:
+            try:
+                col = self.index_cache.get(self.database, name, instance=pi)
+            except Exception as exc:
+                self.tracer.event(
+                    "index.build_error", instance=name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        if col is None or not col.is_tree:
+            self.metrics.counter("index.fallbacks").inc()
+            return self._apply_walked(node, pi)
+
+        if node.op == "project-ancestor":
+            with self.tracer.span(
+                "index.match", path=str(node.path), instance=name or pi.root
+            ) as span:
+                match = match_path_indexed(col, node.path)
+                span.attributes["matched"] = len(match.matched)
+            sweep = epsilon_pass(pi, node.path, match=match, assume_tree=True)
+            projected = instance_from_epsilon_pass(pi, node.path, sweep)
+            return projected, "indexed", {"index": "columnar"}
+
+        # Numeric query kinds keep their ``query.<kind>`` span and
+        # counters (the contract the walked QueryEngine established), so
+        # traces and PROFILE stay comparable across strategies.
+        with self.tracer.span(
+            f"query.{node.op}", strategy="indexed"
+        ) as qspan:
+            if node.op == "point":
+                # A point query never needs the full match: the target's
+                # root chain comes straight from the parent pointers.
+                assert node.oid is not None
+                try:
+                    chain = chain_to(pi, node.path, node.oid,
+                                     parent_of=col.parent_map())
+                    value = chain_probability(pi, chain)
+                except AlgebraError:
+                    value = 0.0
+            else:
+                with self.tracer.span(
+                    "index.match", path=str(node.path), instance=name or pi.root
+                ) as span:
+                    match = match_path_indexed(col, node.path)
+                    span.attributes["matched"] = len(match.matched)
+                if node.op == "exists":
+                    sweep = epsilon_pass(
+                        pi, node.path, match=match, assume_tree=True
+                    )
+                    value = sweep.root_epsilon
+                elif node.op == "count":
+                    parent_map = col.parent_map()
+                    total = 0.0
+                    for oid in sorted(match.matched):
+                        try:
+                            chain = chain_to(
+                                pi, node.path, oid, parent_of=parent_map
+                            )
+                        except AlgebraError:
+                            continue
+                        total += chain_probability(pi, chain)
+                    value = total
+                else:  # "dist"
+                    from repro.queries.aggregates import (
+                        match_count_distribution,
+                    )
+
+                    value = match_count_distribution(pi, node.path, match=match)
+        self._record_indexed_query(node.op, qspan)
+        return value, "indexed", {"index": "columnar"}
+
+    def _record_indexed_query(self, kind: str, qspan: Span) -> None:
+        """Mirror ``QueryEngine._record``'s counters for indexed queries."""
+        self.metrics.counter(f"query.{kind}").inc()
+        self.metrics.histogram("query.wall_s").observe(qspan.wall_s)
+
+    def _apply_walked(
+        self, node: IndexedPathStepNode, pi: ProbabilisticInstance
+    ) -> tuple[object, str, dict]:
+        """Run the operator an indexed path step was lowered from."""
+        if node.op == "project-ancestor":
+            projected = _PROJECTION_OPERATORS["ancestor"](pi, node.path)
+            return projected, "local", {"index": "fallback"}
+        value, strategy, extra = self._apply_query(
+            QueryNode(node.op, node.child, path=node.path, oid=node.oid), pi
+        )
+        extra = dict(extra)
+        extra["index"] = "fallback"
+        return value, strategy, extra
 
     def _apply_query(
         self, node: QueryNode, pi: ProbabilisticInstance
@@ -669,6 +827,12 @@ def _render_plan(plan: PlanNode, engine: Engine) -> list[str]:
         ]
         if isinstance(node, QueryNode):
             details.append(f"strategy={engine.cost.choose_strategy(estimate)}")
+        elif isinstance(node, IndexedPathStepNode):
+            details.append("strategy=indexed")
+            details.append(
+                f"nav_cost={engine.cost.navigation_cost(estimate, indexed=True):.1f}"
+                f" vs {engine.cost.navigation_cost(estimate, indexed=False):.1f}"
+            )
         elif not isinstance(node, ScanNode):
             details.append("strategy=local")
         if not isinstance(node, ScanNode) and engine.caching:

@@ -1,0 +1,41 @@
+"""Structural path index and columnar instance core.
+
+The walked evaluators navigate the Python object graph node-at-a-time;
+this package gives the engine flat-array alternatives:
+
+* :mod:`repro.index.encoding` — pre/size/level interval encoding of
+  trees (the XPath-accelerator design), turning ancestor/descendant
+  tests into integer range comparisons;
+* :mod:`repro.index.columnar` — :class:`ColumnarInstance`, a
+  struct-of-arrays snapshot of one instance version, plus
+  :func:`match_path_indexed`, a batched path matcher that returns
+  results identical to :func:`repro.semistructured.paths.match_path`;
+* :mod:`repro.index.opf` — vectorized OPF marginalization for the
+  Section 6.1 epsilon pass (numpy fast path, pure-Python fallback);
+* :mod:`repro.index.pathindex` — catalog-wide path -> posting-list
+  pruning built on the `repro.check` strong dataguides;
+* :mod:`repro.index.cache` — the per-engine snapshot cache keyed by
+  ``(version, Database.generation())``.
+
+numpy is optional throughout (:mod:`repro.index.np_compat`); every
+vectorized routine has a pure-Python twin with identical semantics.
+"""
+
+from repro.index.cache import IndexCache, cache_token
+from repro.index.columnar import ColumnarInstance, match_path_indexed
+from repro.index.encoding import IntervalEncoding
+from repro.index.np_compat import HAS_NUMPY
+from repro.index.opf import marginalize_opf, marginalize_python
+from repro.index.pathindex import PathIndex
+
+__all__ = [
+    "HAS_NUMPY",
+    "ColumnarInstance",
+    "IndexCache",
+    "IntervalEncoding",
+    "PathIndex",
+    "cache_token",
+    "marginalize_opf",
+    "marginalize_python",
+    "match_path_indexed",
+]

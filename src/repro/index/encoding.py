@@ -1,0 +1,99 @@
+"""Pre/size/level interval encoding of tree-shaped instances.
+
+The XPath-accelerator idea (Grust's single-axis accelerator): assign
+every node its preorder rank ``pre(o)``, its subtree size ``size(o)``
+and its depth ``level(o)``.  On a tree, node ``a`` is an ancestor of
+``b`` iff
+
+    pre(a) < pre(b) <= pre(a) + size(a) - 1
+
+so ancestor/descendant tests — and the backward prune of a path match —
+become integer range comparisons over flat arrays instead of graph
+walks.  The encoding is only defined for trees; :meth:`from_graph`
+returns ``None`` for DAG-shaped graphs, which is the signal the engine
+uses to fall back to the walked operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.semistructured.graph import EdgeLabeledGraph, Oid
+
+
+@dataclass(frozen=True)
+class IntervalEncoding:
+    """Pre/size/level columns over a caller-chosen node index space.
+
+    Attributes:
+        index_of: node id -> position in the columns.
+        pre: preorder rank per position (children visited in sorted
+            order, so the encoding is deterministic per graph).
+        size: subtree size per position (``>= 1``; a node's subtree
+            occupies preorder ranks ``[pre, pre + size)``).
+        level: depth per position (root at 0).
+    """
+
+    index_of: Mapping[Oid, int]
+    pre: tuple[int, ...]
+    size: tuple[int, ...]
+    level: tuple[int, ...]
+
+    @classmethod
+    def from_graph(
+        cls, graph: EdgeLabeledGraph, root: Oid
+    ) -> "IntervalEncoding | None":
+        """Encode a rooted tree; ``None`` when the graph is not a tree."""
+        if root not in graph or not graph.is_tree(root):
+            return None
+        order: list[Oid] = []
+        level: dict[Oid, int] = {root: 0}
+        parent: dict[Oid, Oid] = {}
+        stack: list[Oid] = [root]
+        while stack:
+            oid = stack.pop()
+            order.append(oid)
+            for child in sorted(graph.children(oid), reverse=True):
+                level[child] = level[oid] + 1
+                parent[child] = oid
+                stack.append(child)
+        size: dict[Oid, int] = {oid: 1 for oid in order}
+        for oid in reversed(order):
+            if oid in parent:
+                size[parent[oid]] += size[oid]
+        pre_rank = {oid: rank for rank, oid in enumerate(order)}
+        index_of = {oid: position for position, oid in enumerate(order)}
+        return cls(
+            index_of=index_of,
+            pre=tuple(pre_rank[oid] for oid in order),
+            size=tuple(size[oid] for oid in order),
+            level=tuple(level[oid] for oid in order),
+        )
+
+    def __len__(self) -> int:
+        return len(self.pre)
+
+    def interval(self, oid: Oid) -> tuple[int, int]:
+        """The half-open preorder interval ``[pre, pre + size)`` of ``oid``."""
+        position = self.index_of[oid]
+        start = self.pre[position]
+        return (start, start + self.size[position])
+
+    def is_ancestor(self, ancestor: Oid, descendant: Oid) -> bool:
+        """Strict ancestorship via one range comparison."""
+        a = self.index_of[ancestor]
+        d = self.index_of[descendant]
+        start = self.pre[a]
+        return start < self.pre[d] < start + self.size[a]
+
+    def is_ancestor_or_self(self, ancestor: Oid, descendant: Oid) -> bool:
+        """Reflexive ancestorship via one range comparison."""
+        a = self.index_of[ancestor]
+        d = self.index_of[descendant]
+        start = self.pre[a]
+        return start <= self.pre[d] < start + self.size[a]
+
+    def depth(self, oid: Oid) -> int:
+        """``level(o)`` — the node's distance from the root."""
+        return self.level[self.index_of[oid]]

@@ -1,0 +1,17 @@
+"""Optional numpy import shared by the index subsystem.
+
+The index works without numpy — every vectorized routine has a
+pure-Python twin — so the import is guarded once here instead of in
+every module.  ``numpy`` is ``None`` when absent; callers must check
+:data:`HAS_NUMPY` before touching it.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised indirectly by both code paths
+    import numpy
+except ImportError:  # pragma: no cover - depends on the environment
+    numpy = None  # type: ignore[assignment]
+
+#: Whether the vectorized fast paths are available in this process.
+HAS_NUMPY = numpy is not None

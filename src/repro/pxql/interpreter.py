@@ -100,6 +100,8 @@ class Interpreter:
         strategy: ``"engine"`` (plan, optimize, cache) or ``"naive"``
             (the original eager path; kept for A/B parity testing).
         optimizer: whether the engine applies its rewrite rules.
+        use_index: whether the engine lowers path navigation onto the
+            structural index (:mod:`repro.index`); off = pre-index plans.
         cache_size: LRU capacity of the engine's plan and result caches.
         check: check-before-execute mode.  ``"error"`` (default) runs
             the static checker before each statement and raises
@@ -121,6 +123,7 @@ class Interpreter:
         database: Database | None = None,
         strategy: str = "engine",
         optimizer: bool = True,
+        use_index: bool = True,
         cache_size: int = 256,
         check: str = "error",
         slow_query_s: float = 0.25,
@@ -143,7 +146,7 @@ class Interpreter:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.slow_log = SlowQueryLog(threshold_s=slow_query_s)
         self.engine = Engine(self.database, optimizer=optimizer,
-                             cache_size=cache_size,
+                             use_index=use_index, cache_size=cache_size,
                              tracer=self.tracer, metrics=self.metrics)
         self._counter = 0
         self._guides = DataGuideCache()

@@ -15,7 +15,7 @@ from repro.errors import QueryError
 from repro.queries.chain import chain_probability
 from repro.queries.point import point_query
 from repro.semistructured.graph import Label, Oid
-from repro.semistructured.paths import PathExpression, match_path
+from repro.semistructured.paths import PathExpression, PathMatch, match_path
 from repro.semistructured.types import Value
 
 
@@ -53,32 +53,42 @@ def expected_child_count(
     return expectation * existence_probability(pi, oid)
 
 
-def expected_match_count(pi: ProbabilisticInstance, path: PathExpression | str) -> float:
+def expected_match_count(
+    pi: ProbabilisticInstance,
+    path: PathExpression | str,
+    match: PathMatch | None = None,
+) -> float:
     """``E[#objects satisfying p]`` — the sum of the point probabilities.
 
-    Exact on trees by linearity of expectation; no enumeration.
+    Exact on trees by linearity of expectation; no enumeration.  A
+    precomputed ``match`` (e.g. from the columnar matcher) skips the
+    structural locate step.
     """
     if isinstance(path, str):
         path = PathExpression.parse(path)
-    match = match_path(pi.weak.graph(), path)
+    if match is None:
+        match = match_path(pi.weak.graph(), path)
     return sum(point_query(pi, path, oid) for oid in match.matched)
 
 
 def match_count_distribution(
-    pi: ProbabilisticInstance, path: PathExpression | str
+    pi: ProbabilisticInstance,
+    path: PathExpression | str,
+    match: PathMatch | None = None,
 ) -> dict[int, float]:
     """The exact distribution of ``#objects satisfying p`` (trees).
 
     Computed bottom-up with per-branch count-generating convolutions —
     polynomial in the number of matched objects, never enumerating
-    worlds.
+    worlds.  A precomputed ``match`` skips the structural locate step.
     """
     if isinstance(path, str):
         path = PathExpression.parse(path)
     from repro.algebra.projection_prob import _require_tree
 
     _require_tree(pi)
-    match = match_path(pi.weak.graph(), path)
+    if match is None:
+        match = match_path(pi.weak.graph(), path)
     if match.is_empty:
         return {0: 1.0}
     depth = len(match.levels) - 1

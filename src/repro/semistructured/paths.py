@@ -135,6 +135,18 @@ class PathMatch:
         return membership
 
 
+def empty_match(path: PathExpression) -> PathMatch:
+    """The canonical match of a path no object satisfies.
+
+    Shared by :func:`match_path` and the columnar matcher
+    (:func:`repro.index.columnar.match_path_indexed`) so the two agree
+    exactly on the empty case's level-set shape.
+    """
+    empty_levels = tuple(frozenset() for _ in range(len(path.labels) + 1))
+    return PathMatch(path, empty_levels, frozenset(), tuple(
+        frozenset() for _ in range(len(path.labels))))
+
+
 def match_path(graph: EdgeLabeledGraph, path: PathExpression) -> PathMatch:
     """Match ``path`` against ``graph``: forward sweep then backward prune.
 
@@ -145,9 +157,7 @@ def match_path(graph: EdgeLabeledGraph, path: PathExpression) -> PathMatch:
     """
     forward = level_sets(graph, path)
     if not forward or not forward[-1]:
-        empty_levels = tuple(frozenset() for _ in range(len(path.labels) + 1))
-        return PathMatch(path, empty_levels, frozenset(), tuple(
-            frozenset() for _ in range(len(path.labels))))
+        return empty_match(path)
 
     pruned: list[frozenset[Oid]] = [frozenset()] * len(forward)
     pruned[-1] = forward[-1]
