@@ -9,6 +9,9 @@ Usage::
     python -m repro.bench engine --smoke [--metrics OUT.json]
     python -m repro.bench index  [--quick] [--json OUT.json]
     python -m repro.bench index  --smoke [--metrics OUT.json]
+    python -m repro.bench absint [--quick] [--json OUT.json]
+    python -m repro.bench absint --smoke [--metrics OUT.json]
+    python -m repro.bench gate   [--threshold 0.30]
     python -m repro.bench all    [--quick] [--json OUT.json]
 
 ``fig7a``/``fig7b`` share one ancestor-projection sweep (total time and
@@ -16,7 +19,11 @@ p-update time are two views of the same measurements); ``fig7c`` runs the
 selection sweep; ``engine`` measures the query engine's optimizer and
 cache effect (naive / optimized / cold-cache / warm-cache) on a
 projection-selection-query pipeline; ``index`` compares indexed vs
-walked path navigation (:mod:`repro.bench.index`).
+walked path navigation (:mod:`repro.bench.index`); ``absint`` measures
+the abstract interpreter's certification overhead and provably-empty
+short-circuit win (:mod:`repro.bench.absint`); ``gate`` checks the
+recorded ratio metrics against their trajectory and exits non-zero on
+a regression (:mod:`repro.bench.gate`).
 
 ``--smoke`` is the CI entry point: the quick grid with minimal repeats,
 plus a :mod:`repro.obs` metrics dump (``--metrics``, default
@@ -94,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=("fig7a", "fig7b", "fig7c", "engine", "index", "all", "report"),
+        choices=("fig7a", "fig7b", "fig7c", "engine", "index", "absint",
+                 "gate", "all", "report"),
     )
     parser.add_argument("--quick", action="store_true", help="use the small grid")
     parser.add_argument(
@@ -115,9 +123,22 @@ def main(argv: list[str] | None = None) -> int:
         "--append-records", action="store_true",
         help="append raw records to results/bench_records.json",
     )
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="gate: maximum tolerated relative drop of a ratio metric "
+             "(default 0.30)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.quick = True
+
+    if args.figure == "gate":
+        from repro.bench.gate import DEFAULT_THRESHOLD, run_gate
+
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        return run_gate(threshold=threshold)
 
     if args.figure == "report":
         if not args.json:
@@ -147,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
         print("Figure 7(c) detail: selection — disk-write component (ms)")
         print(format_series(records, "write"))
         print()
-    if args.figure in ("engine", "index", "all"):
+    if args.figure in ("engine", "index", "absint", "all"):
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
@@ -184,6 +205,23 @@ def main(argv: list[str] | None = None) -> int:
             all_records.extend(index_records_to_dicts(index_records))
             print("Path index: mean per-query time per mode (ms)")
             print(format_index_records(index_records))
+            print()
+
+        if args.figure in ("absint", "all"):
+            from repro.bench.absint import (
+                format_absint_records,
+                records_to_dicts as absint_records_to_dicts,
+                run_absint_bench,
+            )
+
+            absint_records = run_absint_bench(
+                quick=args.quick,
+                repeats=3 if args.smoke else 20,
+                metrics=registry,
+            )
+            all_records.extend(absint_records_to_dicts(absint_records))
+            print("Absint: mean per-evaluation time per mode (ms)")
+            print(format_absint_records(absint_records))
             print()
 
         metrics_path = args.metrics

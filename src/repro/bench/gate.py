@@ -1,0 +1,140 @@
+"""Benchmark trajectory gate: fail CI on performance regressions.
+
+``results/bench_records.json`` is an append-only trajectory: every
+``--append-records`` smoke run adds one batch of records.  The machines
+differ run to run, so absolute times are useless as a gate — but the
+*ratio* metrics (the ``speedup`` fields: indexed-vs-walked navigation,
+absint-skip-vs-full-evaluation) are computed within one run on one
+machine and stay comparable across the trajectory.
+
+The gate groups every record carrying a non-null ``speedup`` by its
+identity (``operation``, ``mode``, grid cell), takes the *last* record
+of each group as the current run and the median of the earlier ones as
+the baseline, and fails when the current speedup falls more than
+``--threshold`` (default 30%) below that baseline::
+
+    python -m repro.bench gate [--threshold 0.30] [--records PATH]
+
+Groups with fewer than two records have no trajectory yet and are
+reported as ``new``; a missing records file is an error (the gate is
+meant to run right after a ``--smoke --append-records`` step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Default trajectory location (shared with ``--append-records``).
+RECORDS_PATH = "results/bench_records.json"
+
+#: Maximum tolerated relative drop of a ratio metric vs its baseline.
+DEFAULT_THRESHOLD = 0.30
+
+#: Record fields that identify a measurement series across runs.
+_GROUP_FIELDS = ("operation", "mode", "labeling", "branching", "depth")
+
+
+def _group_key(record: dict) -> tuple:
+    return tuple(record.get(field) for field in _GROUP_FIELDS)
+
+
+def _label(key: tuple) -> str:
+    operation, mode, labeling, branching, depth = key
+    return f"{operation}/{mode} {labeling} b={branching} d={depth}"
+
+
+def gate_records(
+    records: list[dict], threshold: float = DEFAULT_THRESHOLD
+) -> tuple[list[str], bool]:
+    """Evaluate the trajectory; returns (report lines, any regression)."""
+    groups: dict[tuple, list[float]] = {}
+    for record in records:
+        speedup = record.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup > 0:
+            groups.setdefault(_group_key(record), []).append(float(speedup))
+
+    lines = [
+        f"{'series':<40}  {'baseline':>9}  {'current':>9}  {'change':>8}  status"
+    ]
+    regressed = False
+    for key in sorted(groups, key=_label):
+        series = groups[key]
+        current = series[-1]
+        history = series[:-1]
+        if not history:
+            lines.append(
+                f"{_label(key):<40}  {'-':>9}  {current:>8.2f}x  {'-':>8}  new"
+            )
+            continue
+        baseline = statistics.median(history)
+        change = current / baseline - 1.0
+        bad = current < baseline * (1.0 - threshold)
+        regressed = regressed or bad
+        status = "REGRESSION" if bad else "ok"
+        lines.append(
+            f"{_label(key):<40}  {baseline:>8.2f}x  {current:>8.2f}x  "
+            f"{change:>+7.1%}  {status}"
+        )
+    if not groups:
+        lines.append("no ratio metrics in the record file")
+    return lines, regressed
+
+
+def run_gate(
+    records_path: str | Path = RECORDS_PATH,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> int:
+    """Load the trajectory, print the report, return the exit code."""
+    path = Path(records_path)
+    if not path.exists():
+        print(f"gate: no record file at {path} — run a --append-records "
+              "bench first")
+        return 1
+    try:
+        records = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        print(f"gate: cannot parse {path}: {error}")
+        return 1
+    if not isinstance(records, list):
+        print(f"gate: {path} does not hold a JSON array of bench records")
+        return 1
+    lines, regressed = gate_records(records, threshold)
+    print("\n".join(lines))
+    if regressed:
+        print(f"gate: FAIL — a ratio metric dropped more than "
+              f"{threshold:.0%} below its trajectory median")
+        return 1
+    print("gate: pass")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench gate",
+        description="Fail when a ratio benchmark metric regresses against "
+                    "its recorded trajectory.",
+    )
+    parser.add_argument("--records", default=RECORDS_PATH,
+                        help=f"record trajectory file (default {RECORDS_PATH})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated relative drop "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    return run_gate(args.records, args.threshold)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "RECORDS_PATH",
+    "gate_records",
+    "main",
+    "run_gate",
+]

@@ -19,6 +19,14 @@ severity, an optional source span, and a fix hint.
   (:mod:`repro.check.rewrites`).
 * **Query pass** (:mod:`repro.check.query`) — statement-level checks for
   the PXQL front-end, with source spans from the lexer.
+* **Abstract interpretation** (:mod:`repro.check.absint`) — an interval
+  analysis over the plan IR: probability and cardinality intervals per
+  node, certified result bounds, provably-empty results (``PX26x``),
+  and runtime-checkable :class:`~repro.check.absint.PlanCertificate`
+  records the engine consumes for short-circuiting and cost hints.
+* **Script pass** (:mod:`repro.check.script`) — whole-script PXQL
+  dataflow (``PX31x``): use-before-register, dead results, shadowed
+  re-registrations, shadowed session timeouts.
 
 ``python -m repro.check`` runs all passes over a database directory or
 a fixture corpus (see :mod:`repro.check.cli`).
@@ -46,6 +54,14 @@ _LAZY = {
     "check_text": "repro.check.query",
     "RewriteJustification": "repro.check.rewrites",
     "justify_rewrites": "repro.check.rewrites",
+    "CardInterval": "repro.check.absint",
+    "PlanCertificate": "repro.check.absint",
+    "ProbInterval": "repro.check.absint",
+    "certify_plan": "repro.check.absint",
+    "verify_execution": "repro.check.absint",
+    "ScriptTracker": "repro.check.script",
+    "parse_script": "repro.check.script",
+    "script_diagnostics": "repro.check.script",
 }
 
 
@@ -63,6 +79,7 @@ def __dir__() -> list[str]:
 
 
 __all__ = [
+    "CardInterval",
     "CheckError",
     "DataGuide",
     "DataGuideCache",
@@ -71,10 +88,14 @@ __all__ = [
     "ERROR",
     "INFO",
     "Issue",
+    "PlanCertificate",
+    "ProbInterval",
     "RewriteJustification",
+    "ScriptTracker",
     "Span",
     "WARNING",
     "build_dataguide",
+    "certify_plan",
     "check_instance",
     "check_plan",
     "check_statement",
@@ -83,4 +104,7 @@ __all__ = [
     "has_errors",
     "justify_rewrites",
     "lint_instance",
+    "parse_script",
+    "script_diagnostics",
+    "verify_execution",
 ]

@@ -3,26 +3,30 @@
 Usage::
 
     python -m repro.check [PATH ...] [--format text|json]
-                          [--fail-on error|warning|never]
+                          [--fail-on error|warning|never|PX260,PX311,...]
 
 Each ``PATH`` may be:
 
 * a directory — scanned recursively for ``*.pxml.json`` instance files
   (model pass + dataguide construction) and ``*.pxql`` scripts (query
-  pass, statement by statement, against a catalog backed by the
-  script's directory);
+  pass statement by statement, plus the whole-script dataflow pass,
+  against a catalog backed by the script's directory);
 * a single ``*.pxml.json`` file;
 * a single ``*.pxql`` script.
 
-The process exits 0 when the report passes the ``--fail-on`` severity
-gate (default: fail only on error-severity findings) and 1 otherwise,
-so the command can gate CI on a fixture corpus (see
-``.github/workflows/ci.yml``).
+The process exits 0 when the report passes the ``--fail-on`` gate and 1
+otherwise, so the command can gate CI on a fixture corpus (see
+``.github/workflows/ci.yml``).  The gate is either a severity
+(``error`` — the default — fails on error-severity findings,
+``warning`` also on warnings, ``never`` never fails) or a
+comma-separated list of PX codes (fail when any listed code appears,
+whatever its severity) — e.g. ``--fail-on PX260,PX311``.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
@@ -36,6 +40,15 @@ _SCRIPT_SUFFIX = ".pxql"
 
 #: CLI-level codes (files that cannot even be read).
 UNREADABLE_INSTANCE = "PX120"
+
+#: The exact name an unknown-instance finding (PX201/PX301) refers to.
+#: Anchored extraction — not substring probing — so suppressing findings
+#: about a script's own intermediate results can never swallow a finding
+#: of another code (PX26x, PX31x, ...) that merely *mentions* a name.
+_UNKNOWN_INSTANCE = re.compile(r"unknown instance '([^']*)'")
+
+#: A PX-code gate item for ``--fail-on``.
+_PX_CODE = re.compile(r"^PX\d{3}$")
 
 
 def _check_instance_file(path: Path) -> list[Diagnostic]:
@@ -73,8 +86,13 @@ def _check_script_file(path: Path) -> list[Diagnostic]:
     Blank lines and ``#`` comments are skipped.  Names a previous
     statement defines (``AS name``, ``LOAD name``) are treated as known,
     so scripts that build on their own intermediate results do not
-    produce spurious unknown-instance errors.
+    produce spurious unknown-instance errors — the suppression is keyed
+    on the exact name the PX201/PX301 finding names, so it can never
+    hide a finding of any other code.  The whole-script dataflow pass
+    (:mod:`repro.check.script`, ``PX31x``) runs after the per-statement
+    checks.
     """
+    from repro.check.script import script_diagnostics
     from repro.storage.database import Database
 
     database = Database(path.parent)
@@ -82,22 +100,22 @@ def _check_script_file(path: Path) -> list[Diagnostic]:
     defined: set[str] = set()
     diagnostics: list[Diagnostic] = []
     try:
-        lines = path.read_text().splitlines()
+        source = path.read_text()
     except OSError as error:
         return [Diagnostic(
             code=UNREADABLE_INSTANCE, severity=ERROR,
             message=f"cannot read script file: {error}", subject=str(path),
         )]
-    for number, line in enumerate(lines, start=1):
+    for number, line in enumerate(source.splitlines(), start=1):
         text = line.strip()
         if not text or text.startswith("#"):
             continue
         found = check_text(text, database, guides=guides)
         for diagnostic in found:
-            if diagnostic.code in ("PX201", "PX301") and any(
-                repr(name) in diagnostic.message for name in defined
-            ):
-                continue    # refers to an earlier statement's result
+            if diagnostic.code in ("PX201", "PX301"):
+                matched = _UNKNOWN_INSTANCE.search(diagnostic.message)
+                if matched is not None and matched.group(1) in defined:
+                    continue    # refers to an earlier statement's result
             diagnostics.append(Diagnostic(
                 code=diagnostic.code, severity=diagnostic.severity,
                 message=diagnostic.message,
@@ -106,6 +124,10 @@ def _check_script_file(path: Path) -> list[Diagnostic]:
                 hint=diagnostic.hint,
             ))
         defined.update(_defined_names(text))
+    try:
+        diagnostics.extend(script_diagnostics(source, prefix=str(path)))
+    except Exception:
+        pass    # the dataflow pass is advisory; statement findings stand
     return diagnostics
 
 
@@ -153,6 +175,27 @@ def collect_diagnostics(paths: list[str]) -> DiagnosticReport:
     return report
 
 
+def _fail_on_gate(value: str) -> str:
+    """Validate a ``--fail-on`` argument: a severity or PX-code list."""
+    if value in ("error", "warning", "never"):
+        return value
+    codes = [code.strip() for code in value.split(",") if code.strip()]
+    if codes and all(_PX_CODE.match(code) for code in codes):
+        return ",".join(codes)
+    raise argparse.ArgumentTypeError(
+        f"expected 'error', 'warning', 'never' or comma-separated PX codes "
+        f"(like 'PX260,PX311'), got {value!r}"
+    )
+
+
+def report_fails(report: DiagnosticReport, gate: str) -> bool:
+    """Apply a validated ``--fail-on`` gate to a report."""
+    if gate in ("error", "warning", "never"):
+        return report.fails(gate)
+    codes = set(gate.split(","))
+    return any(d.code in codes for d in report.diagnostics)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -170,15 +213,16 @@ def main(argv: list[str] | None = None) -> int:
         help="report format (default: text)",
     )
     parser.add_argument(
-        "--fail-on", choices=("error", "warning", "never"), default="error",
-        help="exit non-zero when findings at (or above) this severity "
-             "exist (default: error)",
+        "--fail-on", type=_fail_on_gate, default="error",
+        help="exit non-zero on findings at (or above) this severity — "
+             "'error' (default), 'warning', 'never' — or on any of a "
+             "comma-separated list of PX codes (e.g. 'PX260,PX311')",
     )
     arguments = parser.parse_args(argv)
     report = collect_diagnostics(arguments.paths or ["examples"])
     output = report.to_json() if arguments.format == "json" else report.to_text()
     print(output)
-    return 1 if report.fails(arguments.fail_on) else 0
+    return 1 if report_fails(report, arguments.fail_on) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

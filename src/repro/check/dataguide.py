@@ -30,7 +30,7 @@ invalidate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from repro.core.instance import ProbabilisticInstance
@@ -53,6 +53,10 @@ class DataGuideEntry:
             zero-probability paths are pruned from the guide).
         exact: whether the per-object probabilities underlying the bounds
             are exact (true on trees with fully specified OPFs).
+        object_bounds: per-target ``(lower, upper)`` occurrence bounds,
+            the raw material the path-level bounds are folded from.  On
+            truncated guides these may be incomplete and must not be
+            trusted (see :attr:`DataGuide.truncated`).
     """
 
     labels: tuple[Label, ...]
@@ -60,6 +64,9 @@ class DataGuideEntry:
     lower: float
     upper: float
     exact: bool
+    object_bounds: Mapping[Oid, tuple[float, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __str__(self) -> str:
         path = ".".join(self.labels) if self.labels else "(root)"
@@ -183,6 +190,7 @@ def build_dataguide(
             lower=lower,
             upper=upper,
             exact=is_tree,
+            object_bounds=dict(bounds),
         )
 
     while frontier:

@@ -83,7 +83,13 @@ class Issue:
 
     def __post_init__(self) -> None:
         if not self.px:
-            object.__setattr__(self, "px", PX_CODES.get(self.code, "PX199"))
+            try:
+                object.__setattr__(self, "px", PX_CODES[self.code])
+            except KeyError:
+                raise ValueError(
+                    f"unknown lint mnemonic {self.code!r}: add it to "
+                    "repro.check.model.PX_CODES before emitting it"
+                ) from None
 
     def __str__(self) -> str:
         where = f" [{self.oid}]" if self.oid is not None else ""

@@ -473,6 +473,26 @@ def check_plan(
     """
     checker = PlanChecker(database, guides, subject)
     diagnostics = list(checker.check(plan))
+    if not any(d.severity == ERROR for d in diagnostics):
+        # Interval pass: only meaningful on plans the base checker found
+        # executable (an unknown scan or a certain runtime error makes
+        # every interval vacuous).  Selections already flagged by a
+        # ``PX22x`` finding keep that finding as the single source of
+        # truth instead of gaining an interval-flavoured duplicate.
+        try:
+            from repro.check.absint import absint_diagnostics, certify_plan
+
+            certificate = certify_plan(plan, database, checker.guides)
+            flagged: set[tuple[str, str]] = set()
+            for d in diagnostics:
+                if d.code.startswith("PX22") and d.path is not None \
+                        and d.oid is not None:
+                    flagged.add((d.path, d.oid))
+            diagnostics.extend(
+                absint_diagnostics(plan, certificate, subject, flagged)
+            )
+        except Exception:
+            pass    # the interval pass is advisory; never block checking
     if rewrites:
         from repro.engine.cost import CostModel
         from repro.engine.rewrite import INDEX_RULES, optimize

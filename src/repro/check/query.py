@@ -42,6 +42,10 @@ _CODE_ROLES: dict[str, tuple[str, ...]] = {
     "PX242": ("chain",),
     "PX243": ("chain",),
     "PX244": ("oid",),
+    "PX260": ("path",),
+    "PX261": ("prob", "oid", "path"),
+    "PX262": ("oid", "path"),
+    "PX263": ("prob", "oid", "path"),
 }
 
 

@@ -31,6 +31,7 @@ from repro.engine.plan import (
     QueryNode,
     ScanNode,
     SelectNode,
+    fingerprint,
 )
 
 #: Above this many interpretation entries a non-tree instance is judged
@@ -70,9 +71,29 @@ class CostModel:
             memoization-by-version and measures every time).
     """
 
+    #: Hint tables are cleared wholesale past this size (cheap leak guard;
+    #: hints are re-derivable from the next certification).
+    MAX_HINTS = 4096
+
     def __init__(self, catalog) -> None:
         self._catalog = catalog
         self._measured: dict[tuple[str, int], Estimate] = {}
+        self._hints: dict[str, tuple[int, int]] = {}
+        #: How many estimates were sharpened by an absint hint.
+        self.hint_hits = 0
+
+    # ------------------------------------------------------------------
+    def note_hint(self, key: str, lo: int, hi: int) -> None:
+        """Install a certified cardinality interval for a plan fingerprint.
+
+        The abstract interpreter (:mod:`repro.check.absint`) proves
+        ``[lo, hi]`` bounds on a sub-plan's object count; when the
+        interval is tight the midpoint beats the structural upper bound
+        :meth:`estimate` would otherwise propagate.
+        """
+        if len(self._hints) > self.MAX_HINTS:
+            self._hints.clear()
+        self._hints[key] = (lo, hi)
 
     # ------------------------------------------------------------------
     def measure_instance(self, pi: ProbabilisticInstance) -> Estimate:
@@ -102,6 +123,19 @@ class CostModel:
             return self._scan(plan.name)
         if isinstance(plan, (ProjectNode, SelectNode)):
             child = self.estimate(plan.child)
+            hint = self._hints.get(fingerprint(plan))
+            if hint is not None:
+                lo, hi = hint
+                objects = (lo + hi) // 2
+                if objects != child.objects:
+                    self.hint_hits += 1
+                    scale = objects / child.objects if child.objects else 0.0
+                    return Estimate(
+                        objects=objects,
+                        entries=int(round(child.entries * scale)),
+                        is_tree=child.is_tree,
+                        root=child.root,
+                    )
             # Structure-preserving (selection) or shrinking (projection):
             # the child's size is a safe upper bound either way.
             return child

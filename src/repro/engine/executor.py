@@ -30,7 +30,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pxql -> engine)
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    # pxql -> engine, and check.absint -> engine.plan -> engine (this
+    # module): the absint names appear only in annotations here; the
+    # runtime imports live inside the methods that need them.
+    from repro.check.absint import (
+        CardInterval,
+        NodeFacts,
+        PlanCertificate,
+        ProbInterval,
+    )
     from repro.pxql import ast
 
 from repro.algebra.product import cartesian_product
@@ -47,6 +56,7 @@ from repro.algebra.selection import (
     chain_to,
     select_local,
 )
+from repro.check.dataguide import DataGuideCache
 from repro.core.cardinality import CardinalityInterval
 from repro.core.instance import ProbabilisticInstance
 from repro.engine.cache import LRUCache
@@ -63,6 +73,7 @@ from repro.engine.plan import (
     fingerprint,
     plan_statement,
     scan_names,
+    walk,
 )
 from repro.engine.rewrite import DEFAULT_RULES, INDEX_RULES, optimize
 from repro.errors import AlgebraError, BudgetExceeded
@@ -112,7 +123,7 @@ class NodeStats:
     """
 
     label: str
-    cache: str                      # "hit" | "miss" | "off" | "scan"
+    cache: str              # "hit" | "miss" | "off" | "scan" | "skip"
     wall_s: float = 0.0
     objects: int | None = None
     strategy: str | None = None
@@ -179,6 +190,12 @@ class ExecutionResult:
     plan: PlanNode
     stats: NodeStats
     applied_rules: tuple[str, ...]
+    #: The abstract-interpretation certificate of the prepared plan
+    #: (None when the pass is off or failed; see ``Engine(absint=...)``).
+    certificate: PlanCertificate | None = None
+    #: Interval violations found by the runtime soundness check (only
+    #: populated under ``EXPLAIN ANALYZE`` / ``PROFILE``; must stay empty).
+    violations: tuple[str, ...] = ()
 
     def find(self, label: str) -> NodeStats | None:
         """The first (outermost) node stats with the given label."""
@@ -233,6 +250,14 @@ class Engine:
             The lowering is an equivalence (runtime falls back to the
             walked operators when the snapshot is not a tree); off = the
             pre-index plans, for A/B parity and ablation.
+        absint: run the abstract interpreter (:mod:`repro.check.absint`)
+            over every prepared plan.  The certificate's cardinality
+            intervals sharpen the cost model, ``EXPLAIN`` renders them
+            as ``est_rows=[lo,hi] prob=[l,u]``, and plans whose result
+            the certificate proves constant-empty short-circuit without
+            touching an instance (counted in ``check.absint_skips``).
+            The pass is advisory: any failure inside it falls back to
+            normal execution (counted in ``check.absint_errors``).
         breaker: circuit breaker over the optimizer/cache layer (own
             instance if omitted).  Rewrite-optimizer failures degrade
             that statement to the unoptimized plan and count against the
@@ -260,6 +285,7 @@ class Engine:
         seed: int | None = None,
         inline_lineage: bool = True,
         use_index: bool = True,
+        absint: bool = True,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         breaker: CircuitBreaker | None = None,
@@ -272,6 +298,11 @@ class Engine:
         self.seed = seed
         self.inline_lineage = inline_lineage
         self.use_index = use_index
+        self.absint = absint
+        #: When set (``EXPLAIN ANALYZE`` / ``PROFILE``), observed
+        #: cardinalities and probabilities are checked against the
+        #: certificate's intervals after every execution.
+        self.absint_verify = False
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cost = CostModel(database)
@@ -284,6 +315,10 @@ class Engine:
         self.rules = DEFAULT_RULES
         self.index_cache = IndexCache()
         self.path_index = PathIndex()
+        self.absint_cache = LRUCache(
+            cache_size, name="engine.cache.absint", metrics=self.metrics
+        )
+        self._guides = DataGuideCache()
         self.breaker = (
             breaker if breaker is not None
             else CircuitBreaker(name="engine.optimizer")
@@ -400,6 +435,116 @@ class Engine:
         return prepared
 
     # ------------------------------------------------------------------
+    # Abstract interpretation (interval certificates)
+    # ------------------------------------------------------------------
+    def certify(self, prepared: PlanNode) -> PlanCertificate | None:
+        """Abstract-interpret a prepared plan into an interval certificate.
+
+        Memoized per versioned plan key (same discipline as the result
+        cache: any input re-registration changes the key).  Advisory by
+        construction — a failure inside the interpreter is counted and
+        swallowed, never surfaced to the query.  Tight cardinality
+        intervals are installed as cost-model hints as a side effect.
+        """
+        if not self.absint:
+            return None
+        from repro.check.absint import certify_plan
+
+        key = self.cache_key(prepared)
+        if self.caching:
+            cached = self._cache_get(self.absint_cache, key)
+            if cached is not None:
+                self._install_hints(prepared, cached)
+                return cached
+        try:
+            with self.tracer.span("check.absint.certify"):
+                certificate = certify_plan(prepared, self.database, self._guides)
+        except Exception as exc:
+            self.metrics.counter("check.absint_errors").inc()
+            self.tracer.event(
+                "check.absint_error", error=f"{type(exc).__name__}: {exc}"
+            )
+            return None
+        self._install_hints(prepared, certificate)
+        if self.caching:
+            self._cache_put(self.absint_cache, key, certificate)
+        return certificate
+
+    def _install_hints(
+        self, prepared: PlanNode, certificate: PlanCertificate
+    ) -> None:
+        """Feed tight certified cardinalities to the cost model."""
+        for node, facts in zip(walk(prepared), certificate.facts):
+            if facts.kind != "instance":
+                continue
+            if not isinstance(node, (ProjectNode, SelectNode)):
+                continue
+            if facts.card.hi is not None and facts.card.is_tight():
+                self.cost.note_hint(
+                    fingerprint(node), facts.card.lo, facts.card.hi
+                )
+
+    def _index_skip_would_fire(self, prepared: PlanNode) -> bool:
+        """Whether the indexed executor's own dataguide skip will handle
+        this plan (it keeps its historical ``index.skipped_instances``
+        accounting, so the absint short-circuit defers to it)."""
+        if not (
+            self.use_index
+            and isinstance(prepared, IndexedPathStepNode)
+            and prepared.op != "project-ancestor"
+            and isinstance(prepared.child, ScanNode)
+        ):
+            return False
+        try:
+            return self.path_index.can_match(
+                self.database, prepared.child.name, prepared.path
+            ) is False
+        except Exception:
+            return False
+
+    def _skip_execution(
+        self, prepared: PlanNode, certificate: PlanCertificate
+    ) -> tuple[object, NodeStats]:
+        """Serve a certified constant-empty result without executing."""
+        assert certificate.kind in _SKIP_RESULTS
+        self.metrics.counter("check.absint_skips").inc()
+        with self.tracer.span(
+            f"engine.node.{prepared.label()}", cache="skip",
+            strategy="absint",
+        ) as span:
+            value = _SKIP_RESULTS[certificate.kind]()
+        stats = NodeStats(
+            prepared.label(), cache="skip",
+            wall_s=span.wall_s, strategy="absint",
+            extra={"absint": "empty"}, span=span,
+        )
+        return value, stats
+
+    def _verify_certificate(
+        self,
+        certificate: PlanCertificate | None,
+        value: object,
+        stats: NodeStats,
+    ) -> tuple[str, ...]:
+        """Runtime soundness check: observations must lie in intervals."""
+        if certificate is None or not self.absint_verify:
+            return ()
+        from repro.check.absint import verify_execution
+
+        try:
+            violations = tuple(verify_execution(certificate, value, stats))
+        except Exception as exc:
+            self.metrics.counter("check.absint_errors").inc()
+            self.tracer.event(
+                "check.absint_error", error=f"{type(exc).__name__}: {exc}"
+            )
+            return ()
+        for message in violations:
+            self.metrics.counter("check.absint_violations").inc()
+            self.tracer.event("check.absint_violation", message=message)
+        return violations
+
+    # ------------------------------------------------------------------
     # Isolated cache access
     # ------------------------------------------------------------------
     def _cache_error(self, op: str, cache: LRUCache, exc: Exception) -> None:
@@ -435,11 +580,23 @@ class Engine:
         with self._ambient():
             with self.tracer.span("engine.execute_plan") as root:
                 prepared, applied = self.prepare(plan)
-                value, _extra, stats = self._run(prepared)
+                certificate = self.certify(prepared)
+                if (
+                    certificate is not None
+                    and certificate.skippable
+                    and not self._index_skip_would_fire(prepared)
+                ):
+                    value, stats = self._skip_execution(prepared, certificate)
+                else:
+                    value, _extra, stats = self._run(prepared)
                 root.attributes["rewrites"] = len(applied)
+            violations = self._verify_certificate(certificate, value, stats)
             self.metrics.counter("engine.executions").inc()
             self.metrics.histogram("engine.execute_s").observe(root.wall_s)
-        return ExecutionResult(value, prepared, stats, applied)
+        return ExecutionResult(
+            value, prepared, stats, applied,
+            certificate=certificate, violations=violations,
+        )
 
     def execute_statement(self, statement: "ast.Statement") -> ExecutionResult:
         """Plan and run a plannable PXQL statement."""
@@ -745,8 +902,11 @@ class Engine:
     def explain(self, plan: PlanNode) -> str:
         """Render the optimized plan with estimates (no execution)."""
         prepared, applied = self.prepare(plan)
-        lines = _render_plan(prepared, self)
+        certificate = self.certify(prepared)
+        lines = _render_plan(prepared, self, certificate)
         lines.append(_rules_line(applied))
+        if certificate is not None:
+            lines.append(_certificate_line(certificate))
         return "\n".join(lines)
 
     def explain_analyze(self, result: ExecutionResult) -> str:
@@ -757,6 +917,14 @@ class Engine:
             f"cache: results [{self.result_cache.stats}], "
             f"plans [{self.plan_cache.stats}]"
         )
+        if result.certificate is not None:
+            lines.append(_certificate_line(result.certificate))
+            if self.absint_verify:
+                lines.append(
+                    "absint violations: "
+                    + (", ".join(result.violations)
+                       if result.violations else "none")
+                )
         return "\n".join(lines)
 
 
@@ -817,7 +985,38 @@ def _tree_lines(render_node, children_of, root) -> list[str]:
     return lines
 
 
-def _render_plan(plan: PlanNode, engine: Engine) -> list[str]:
+def _card_text(card: CardInterval) -> str:
+    hi = "inf" if card.hi is None else str(card.hi)
+    return f"[{card.lo},{hi}]"
+
+
+def _prob_text(prob: ProbInterval) -> str:
+    return f"[{prob.lo:.4g},{prob.hi:.4g}]"
+
+
+def _certificate_line(certificate: "PlanCertificate") -> str:
+    parts = [f"kind={certificate.kind}"]
+    if certificate.result is not None:
+        lo, hi = certificate.result
+        parts.append(f"result=[{lo:.4g},{hi:.4g}]")
+    if certificate.empty:
+        parts.append(
+            "provably empty"
+            + (" (skippable)" if certificate.skippable else "")
+        )
+    return "absint: " + ", ".join(parts)
+
+
+def _render_plan(
+    plan: PlanNode,
+    engine: Engine,
+    certificate: "PlanCertificate | None" = None,
+) -> list[str]:
+    facts_of: dict[int, NodeFacts] = {}
+    if certificate is not None:
+        for plan_node, facts in zip(walk(plan), certificate.facts):
+            facts_of[id(plan_node)] = facts
+
     def render(node: PlanNode) -> str:
         estimate = engine.cost.estimate(node)
         details = [
@@ -825,6 +1024,10 @@ def _render_plan(plan: PlanNode, engine: Engine) -> list[str]:
             f"{estimate.entries} entries",
             "tree" if estimate.is_tree else "dag",
         ]
+        facts = facts_of.get(id(node))
+        if facts is not None:
+            details.append(f"est_rows={_card_text(facts.card)}")
+            details.append(f"prob={_prob_text(facts.prob)}")
         if isinstance(node, QueryNode):
             details.append(f"strategy={engine.cost.choose_strategy(estimate)}")
         elif isinstance(node, IndexedPathStepNode):

@@ -150,8 +150,19 @@ class Interpreter:
                              tracer=self.tracer, metrics=self.metrics)
         self._counter = 0
         self._guides = DataGuideCache()
+        #: Session-level dataflow state (:mod:`repro.check.script`):
+        #: every executed statement is recorded, so ``CHECK`` and
+        #: ``EXPLAIN LINT`` can flag shadowed results / timeouts (PX31x).
+        # Imported here: repro.check.script needs the pxql AST, so a
+        # module-level import would be circular.
+        from repro.check.script import ScriptTracker
+
+        self.script = ScriptTracker()
         self._spans: SpanMap | None = None
         self._subject: str | None = None
+        #: WITH TIMEOUT seconds of the statement currently running
+        #: (None when it carried no wrapper); used by the lint preview.
+        self._statement_timeout_s: float | None = None
         #: The static checker's findings for the last checked statement.
         self.last_diagnostics: list[Diagnostic] = []
         #: Session-wide statement deadline set by ``SET TIMEOUT`` (None: off).
@@ -172,9 +183,12 @@ class Interpreter:
         spans: SpanMap | None = None,
         subject: str | None = None,
     ) -> Result:
+        original = statement
         timeout_s = self._session_timeout_s
+        self._statement_timeout_s = None
         if isinstance(statement, ast.TimeoutStatement):
             timeout_s = statement.seconds
+            self._statement_timeout_s = statement.seconds
             statement = statement.statement
         handler = getattr(self, f"_run_{type(statement).__name__}", None)
         if handler is None:
@@ -210,6 +224,12 @@ class Interpreter:
         self.metrics.counter("pxql.statements").inc()
         self.metrics.histogram("pxql.statement_s").observe(span.wall_s)
         self.slow_log.observe(label, span.wall_s, span)
+        try:
+            # Record the statement *as written* (wrappers included) so
+            # the session-level dataflow pass sees WITH TIMEOUT etc.
+            self.script.observe(original, subject)
+        except Exception:
+            pass
         return result
 
     @contextmanager
@@ -469,6 +489,7 @@ class Interpreter:
             diagnostics = self._static_diagnostics(
                 inner, self._spans, self._subject, rewrites=True
             )
+            diagnostics.extend(self._script_preview(inner))
             self.last_diagnostics = diagnostics
             report = DiagnosticReport(list(diagnostics))
             text = self.engine.explain(plan) + "\n" + report.to_text()
@@ -476,14 +497,18 @@ class Interpreter:
         if not stmt.analyze:
             text = self.engine.explain(plan)
             return Result(text, None, text)
-        if isinstance(
-            inner,
-            (ast.ProjectStatement, ast.SelectStatement, ast.ProductStatement),
-        ):
-            execution, name = self._engine_algebra(inner, inner.target)
-        else:
-            execution, name = self._engine_query(inner), None
-        text = self.engine.explain_analyze(execution)
+        with self._verified_execution():
+            if isinstance(
+                inner,
+                (ast.ProjectStatement, ast.SelectStatement,
+                 ast.ProductStatement),
+            ):
+                execution, name = self._engine_algebra(inner, inner.target)
+            else:
+                execution, name = self._engine_query(inner), None
+            # Rendered inside the scope: explain_analyze only prints the
+            # violations line while verification is on.
+            text = self.engine.explain_analyze(execution)
         if not isinstance(execution.value, ProbabilisticInstance):
             text += f"\nresult: {execution.value}"
         elif name is not None:
@@ -497,9 +522,42 @@ class Interpreter:
         diagnostics = self._static_diagnostics(
             stmt.statement, self._spans, self._subject, rewrites=True
         )
+        diagnostics.extend(self._script_preview(stmt.statement))
         self.last_diagnostics = diagnostics
         report = DiagnosticReport(list(diagnostics))
         return Result(diagnostics, None, report.to_text())
+
+    def _script_preview(self, statement: ast.Statement) -> list[Diagnostic]:
+        """Session-dataflow findings a statement would add (never raises).
+
+        A ``WITH TIMEOUT`` on the ``CHECK`` / ``EXPLAIN LINT`` wrapper
+        is re-attached to the previewed statement: the user is vetting
+        the statement as they would run it, deadline included.
+        """
+        try:
+            if self._statement_timeout_s is not None:
+                statement = ast.TimeoutStatement(
+                    statement, self._statement_timeout_s
+                )
+            return self.script.preview(statement, self._subject)
+        except Exception:
+            return []
+
+    @contextmanager
+    def _verified_execution(self) -> Iterator[None]:
+        """Turn on runtime certificate verification for one execution.
+
+        Under ``EXPLAIN ANALYZE`` / ``PROFILE`` the engine checks every
+        observed cardinality and probability against the absint
+        certificate's intervals; violations land in the
+        ``check.absint_violations`` counter and the execution result.
+        """
+        previous = self.engine.absint_verify
+        self.engine.absint_verify = True
+        try:
+            yield
+        finally:
+            self.engine.absint_verify = previous
 
     # ------------------------------------------------------------------
     # PROFILE: execute and return the span tree
@@ -519,7 +577,7 @@ class Interpreter:
             "pxql.profile",
             kind=type(inner).__name__,
             statement=self._subject or type(inner).__name__,
-        ) as root:
+        ) as root, self._verified_execution():
             try:
                 inner_result = handler(inner)
             except BudgetExceeded as exc:

@@ -119,3 +119,97 @@ class TestRunner:
         assert len(dicts) == len(records)
         assert {"operation", "labeling", "branching", "depth", "objects",
                 "total_s"} <= set(dicts[0])
+
+
+class TestAbsintBench:
+    @pytest.fixture(scope="class")
+    def records(self):
+        from repro.bench.absint import run_absint_bench
+
+        return run_absint_bench(quick=True, repeats=1)
+
+    def test_every_cell_measures_every_mode(self, records):
+        from repro.bench.absint import MODES, QUICK_GRID
+
+        assert len(records) == len(QUICK_GRID) * len(MODES)
+
+    def test_dead_on_actually_skipped(self, records):
+        dead_on = [r for r in records if r.mode == "dead_on"]
+        assert dead_on and all(r.skips > 0 for r in dead_on)
+        assert all(r.speedup is not None for r in dead_on)
+
+    def test_records_are_mergeable(self, records):
+        from repro.bench.absint import records_to_dicts as to_dicts
+
+        entry = to_dicts(records)[0]
+        assert entry["operation"] == "absint"
+        assert {"mode", "repeats", "total_s", "speedup", "skips"} <= set(entry)
+
+    def test_format_table(self, records):
+        from repro.bench.absint import format_absint_records
+
+        table = format_absint_records(records)
+        assert "dead_on" in table and "certify" in table
+
+
+class TestGate:
+    def test_new_series_pass(self):
+        from repro.bench.gate import gate_records
+
+        lines, regressed = gate_records(
+            [{"operation": "absint", "mode": "dead_on", "labeling": "SL",
+              "branching": 2, "depth": 4, "speedup": 3.0}]
+        )
+        assert not regressed
+        assert any("new" in line for line in lines)
+
+    def test_regression_detected(self):
+        from repro.bench.gate import gate_records
+
+        history = [
+            {"operation": "absint", "mode": "dead_on", "labeling": "SL",
+             "branching": 2, "depth": 4, "speedup": s}
+            for s in (3.0, 3.2, 2.9, 1.0)
+        ]
+        lines, regressed = gate_records(history, threshold=0.30)
+        assert regressed
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_within_threshold_passes(self):
+        from repro.bench.gate import gate_records
+
+        history = [
+            {"operation": "absint", "mode": "dead_on", "labeling": "SL",
+             "branching": 2, "depth": 4, "speedup": s}
+            for s in (3.0, 3.2, 2.9, 2.5)
+        ]
+        _lines, regressed = gate_records(history, threshold=0.30)
+        assert not regressed
+
+    def test_records_without_speedup_ignored(self):
+        from repro.bench.gate import gate_records
+
+        lines, regressed = gate_records(
+            [{"operation": "projection", "total_s": 0.1}]
+        )
+        assert not regressed
+        assert "no ratio metrics" in lines[-1]
+
+    def test_missing_file_fails(self, tmp_path):
+        from repro.bench.gate import run_gate
+
+        assert run_gate(tmp_path / "absent.json") == 1
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.gate import main
+
+        records = tmp_path / "records.json"
+        records.write_text(json.dumps([
+            {"operation": "absint", "mode": "dead_on", "labeling": "SL",
+             "branching": 2, "depth": 4, "speedup": s}
+            for s in (3.0, 2.8)
+        ]))
+        assert main(["--records", str(records)]) == 0
+        assert "gate: pass" in capsys.readouterr().out

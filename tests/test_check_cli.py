@@ -5,6 +5,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.check.cli import collect_diagnostics, main
 from repro.core.builder import InstanceBuilder
 from repro.io.json_codec import write_instance
@@ -76,6 +78,41 @@ class TestCollect:
         report = collect_diagnostics([str(script)])
         assert any(d.code == "PX310" for d in report.diagnostics)
 
+    def test_suppression_only_hides_unknown_instance_findings(self, tmp_path):
+        # The AS-name suppression is keyed on the exact name a
+        # PX201/PX301 finding quotes: findings of other codes on later
+        # statements must survive, and unknown-instance findings about
+        # names the script never defines must too.
+        write_sloppy(tmp_path / "s.pxml.json")
+        script = tmp_path / "session.pxql"
+        script.write_text(
+            "PROJECT S.x FROM s AS kept\n"
+            "EXISTS S.x IN kept\n"            # defined: suppressed
+            "PROJECT S.nothing FROM s\n"      # dead path: PX210 stays
+            "EXISTS S.x IN ghost\n"           # undefined: PX201 stays
+        )
+        report = collect_diagnostics([str(script)])
+        by_code = {d.code for d in report.diagnostics}
+        assert "PX210" in by_code
+        unknowns = [d for d in report.diagnostics
+                    if d.code in ("PX201", "PX301")]
+        assert unknowns and all("ghost" in d.message for d in unknowns)
+
+    def test_script_dataflow_findings_reported(self, tmp_path):
+        write_sloppy(tmp_path / "s.pxml.json")
+        script = tmp_path / "flow.pxql"
+        script.write_text(
+            "PROJECT S.x FROM s AS p\n"       # shadowed at line 3
+            "SET TIMEOUT 5\n"
+            "PROJECT S.x FROM s AS p WITH TIMEOUT 1\n"
+            "PROJECT S.x FROM p AS q\n"       # q is never read: dead
+        )
+        report = collect_diagnostics([str(script)])
+        found = {d.code: d for d in report.diagnostics}
+        assert "PX313" in found and "PX314" in found and "PX312" in found
+        # Dataflow findings carry file:line subjects like the rest.
+        assert found["PX313"].subject == f"{script}:3"
+
 
 class TestMain:
     def test_examples_gate_passes(self, capsys):
@@ -107,4 +144,25 @@ class TestMain:
         bogus = tmp_path / "nope.txt"
         bogus.write_text("")
         assert main([str(bogus)]) == 1
+        capsys.readouterr()
+
+    def test_px_code_gate_fails_on_listed_code(self, tmp_path, capsys):
+        write_sloppy(tmp_path / "s.pxml.json")
+        script = tmp_path / "dead.pxql"
+        script.write_text("PROJECT S.x FROM s AS unread\n")
+        assert main([str(script), "--fail-on", "PX312"]) == 1
+        assert main([str(script), "--fail-on", "PX311,PX313"]) == 0
+        # Severity gates still behave: PX312 is only a warning.
+        assert main([str(script), "--fail-on", "error"]) == 0
+        capsys.readouterr()
+
+    def test_examples_pass_the_px_code_gate(self, capsys):
+        gate = "PX260,PX311,PX312,PX313,PX314"
+        assert main([str(EXAMPLES), "--fail-on", gate]) == 0
+        capsys.readouterr()
+
+    def test_invalid_gate_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([str(EXAMPLES), "--fail-on", "PX26"])
+        assert info.value.code == 2
         capsys.readouterr()

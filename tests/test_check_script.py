@@ -1,0 +1,246 @@
+"""Whole-script PXQL dataflow pass (repro.check.script, PX311-PX314)."""
+
+import pytest
+
+from repro.check.script import (
+    DEAD_RESULT,
+    SHADOWED_RESULT,
+    SHADOWED_TIMEOUT,
+    USE_BEFORE_REGISTER,
+    ScriptTracker,
+    flow_of,
+    parse_script,
+    script_diagnostics,
+)
+from repro.core.builder import InstanceBuilder
+from repro.pxql import Interpreter
+from repro.pxql.parser import parse
+from repro.storage.database import Database
+
+
+def build_bib():
+    b = InstanceBuilder("R")
+    b.children("R", "book", ["B1", "B2"], card=(1, 2))
+    b.opf("R", {("B1",): 0.4, ("B2",): 0.2, ("B1", "B2"): 0.4})
+    b.children("B1", "author", ["A1"], card=(1, 1))
+    b.opf("B1", {("A1",): 1.0})
+    b.children("B2", "author", ["A2"], card=(0, 1))
+    b.opf("B2", {("A2",): 0.5, (): 0.5})
+    b.leaf("A1", "name", ["hung", "getoor"], {"hung": 0.9, "getoor": 0.1})
+    b.leaf("A2", "name", None, {"hung": 0.5, "getoor": 0.5})
+    return b.build()
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def flow(text):
+    return flow_of(parse(text))
+
+
+class TestStatementFlow:
+    def test_query_reads_source_and_defines_target(self):
+        f = flow("PROJECT R.book FROM bib AS p")
+        assert f.reads == ("bib",) and f.defines == ("p",)
+
+    def test_probe_reads_without_defining(self):
+        f = flow("EXISTS R.book IN bib")
+        assert f.reads == ("bib",) and f.defines == ()
+
+    def test_load_defines(self):
+        f = flow('LOAD bib FROM "bib.json"')
+        assert f.reads == () and f.defines == ("bib",)
+
+    def test_save_and_drop_consume(self):
+        assert flow("SAVE p").reads == ("p",)
+        assert flow("DROP p").reads == ("p",)
+
+    def test_check_and_plain_explain_never_execute(self):
+        for text in ("CHECK PROJECT R.book FROM bib AS p",
+                     "EXPLAIN PROJECT R.book FROM bib AS p"):
+            f = flow(text)
+            assert f.reads == () and f.defines == ()
+
+    def test_analyze_and_profile_unwrap_to_inner_flow(self):
+        for text in ("EXPLAIN ANALYZE PROJECT R.book FROM bib AS p",
+                     "PROFILE PROJECT R.book FROM bib AS p"):
+            f = flow(text)
+            assert f.reads == ("bib",) and f.defines == ("p",)
+
+    def test_timeout_wrapper_is_tracked(self):
+        f = flow("PROJECT R.book FROM bib AS p WITH TIMEOUT 2")
+        assert f.with_timeout
+        assert f.reads == ("bib",) and f.defines == ("p",)
+
+    def test_set_timeout_sets_and_clears(self):
+        assert flow("SET TIMEOUT 5").sets_timeout
+        assert flow("SET TIMEOUT 0").clears_timeout
+
+
+class TestParseScript:
+    def test_blank_and_comment_lines_skipped(self):
+        script = parse_script(
+            "# a comment\n\nEXISTS R.book IN bib\n\n# trailing\n")
+        assert [s.line for s in script] == [3]
+        assert script[0].statement is not None
+
+    def test_unparseable_line_kept_for_alignment(self):
+        script = parse_script("EXISTS R.book IN bib\nNOT A STATEMENT\n")
+        assert [s.line for s in script] == [1, 2]
+        assert script[1].statement is None
+
+
+class TestScriptDiagnostics:
+    def test_clean_pipeline_has_no_findings(self):
+        assert script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+            "EXISTS R.book IN p\n"
+        ) == []
+
+    def test_px311_use_before_register(self):
+        found = script_diagnostics(
+            "EXISTS R.book IN p\n"
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+            "SAVE p\n"
+        )
+        assert codes(found) == [USE_BEFORE_REGISTER]
+        assert found[0].severity == "error"
+        assert "line 3" in found[0].message
+
+    def test_never_registered_name_is_not_px311(self):
+        # Unknown names are the statement pass's PX301; PX311 is only
+        # the reordering case where the script *does* register the name.
+        assert script_diagnostics("EXISTS R.book IN nowhere\n") == []
+
+    def test_px312_dead_result(self):
+        found = script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+        )
+        assert codes(found) == [DEAD_RESULT]
+        assert "'p'" in found[0].message
+
+    def test_save_keeps_a_result_live(self):
+        assert script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+            "SAVE p\n"
+        ) == []
+
+    def test_px313_shadowed_result(self):
+        found = script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+            "SELECT R.book = B1 FROM bib AS p\n"
+            "EXISTS R.book IN p\n"
+        )
+        assert codes(found) == [SHADOWED_RESULT]
+        assert "line 2" in found[0].message
+
+    def test_rebinding_through_itself_is_not_shadowing(self):
+        # ``SELECT ... FROM p AS p`` reads the old result before
+        # re-registering the name: nothing is discarded.
+        assert script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n"
+            "SELECT R.book = B1 FROM p AS p\n"
+            "EXISTS R.book IN p\n"
+        ) == []
+
+    def test_px314_with_timeout_shadows_session_timeout(self):
+        found = script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "SET TIMEOUT 5\n"
+            "EXISTS R.book IN bib WITH TIMEOUT 2\n"
+        )
+        assert codes(found) == [SHADOWED_TIMEOUT]
+        assert "line 2" in found[0].message
+
+    def test_set_timeout_zero_clears_the_shadowing(self):
+        assert script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "SET TIMEOUT 5\n"
+            "SET TIMEOUT 0\n"
+            "EXISTS R.book IN bib WITH TIMEOUT 2\n"
+        ) == []
+
+    def test_prefix_becomes_file_line_subject(self):
+        found = script_diagnostics(
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS p\n",
+            prefix="scripts/demo.pxql",
+        )
+        assert found[0].subject == "scripts/demo.pxql:2"
+
+    def test_findings_sorted_by_line(self):
+        found = script_diagnostics(
+            "SET TIMEOUT 5\n"
+            "EXISTS R.book IN bib WITH TIMEOUT 1\n"
+            'LOAD bib FROM "bib.json"\n'
+            "PROJECT R.book FROM bib AS dead\n"
+        )
+        assert codes(found) == [
+            USE_BEFORE_REGISTER, SHADOWED_TIMEOUT, DEAD_RESULT,
+        ]
+
+
+class TestScriptTracker:
+    def test_preview_flags_shadowing(self):
+        tracker = ScriptTracker()
+        tracker.observe(parse("PROJECT R.book FROM bib AS p"))
+        found = tracker.preview(parse("SELECT R.book = B1 FROM bib AS p"))
+        assert codes(found) == [SHADOWED_RESULT]
+
+    def test_preview_is_quiet_after_a_read(self):
+        tracker = ScriptTracker()
+        tracker.observe(parse("PROJECT R.book FROM bib AS p"))
+        tracker.observe(parse("EXISTS R.book IN p"))
+        assert tracker.preview(
+            parse("SELECT R.book = B1 FROM bib AS p")) == []
+
+    def test_preview_flags_timeout_shadowing(self):
+        tracker = ScriptTracker()
+        tracker.observe(parse("SET TIMEOUT 5"))
+        found = tracker.preview(
+            parse("EXISTS R.book IN bib WITH TIMEOUT 1"))
+        assert codes(found) == [SHADOWED_TIMEOUT]
+
+    def test_preview_never_reports_forward_codes(self):
+        # A preview cannot know the future: no PX311/PX312 guesses.
+        tracker = ScriptTracker()
+        assert tracker.preview(parse("PROJECT R.book FROM bib AS p")) == []
+
+
+class TestInterpreterIntegration:
+    @pytest.fixture
+    def interpreter(self):
+        it = Interpreter(Database())
+        it.database.register("bib", build_bib())
+        return it
+
+    def test_check_previews_shadowing(self, interpreter):
+        interpreter.execute("PROJECT R.book FROM bib AS p")
+        result = interpreter.execute("CHECK SELECT R.book = B1 FROM bib AS p")
+        assert SHADOWED_RESULT in codes(result.value)
+
+    def test_explain_lint_previews_timeout_shadowing(self, interpreter):
+        interpreter.execute("SET TIMEOUT 5")
+        result = interpreter.execute(
+            "EXPLAIN LINT EXISTS R.book IN bib WITH TIMEOUT 1")
+        assert SHADOWED_TIMEOUT in codes(result.value)
+
+    def test_reading_the_result_silences_the_preview(self, interpreter):
+        interpreter.execute("PROJECT R.book FROM bib AS p")
+        interpreter.execute("EXISTS R.book IN p")
+        result = interpreter.execute("CHECK SELECT R.book = B1 FROM bib AS p")
+        assert SHADOWED_RESULT not in codes(result.value)
+
+    def test_only_executed_statements_enter_the_history(self, interpreter):
+        # CHECK itself never executes: previewing twice must not count
+        # the first preview as a registration of the name.
+        interpreter.execute("CHECK PROJECT R.book FROM bib AS p")
+        result = interpreter.execute("CHECK PROJECT R.book FROM bib AS p")
+        assert SHADOWED_RESULT not in codes(result.value)

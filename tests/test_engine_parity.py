@@ -77,6 +77,9 @@ def test_statement_parity(spec):
     engine = Interpreter(Database(), strategy="engine")
     for interp in (naive, engine):
         interp.database.register("base", workload.instance.copy())
+    # Runtime soundness: every engine execution is checked against its
+    # absint certificate; the violation counter must stay at zero.
+    engine.engine.absint_verify = True
 
     statements = [
         f"PROJECT {path} FROM base AS p",
@@ -104,6 +107,8 @@ def test_statement_parity(spec):
         expected = naive.execute(text).value
         actual = engine.execute(text).value
         assert actual == pytest.approx(expected, abs=TOL), text
+
+    assert engine.metrics.counter("check.absint_violations").value == 0
 
 
 @pytest.mark.parametrize("spec", SMALL_SPECS, ids=_spec_id)

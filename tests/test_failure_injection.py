@@ -347,10 +347,19 @@ def _chaos_specs():
 
 
 def _corpus_interpreter(directory):
-    return Interpreter(
+    interpreter = Interpreter(
         Database(directory, on_corrupt="quarantine", retry_sleep=_no_sleep),
         check="warn",
     )
+    # Runtime certificate verification on every statement: observed
+    # cardinalities/probabilities must stay inside the absint intervals
+    # even while faults fire (the counter is asserted zero below).
+    interpreter.engine.absint_verify = True
+    return interpreter
+
+
+def _absint_violations(interpreter):
+    return interpreter.metrics.counter("check.absint_violations").value
 
 
 def _run_corpus(interpreter):
@@ -376,6 +385,7 @@ class TestChaosSuite:
         interpreter = _corpus_interpreter(_copy_fixtures(tmp_path / "base"))
         outcomes = _run_corpus(interpreter)
         assert all(status == "ok" for status, _ in outcomes)
+        assert _absint_violations(interpreter) == 0
 
     @pytest.mark.parametrize("seed", _chaos_seeds())
     def test_corpus_under_chaos(self, tmp_path, seed):
@@ -398,6 +408,7 @@ class TestChaosSuite:
                 assert isinstance(value, PXMLError), (
                     f"untyped {type(value).__name__} escaped: {value}"
                 )
+        assert _absint_violations(chaotic) == 0
 
     @pytest.mark.parametrize("seed", _chaos_seeds())
     def test_catalog_operations_under_chaos(self, tmp_path, seed):

@@ -120,6 +120,22 @@ class TestLint:
         issues = lint_instance(ProbabilisticInstance(weak))
         assert "missing-opf" in str(issues[0])
 
+    def test_unknown_mnemonic_rejected_at_construction(self):
+        # Every mnemonic must map to a stable PX code; a typo in an
+        # emitting site must fail loudly, not produce a codeless issue.
+        from repro.core.lint import Issue
+
+        with pytest.raises(ValueError, match="unknown lint mnemonic"):
+            Issue(severity="error", oid=None, code="no-such-mnemonic",
+                  message="boom")
+
+    def test_known_mnemonic_gets_its_px_code(self):
+        from repro.core.lint import Issue
+
+        issue = Issue(severity="error", oid=None, code="missing-opf",
+                      message="m")
+        assert issue.px.startswith("PX1")
+
 
 class TestDot:
     def test_dot_structure(self):
