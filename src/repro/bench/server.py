@@ -1,0 +1,242 @@
+"""Server throughput benchmark: thread pool vs sharded processes.
+
+One generated workload instance is registered under several names, a
+mixed statement batch (``EXISTS`` probes and ``PROJECT ... AS``
+derivations spread across those names) is driven through two serving
+configurations, and end-to-end throughput is measured from first
+submission to last resolved future:
+
+* ``single``  — one :class:`~repro.server.server.PXQLServer` thread
+  pool over one in-process :class:`~repro.storage.database.Database`;
+* ``sharded`` — a :class:`~repro.server.shard.ShardedServer`: the same
+  statements routed by consistent hashing to worker *processes*, each
+  serving a shard-local catalog directory.
+
+The ``sharded`` record carries ``speedup`` — sharded throughput over
+single-process throughput — which is the trajectory metric the bench
+gate watches.  On a single-core machine the honest expectation is a
+ratio *below* one (pipe RPC and process scheduling cost real time and
+there is no parallelism to buy back); the gate cares about the ratio
+drifting, not its absolute value.  Records land in
+``results/bench_records.json`` with ``operation == "server"``.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.io.json_codec import dumps
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.server.server import PXQLServer
+from repro.server.shard import ShardedServer
+from repro.storage.database import Database
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_projection_path,
+)
+
+#: (labeling, branching, depth) — one cell; the server bench measures
+#: serving throughput, not algebra scaling, so a modest instance whose
+#: per-statement cost (~1 ms) clearly exceeds the per-request routing
+#: overhead is right.
+DEFAULT_CELL: tuple[str, int, int] = ("SL", 2, 6)
+#: The smoke run keeps the same cell: shrinking the instance would let
+#: per-request routing overhead dominate and turn the ratio into an
+#: RPC microbenchmark.  Smoke mode shrinks ``ops`` instead.
+QUICK_CELL: tuple[str, int, int] = DEFAULT_CELL
+
+#: Instance names the batch is spread across (and routed by).
+INSTANCES = 4
+
+MODES = ("single", "sharded")
+
+
+@dataclass
+class ServerRecord:
+    """One measured serving configuration."""
+
+    labeling: str
+    branching: int
+    depth: int
+    objects: int
+    mode: str
+    workers: int
+    shards: int
+    ops: int
+    total_s: float                 # wall time, first submit → last result
+    throughput: float              # statements per second
+    speedup: float | None = None   # sharded/single ratio, on the sharded row
+
+    def as_dict(self) -> dict:
+        return {
+            "operation": "server",
+            "labeling": self.labeling,
+            "branching": self.branching,
+            "depth": self.depth,
+            "objects": self.objects,
+            "mode": self.mode,
+            "workers": self.workers,
+            "shards": self.shards,
+            "ops": self.ops,
+            "total_s": self.total_s,
+            "throughput": self.throughput,
+            "speedup": self.speedup,
+        }
+
+
+def _statement_batch(
+    workload, ops: int, seed: int, tag: str
+) -> list[str]:
+    """A mixed batch: probes and ``AS``-target derivations, spread
+    across the registered instance names (and therefore across shards).
+
+    ``tag`` keeps the warmup and timed batches disjoint (different
+    random paths, different target names): the timed run must measure
+    real statement evaluation on every worker, not engine-cache hits —
+    a hit-only run would reduce the comparison to routing overhead and
+    hide the parallelism the sharded deployment exists to buy.
+    """
+    rng = random.Random(seed)
+    statements: list[str] = []
+    for index in range(ops):
+        name = f"inst{index % INSTANCES}"
+        path = random_projection_path(workload, rng)
+        if index % 3 == 2:
+            statements.append(
+                f"PROJECT {path} FROM {name} AS {tag}_out{index % 8}"
+            )
+        else:
+            statements.append(f"EXISTS {path} IN {name}")
+    return statements
+
+
+def _drive(submit, statements: list[str], timeout_s: float = 120.0) -> float:
+    """Submit everything, wait for every future; the elapsed wall time."""
+    start = time.perf_counter()
+    futures = [submit(statement) for statement in statements]
+    for future in futures:
+        future.result(timeout_s)
+    return time.perf_counter() - start
+
+
+def _measure_single(
+    instance, warmup: list[str], timed: list[str], workers: int
+) -> float:
+    database = Database()
+    for index in range(INSTANCES):
+        database.register(f"inst{index}", instance)
+    server = PXQLServer(
+        database=database, workers=workers,
+        queue_size=max(64, len(timed)), poll_s=0.002,
+    ).start()
+    try:
+        _drive(server.submit, warmup)
+        return _drive(server.submit, timed)
+    finally:
+        server.stop(drain=True, timeout_s=30.0)
+
+
+def _measure_sharded(
+    instance, warmup: list[str], timed: list[str],
+    shards: int, workers: int,
+) -> float:
+    payload = dumps(instance)
+    with tempfile.TemporaryDirectory(prefix="pxml-bench-shards-") as root:
+        server = ShardedServer(
+            Path(root), shards=shards, workers_per_shard=workers,
+            queue_size=max(64, len(timed)), poll_s=0.002,
+        ).start()
+        try:
+            for index in range(INSTANCES):
+                server.register_instance(
+                    f"inst{index}", payload, save=False
+                )
+            _drive(server.submit, warmup)
+            return _drive(server.submit, timed)
+        finally:
+            server.stop(drain=True, timeout_s=30.0)
+
+
+def run_server_bench(
+    quick: bool = False, seed: int = 13, ops: int | None = None,
+    shards: int = 2, workers: int = 2,
+    metrics: MetricsRegistry | None = None,
+) -> list[ServerRecord]:
+    """Measure both serving modes over one generated workload.
+
+    ``workers`` is the thread count of the single-process pool *and* of
+    each shard, so the sharded configuration has ``shards`` times the
+    worker threads — that is the deployment the ratio is about.
+    """
+    labeling, branching, depth = QUICK_CELL if quick else DEFAULT_CELL
+    if ops is None:
+        ops = 48 if quick else 160
+    workload = generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling=labeling,
+                     seed=seed)
+    )
+    instance = workload.instance
+    warmup = _statement_batch(workload, min(ops, 24), seed + 1, "warm")
+    timed = _statement_batch(workload, ops, seed + 2, "bench")
+    registry = metrics if metrics is not None else MetricsRegistry()
+    with use_registry(registry):
+        single_s = _measure_single(instance, warmup, timed, workers)
+        sharded_s = _measure_sharded(
+            instance, warmup, timed, shards, workers
+        )
+
+    common = dict(
+        labeling=labeling, branching=branching, depth=depth,
+        objects=len(instance), ops=ops,
+    )
+    single_tp = ops / single_s if single_s > 0 else 0.0
+    sharded_tp = ops / sharded_s if sharded_s > 0 else 0.0
+    return [
+        ServerRecord(mode="single", workers=workers, shards=1,
+                     total_s=single_s, throughput=single_tp, **common),
+        ServerRecord(mode="sharded", workers=workers, shards=shards,
+                     total_s=sharded_s, throughput=sharded_tp,
+                     speedup=(
+                         sharded_tp / single_tp if single_tp > 0 else None
+                     ),
+                     **common),
+    ]
+
+
+def format_server_records(records: list[ServerRecord]) -> str:
+    """An aligned table: per-mode wall time, throughput, ratio."""
+    lines = [
+        f"{'mode':<10}  {'shardsxworkers':>14}  {'ops':>5}  "
+        f"{'total_s':>9}  {'ops/s':>8}  {'ratio':>6}"
+    ]
+    for record in records:
+        shape = f"{record.shards}x{record.workers}"
+        ratio = (
+            f"{record.speedup:>5.2f}x" if record.speedup is not None
+            else " " * 6
+        )
+        lines.append(
+            f"{record.mode:<10}  {shape:>14}  {record.ops:>5}  "
+            f"{record.total_s:>9.3f}  {record.throughput:>8.1f}  {ratio}"
+        )
+    return "\n".join(lines)
+
+
+def records_to_dicts(records: list[ServerRecord]) -> list[dict]:
+    """Machine-readable form, mergeable with the other sweeps."""
+    return [record.as_dict() for record in records]
+
+
+__all__ = [
+    "DEFAULT_CELL",
+    "QUICK_CELL",
+    "ServerRecord",
+    "format_server_records",
+    "records_to_dicts",
+    "run_server_bench",
+]

@@ -341,8 +341,23 @@ class Engine:
         )
 
     def cache_key(self, plan: PlanNode) -> tuple:
-        """The versioned cache key of a (sub-)plan."""
-        return (fingerprint(plan), self.versions_of(plan))
+        """The versioned cache key of a (sub-)plan.
+
+        Keyed on the in-process versions of every scanned instance
+        *and* the catalog's on-disk generation counter: versions move
+        on re-registration within this process, the generation moves
+        when any process mutates the shared catalog directory.  The
+        generation term is what lets shard processes restarted over the
+        same directory (and engines in sibling processes) reuse or
+        invalidate cached plans/results correctly — an in-memory
+        database reports generation 0, so unbacked engines key exactly
+        as before.
+        """
+        return (
+            fingerprint(plan),
+            self.versions_of(plan),
+            self.database.generation(),
+        )
 
     def record_lineage(self, name: str, plan: PlanNode,
                        input_versions: tuple[tuple[str, int], ...]) -> None:

@@ -166,3 +166,38 @@ class Overloaded(ServerError):
     def __init__(self, message: str, reason: str = "queue_full") -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class ShardUnavailable(ServerError):
+    """A shard process is dead or unreachable.
+
+    Raised by the sharded router (:mod:`repro.server.shard`) when a
+    request targets a shard whose worker process has exited, or when
+    the shard dies while requests are in flight.  Retryable after
+    :meth:`~repro.server.shard.ShardedServer.restart_shard`.
+
+    Attributes:
+        shard: the shard index the request was routed to.
+    """
+
+    def __init__(self, message: str, shard: int = -1) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class RemoteExecutionError(ServerError):
+    """A shard reported an error the router cannot reconstruct natively.
+
+    Cross-process error transport is by *description* (type name +
+    message), not by pickling live exception objects; error types the
+    router knows (``Overloaded``, ``BudgetExceeded``, ``DatabaseError``,
+    ...) are rebuilt as themselves, and everything else arrives as this
+    wrapper — still a typed :class:`ServerError`, never a raw crash.
+
+    Attributes:
+        remote_type: the original exception's class name on the shard.
+    """
+
+    def __init__(self, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type

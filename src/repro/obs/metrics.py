@@ -248,6 +248,37 @@ class MetricsRegistry:
             instruments = sorted(self._instruments.items())
         return {name: instrument.as_dict() for name, instrument in instruments}
 
+    def import_snapshot(
+        self, prefix: str, snapshot: dict[str, dict[str, object]]
+    ) -> None:
+        """Mirror another registry's :meth:`as_dict` under ``prefix``.
+
+        The sharded router uses this to surface each shard process's
+        counters in its own registry (``shard0.server.completed``, ...).
+        Everything lands as a *gauge* holding the last snapshot's value
+        — counters in the source stay counters there; here they are
+        observations of a remote total, so last-write-wins semantics
+        are the honest representation.  Histograms are summarized as
+        ``.count`` and ``.mean`` gauges.  Malformed entries are skipped,
+        never raised — a garbled remote snapshot must not take down the
+        importer.
+        """
+        for name, payload in snapshot.items():
+            if not isinstance(payload, dict):
+                continue
+            kind = payload.get("kind")
+            if kind in ("counter", "gauge"):
+                value = payload.get("value")
+                if isinstance(value, (int, float)):
+                    self.gauge(f"{prefix}.{name}").set(float(value))
+            elif kind == "histogram":
+                count = payload.get("count")
+                mean = payload.get("mean")
+                if isinstance(count, (int, float)):
+                    self.gauge(f"{prefix}.{name}.count").set(float(count))
+                if isinstance(mean, (int, float)):
+                    self.gauge(f"{prefix}.{name}.mean").set(float(mean))
+
     def clear(self) -> None:
         """Drop every instrument (fresh registry semantics)."""
         with self._lock:

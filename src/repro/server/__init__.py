@@ -1,4 +1,4 @@
-"""Concurrent PXQL serving: worker pool, admission control, probes.
+"""Concurrent PXQL serving: worker pool, shards, admission, front door.
 
 This package turns the interpreter into a long-running service:
 
@@ -8,26 +8,46 @@ This package turns the interpreter into a long-running service:
   :class:`~repro.resilience.budget.Budget` s, graceful drain-then-stop
   (including on ``SIGTERM``/``SIGINT``), and liveness/readiness probes
   backed by :mod:`repro.obs` metrics;
+* :class:`~repro.server.shard.ShardedServer` — N worker *processes*
+  (each a ``PXQLServer`` over a shard-local catalog directory) behind a
+  consistent-hash router with scatter-gather cross-shard ``PRODUCT``,
+  a placement overlay for derived results, and chaos hooks
+  (``kill_shard`` / ``restart_shard``);
+* :class:`~repro.server.http.HttpFrontDoor` — an asyncio HTTP/JSON
+  endpoint (stdlib only) over either backend, translating typed errors
+  to status codes and draining on SIGTERM;
 * :class:`~repro.server.admission.AdmissionQueue` /
   :class:`~repro.server.admission.PendingResult` — the bounded handoff
   and the write-once future behind every submission; a full queue is a
   typed :class:`~repro.errors.Overloaded`, never unbounded growth.
 
 The cross-process half of the story (catalog lock file + generation
-counter) lives in :mod:`repro.storage.locking`; the thread-safety of
-the shared core (caches, metrics, tracer, breaker, database) is each
-component's own contract.  ``docs/SERVER.md`` ties it together.
+counter, generation-keyed engine caches) lives in
+:mod:`repro.storage.locking` and ``Engine.cache_key``.
+``docs/SERVER.md`` ties it together.
 """
 
-from repro.errors import Overloaded, ServerError
+from repro.errors import (
+    Overloaded,
+    RemoteExecutionError,
+    ServerError,
+    ShardUnavailable,
+)
 from repro.server.admission import AdmissionQueue, PendingResult, Request
+from repro.server.http import HttpFrontDoor
 from repro.server.server import PXQLServer
+from repro.server.shard import ShardConfig, ShardedServer
 
 __all__ = [
     "AdmissionQueue",
+    "HttpFrontDoor",
     "Overloaded",
     "PXQLServer",
     "PendingResult",
+    "RemoteExecutionError",
     "Request",
     "ServerError",
+    "ShardConfig",
+    "ShardUnavailable",
+    "ShardedServer",
 ]

@@ -15,6 +15,7 @@ import contextvars
 import queue
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import Overloaded, ServerError
@@ -27,30 +28,63 @@ class PendingResult:
     The submitting thread waits on :meth:`result`; the worker that
     executes the request resolves it exactly once with either a value
     or an exception.  Thread-safe by construction (one event, one
-    writer).
+    writer, resolution serialized under a small lock).
     """
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: object = None
         self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[["PendingResult"], None]] = []
 
     @property
     def done(self) -> bool:
         """Whether the request has been resolved (value or error)."""
         return self._event.is_set()
 
+    def _resolve(
+        self, value: object, error: BaseException | None
+    ) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._value = value
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - callbacks never poison the future
+                pass
+
     def set_result(self, value: object) -> None:
         """Resolve with a value (worker side; first resolution wins)."""
-        if not self._event.is_set():
-            self._value = value
-            self._event.set()
+        self._resolve(value, None)
 
     def set_error(self, error: BaseException) -> None:
         """Resolve with an exception (worker side; first resolution wins)."""
-        if not self._event.is_set():
-            self._error = error
-            self._event.set()
+        self._resolve(None, error)
+
+    def add_done_callback(
+        self, callback: Callable[["PendingResult"], None]
+    ) -> None:
+        """Run ``callback(self)`` once resolved (immediately if already).
+
+        Callbacks run on the resolving thread (or the registering thread
+        for an already-done future); exceptions they raise are swallowed
+        — a bad callback never prevents the submitter's wait from
+        finishing or other callbacks from running.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        try:
+            callback(self)
+        except Exception:  # noqa: BLE001 - same contract as resolving side
+            pass
 
     def wait(self, timeout_s: float | None = None) -> bool:
         """Block until resolved (or ``timeout_s``); whether it resolved."""
@@ -111,6 +145,16 @@ class AdmissionQueue:
     raises :class:`~repro.errors.Overloaded` (``reason="queue_full"``)
     immediately — admission never blocks and the queue never grows
     beyond its bound.
+
+    The queue also carries the server's *task accounting*: every
+    admitted request stays counted in :attr:`unfinished` from the
+    moment :meth:`put` accepts it until its worker calls
+    :meth:`task_done` (or shutdown sweeps it via
+    :meth:`drain_pending`).  Unlike :attr:`depth` — which drops the
+    instant a worker dequeues, *before* the request has run —
+    ``unfinished`` never passes through a false-idle window, so
+    ``drain()`` can rely on ``unfinished == 0`` meaning "all admitted
+    work has actually finished".
     """
 
     def __init__(self, maxsize: int) -> None:
@@ -118,34 +162,71 @@ class AdmissionQueue:
             raise ServerError("admission queue needs maxsize >= 1")
         self.maxsize = maxsize
         self._queue: queue.Queue[Request] = queue.Queue(maxsize=maxsize)
+        self._accounting = threading.Lock()
+        self._unfinished = 0
 
     @property
     def depth(self) -> int:
         """Requests currently waiting (approximate under concurrency)."""
         return self._queue.qsize()
 
+    @property
+    def unfinished(self) -> int:
+        """Admitted requests not yet finished (queued *or* in a worker).
+
+        Incremented atomically with admission and decremented only by
+        :meth:`task_done` / :meth:`drain_pending`, so — unlike
+        :attr:`depth` — there is no instant where an admitted request
+        is invisible to this counter.
+        """
+        with self._accounting:
+            return self._unfinished
+
     def put(self, request: Request) -> None:
         """Admit a request, or raise :class:`Overloaded` when full."""
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            raise Overloaded(
-                f"admission queue full ({self.maxsize} waiting); retry later",
-                reason="queue_full",
-            ) from None
+        with self._accounting:
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                raise Overloaded(
+                    f"admission queue full ({self.maxsize} waiting); "
+                    "retry later",
+                    reason="queue_full",
+                ) from None
+            self._unfinished += 1
 
     def get(self, timeout_s: float) -> Request | None:
-        """The next request, or ``None`` after ``timeout_s`` of silence."""
+        """The next request, or ``None`` after ``timeout_s`` of silence.
+
+        A dequeued request stays counted in :attr:`unfinished` until the
+        worker that took it calls :meth:`task_done`.
+        """
         try:
             return self._queue.get(timeout=timeout_s)
         except queue.Empty:
             return None
 
+    def task_done(self) -> None:
+        """Mark one dequeued request finished (resolves its accounting)."""
+        with self._accounting:
+            if self._unfinished <= 0:
+                raise ServerError("task_done() without a matching request")
+            self._unfinished -= 1
+
     def drain_pending(self) -> list[Request]:
-        """Remove and return everything still queued (shutdown path)."""
+        """Remove and return everything still queued (shutdown path).
+
+        The removed requests are taken off the :attr:`unfinished`
+        accounting here — the caller resolves their futures, no worker
+        will ever ``task_done`` them.
+        """
         pending: list[Request] = []
         while True:
             try:
                 pending.append(self._queue.get_nowait())
             except queue.Empty:
-                return pending
+                break
+        if pending:
+            with self._accounting:
+                self._unfinished -= len(pending)
+        return pending

@@ -1,0 +1,410 @@
+"""An asyncio HTTP/JSON front door for PXQL serving (stdlib only).
+
+:class:`HttpFrontDoor` puts a small, dependency-free HTTP/1.1 endpoint
+in front of any backend satisfying :class:`Backend` — the thread-pool
+:class:`~repro.server.server.PXQLServer` and the multi-process
+:class:`~repro.server.shard.ShardedServer` both do:
+
+====================  ==================================================
+route                 behavior
+====================  ==================================================
+``POST /execute``     ``{"statement": ..., "timeout_s"?: ...}`` —
+                      blocking execute; 200 with the result, or a typed
+                      JSON error (see the status map below)
+``POST /submit``      non-blocking admission; 202 with ``{"id": ...}``
+``GET /result/<id>``  200 with the result once done, 202 while pending,
+                      404 for unknown ids; results are delivered once
+                      (the slot is freed on pickup)
+``GET /health``       the backend's health snapshot; 200 when ready,
+                      503 otherwise (a load-balancer-friendly probe)
+``GET /metrics``      the metrics registry as JSON
+====================  ==================================================
+
+**Typed error translation.**  Execution and admission errors become
+``{"error": {"type", "message", ...}}`` bodies with meaningful status
+codes: ``Overloaded(queue_full)`` → 429, ``Overloaded(draining/
+stopped)`` and ``ShardUnavailable`` → 503, ``BudgetExceeded`` → 408,
+any other :class:`~repro.errors.PXMLError` (parse errors, check
+failures, unknown instances) → 400, anything unrecognized → 500.
+Clients always see JSON, never a traceback.
+
+**Shutdown.**  :meth:`HttpFrontDoor.install_signal_handlers` arranges
+drain-then-stop on ``SIGTERM``/``SIGINT``: admissions stop (503s),
+shards drain, the listener closes, :meth:`serve_forever` returns.
+
+Blocking backend calls run in the event loop's default executor, so
+the loop itself never stalls on a slow statement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Protocol
+
+from repro.errors import (
+    BudgetExceeded,
+    Overloaded,
+    PXMLError,
+    ServerError,
+    ShardUnavailable,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.pxql.interpreter import Result
+from repro.server.admission import PendingResult
+
+#: Largest accepted request body (bytes); statements are small.
+MAX_BODY_BYTES = 1 << 20
+
+#: Default wait bound for ``POST /execute`` (seconds).
+DEFAULT_EXECUTE_TIMEOUT_S = 60.0
+
+
+class Backend(Protocol):
+    """What the front door needs from a serving backend."""
+
+    metrics: MetricsRegistry
+
+    def submit(self, text: str) -> PendingResult: ...
+
+    def health(self) -> dict[str, object]: ...
+
+    def alive(self) -> bool: ...
+
+    def ready(self) -> bool: ...
+
+    def drain(self, timeout_s: float = 30.0) -> bool: ...
+
+    def stop(self, drain: bool = True, timeout_s: float = 30.0) -> bool: ...
+
+
+def error_payload(exc: BaseException) -> tuple[int, dict[str, object]]:
+    """``(http_status, json_body)`` for an execution/admission error."""
+    body: dict[str, object] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    for attr in ("reason", "limit", "where", "shard", "remote_type"):
+        value = getattr(exc, attr, None)
+        if isinstance(value, (str, int)) and value != "":
+            body[attr] = value
+    if isinstance(exc, Overloaded):
+        status = 429 if exc.reason == "queue_full" else 503
+    elif isinstance(exc, ShardUnavailable):
+        status = 503
+    elif isinstance(exc, BudgetExceeded):
+        status = 408
+    elif isinstance(exc, PXMLError):
+        status = 400
+    else:
+        status = 500
+    return status, {"error": body}
+
+
+def _result_payload(result: Result) -> dict[str, object]:
+    value = result.value
+    if not isinstance(value, (str, int, float, bool, list, dict, type(None))):
+        value = result.text  # non-JSON values degrade to their rendering
+    return {
+        "value": value,
+        "instance_name": result.instance_name,
+        "text": result.text,
+    }
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method: str, path: str, body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.body = body
+
+    def json(self) -> dict[str, object]:
+        if not self.body:
+            return {}
+        data = json.loads(self.body.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+
+class HttpFrontDoor:
+    """Serve a PXQL backend over HTTP/JSON on an asyncio event loop.
+
+    Args:
+        backend: the serving backend (thread server or sharded router).
+        host: bind address.
+        port: bind port (0 = ephemeral; see :attr:`bound_port`).
+        execute_timeout_s: default wait bound for ``POST /execute``.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        execute_timeout_s: float = DEFAULT_EXECUTE_TIMEOUT_S,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.execute_timeout_s = execute_timeout_s
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, PendingResult] = {}
+        self._next_id = 0
+        self._draining = False
+
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (after :meth:`start`)."""
+        server = self._server
+        if server is None or not server.sockets:
+            return self.port
+        port = server.sockets[0].getsockname()[1]
+        return int(port)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "HttpFrontDoor":
+        """Bind the listener (idempotent-hostile: call once)."""
+        if self._server is not None:
+            raise ServerError("front door already started")
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or a handled signal) fires."""
+        if self._server is None or self._shutdown is None:
+            raise ServerError("front door not started (call start())")
+        await self._shutdown.wait()
+
+    async def shutdown(self, drain_timeout_s: float = 30.0) -> None:
+        """Drain the backend, stop it, close the listener."""
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.backend.drain(drain_timeout_s)
+        )
+        await loop.run_in_executor(
+            None, lambda: self.backend.stop(False, drain_timeout_s)
+        )
+        server = self._server
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Drain-then-stop on SIGTERM/SIGINT (main-thread loops only)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(self.shutdown()),
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            status, body = await self._dispatch(request)
+        except (ValueError, UnicodeDecodeError) as exc:
+            status, body = 400, {
+                "error": {"type": "BadRequest", "message": str(exc)}
+            }
+        except Exception as exc:  # noqa: BLE001 - last-resort JSON 500
+            status, body = 500, {
+                "error": {"type": type(exc).__name__, "message": str(exc)}
+            }
+        try:
+            await self._write_response(writer, status, body)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> _Request | None:
+        try:
+            request_line = await reader.readline()
+        except (OSError, ConnectionError):
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise ValueError("bad Content-Length header") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return _Request(method, path, body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict[str, object],
+    ) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   408: "Request Timeout", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: _Request
+    ) -> tuple[int, dict[str, object]]:
+        if request.path == "/execute" and request.method == "POST":
+            return await self._route_execute(request)
+        if request.path == "/submit" and request.method == "POST":
+            return await self._route_submit(request)
+        if request.path.startswith("/result/") and request.method == "GET":
+            return await self._route_result(request)
+        if request.path == "/health" and request.method == "GET":
+            return await self._route_health()
+        if request.path == "/metrics" and request.method == "GET":
+            return 200, {"metrics": self.backend.metrics.as_dict()}
+        return 404, {
+            "error": {"type": "NotFound", "message": request.path}
+        }
+
+    def _statement_of(self, request: _Request) -> tuple[str, float]:
+        data = request.json()
+        statement = data.get("statement")
+        if not isinstance(statement, str) or not statement.strip():
+            raise ValueError('missing "statement" string')
+        timeout = data.get("timeout_s")
+        timeout_s = (
+            float(timeout)
+            if isinstance(timeout, (int, float)) and timeout > 0
+            else self.execute_timeout_s
+        )
+        return statement, timeout_s
+
+    async def _route_execute(
+        self, request: _Request
+    ) -> tuple[int, dict[str, object]]:
+        statement, timeout_s = self._statement_of(request)
+        if self._draining:
+            return error_payload(
+                Overloaded("front door is draining", reason="draining")
+            )
+        loop = asyncio.get_running_loop()
+
+        def _call() -> Result:
+            value = self.backend.submit(statement).result(timeout_s)
+            if not isinstance(value, Result):
+                raise ServerError(
+                    "backend resolved the request with a non-Result "
+                    f"{type(value).__name__!r}"
+                )
+            return value
+
+        try:
+            result = await loop.run_in_executor(None, _call)
+        except Exception as exc:  # noqa: BLE001 - typed JSON transport
+            return error_payload(exc)
+        return 200, {"result": _result_payload(result)}
+
+    async def _route_submit(
+        self, request: _Request
+    ) -> tuple[int, dict[str, object]]:
+        statement, _ = self._statement_of(request)
+        if self._draining:
+            return error_payload(
+                Overloaded("front door is draining", reason="draining")
+            )
+        try:
+            future = self.backend.submit(statement)
+        except Exception as exc:  # noqa: BLE001 - typed JSON transport
+            return error_payload(exc)
+        with self._pending_lock:
+            self._next_id += 1
+            ident = self._next_id
+            self._pending[ident] = future
+        return 202, {"id": ident}
+
+    async def _route_result(
+        self, request: _Request
+    ) -> tuple[int, dict[str, object]]:
+        try:
+            ident = int(request.path[len("/result/"):])
+        except ValueError:
+            return 404, {
+                "error": {"type": "NotFound", "message": request.path}
+            }
+        with self._pending_lock:
+            future = self._pending.get(ident)
+        if future is None:
+            return 404, {
+                "error": {"type": "NotFound", "message": f"no request {ident}"}
+            }
+        if not future.done:
+            return 202, {"id": ident, "done": False}
+        with self._pending_lock:
+            self._pending.pop(ident, None)
+        error = future.error(0.0)
+        if error is not None:
+            return error_payload(error)
+        value = future.result(0.0)
+        if not isinstance(value, Result):
+            return error_payload(
+                ServerError(
+                    "backend resolved the request with a non-Result "
+                    f"{type(value).__name__!r}"
+                )
+            )
+        return 200, {"result": _result_payload(value)}
+
+    async def _route_health(self) -> tuple[int, dict[str, object]]:
+        loop = asyncio.get_running_loop()
+        health = await loop.run_in_executor(None, self.backend.health)
+        ready = bool(health.get("ready")) and not self._draining
+        return (200 if ready else 503), {"health": health}

@@ -30,7 +30,13 @@ The concurrency contract, piece by piece:
   queue and in-flight work to finish; :meth:`stop` then (or
   immediately, with ``drain=False``) halts the pool and resolves every
   still-queued request with ``Overloaded(reason="stopped")`` — a
-  request is always answered, never abandoned;
+  request is always answered, never abandoned.  Two details make the
+  contract race-free: admission (the state check *and* the enqueue)
+  happens atomically under the state lock, so a submission can never
+  slip into the queue after the shutdown sweep; and idleness is judged
+  by the queue's *task accounting* (admitted-but-unfinished count),
+  not its depth, so a request sitting in the dequeue→execute handoff
+  window can never make :meth:`drain` report a clean drain early;
 * **probes** — :meth:`alive` (liveness: the pool is running) and
   :meth:`ready` (readiness: admissions are open and capacity remains)
   are cheap and lock-light, backed by the same :mod:`repro.obs`
@@ -52,6 +58,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.pxql.interpreter import Interpreter, Result
 from repro.resilience.budget import Budget, use_budget
+from repro.resilience.faults import fault_point
 from repro.server.admission import AdmissionQueue, PendingResult, Request
 from repro.storage.database import Database
 
@@ -173,15 +180,22 @@ class PXQLServer:
 
         Returns whether everything finished within ``timeout_s``; the
         pool keeps running either way (call :meth:`stop` to halt it).
+
+        Idleness is judged by the admission queue's task accounting
+        (:attr:`AdmissionQueue.unfinished`), which counts a request
+        from admission until its worker finishes it.  Checking queue
+        depth plus the in-flight counter instead would race: a worker
+        dequeues (depth drops to 0) *before* it registers as in-flight,
+        and a drain polling inside that handoff window would observe
+        "idle" and report a clean drain with a request still about to
+        run.
         """
         with self._state_lock:
             if self._state == _RUNNING:
                 self._state = _DRAINING
         deadline = time.monotonic() + timeout_s
         while True:
-            with self._state_lock:
-                idle = self._queue.depth == 0 and self._inflight == 0
-            if idle:
+            if self._queue.unfinished == 0:
                 return True
             if time.monotonic() >= deadline:
                 return False
@@ -272,24 +286,33 @@ class PXQLServer:
         Execution errors travel through the returned
         :class:`PendingResult` instead.
         """
-        with self._state_lock:
-            state = self._state
-        if state == _NEW:
-            raise ServerError("server not started (call start())")
-        if state != _RUNNING:
-            self.metrics.counter("server.rejected").inc()
-            raise Overloaded(
-                f"server is {state}; not accepting requests",
-                reason="draining" if state == _DRAINING else "stopped",
-            )
         if budget is None and self._budget_factory is not None:
             budget = self._budget_factory()
         request = Request(text=text, budget=budget)
-        try:
-            self._queue.put(request)
-        except Overloaded:
-            self.metrics.counter("server.rejected").inc()
-            raise
+        # The state check and the enqueue are one atomic step: checking
+        # under the lock, releasing it, and then putting would leave a
+        # window where stop() sweeps the queue between the two — the
+        # late put would land a request behind the sweep with every
+        # worker halted, never to be answered.  Holding the state lock
+        # across the (non-blocking) put closes that window: any request
+        # that observed "running" is in the queue before stop() can
+        # transition the state, and therefore before its sweep.
+        with self._state_lock:
+            state = self._state
+            if state == _NEW:
+                raise ServerError("server not started (call start())")
+            if state != _RUNNING:
+                self.metrics.counter("server.rejected").inc()
+                raise Overloaded(
+                    f"server is {state}; not accepting requests",
+                    reason="draining" if state == _DRAINING else "stopped",
+                )
+            fault_point("server.submit.enqueue")
+            try:
+                self._queue.put(request)
+            except Overloaded:
+                self.metrics.counter("server.rejected").inc()
+                raise
         self.metrics.counter("server.submitted").inc()
         self.metrics.gauge("server.queue_depth").set(float(self._queue.depth))
         return request.result
@@ -302,7 +325,14 @@ class PXQLServer:
     ) -> Result:
         """Submit and wait: the blocking convenience form of :meth:`submit`."""
         value = self.submit(text, budget=budget).result(timeout_s)
-        assert isinstance(value, Result)
+        if not isinstance(value, Result):
+            # Not an assert: asserts vanish under ``python -O``, and a
+            # type confusion here must fail loudly in every mode rather
+            # than silently hand a non-Result to the caller.
+            raise ServerError(
+                "internal type confusion: worker resolved the request "
+                f"with a non-Result {type(value).__name__!r}"
+            )
         return value
 
     # ------------------------------------------------------------------
@@ -338,6 +368,7 @@ class PXQLServer:
             "queue_depth": self._queue.depth,
             "queue_capacity": self._queue.maxsize,
             "inflight": inflight,
+            "unfinished": self._queue.unfinished,
             "submitted": self.metrics.value("server.submitted"),
             "completed": self.metrics.value("server.completed"),
             "failed": self.metrics.value("server.failed"),
@@ -354,16 +385,35 @@ class PXQLServer:
             request = self._queue.get(self._poll_s)
             if request is None:
                 continue
-            with self._state_lock:
-                self._inflight += 1
-            self.metrics.gauge("server.queue_depth").set(
-                float(self._queue.depth)
-            )
+            # From here until task_done() the request is counted by the
+            # queue's unfinished accounting, so drain() can never see a
+            # false idle inside this dequeue→execute handoff window.
+            # The fault point parks a worker exactly here in the
+            # regression test for the old depth/inflight TOCTOU; it runs
+            # in the submitter's ContextVar snapshot so an ambient
+            # injector reaches it, and an error-kind fault resolves the
+            # request instead of abandoning it.
             try:
-                self._run_request(interpreter, request)
-            finally:
+                try:
+                    request.context.run(
+                        fault_point, "server.worker.handoff"
+                    )
+                except Exception as exc:
+                    request.result.set_error(exc)
+                    self.metrics.counter("server.failed").inc()
+                    continue
                 with self._state_lock:
-                    self._inflight -= 1
+                    self._inflight += 1
+                self.metrics.gauge("server.queue_depth").set(
+                    float(self._queue.depth)
+                )
+                try:
+                    self._run_request(interpreter, request)
+                finally:
+                    with self._state_lock:
+                        self._inflight -= 1
+            finally:
+                self._queue.task_done()
 
     def _run_request(
         self, interpreter: Interpreter, request: Request

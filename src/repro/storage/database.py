@@ -29,6 +29,7 @@ from repro.storage.locking import (
     FileLock,
     bump_generation,
     read_generation,
+    shared_lock,
 )
 
 
@@ -150,7 +151,11 @@ class Database:
         self._generation_path: Path | None = None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
-            self._file_lock = FileLock(self._directory / CATALOG_LOCK_NAME)
+            # One lock object per directory process-wide: independent
+            # flock descriptors on the same path contend even within a
+            # process, so two Databases sharing a directory must share
+            # the reentrant lock instead of serializing via the kernel.
+            self._file_lock = shared_lock(self._directory / CATALOG_LOCK_NAME)
             self._generation_path = self._directory / GENERATION_NAME
 
     def _admit(self, name: str, instance: ProbabilisticInstance) -> None:

@@ -254,6 +254,40 @@ class FileLock:
 
 
 # ----------------------------------------------------------------------
+# Per-path lock sharing
+# ----------------------------------------------------------------------
+_SHARED_LOCKS: dict[Path, FileLock] = {}
+_SHARED_LOCKS_GUARD = threading.Lock()
+
+
+def shared_lock(path: str | Path, timeout_s: float = 10.0) -> FileLock:
+    """The process-wide :class:`FileLock` for ``path`` (one per path).
+
+    ``flock`` locks taken through *independent* open file descriptions
+    conflict even within one process: two :class:`FileLock` instances
+    on the same path would contend at the OS level, so two ``Database``
+    objects (or a shard worker pool and its router) sharing a catalog
+    directory in one process would serialize through the kernel with
+    full timeout semantics instead of the reentrant fast path.  This
+    factory returns one canonical lock per resolved path, so every
+    in-process user of a catalog directory shares the same reentrant
+    lock, and the cross-process ``flock`` below it stays one holder per
+    process — which is exactly the advisory-lock contract.
+
+    ``timeout_s`` only applies when the lock is first created; later
+    callers share the existing instance (and can still pass explicit
+    timeouts to :meth:`FileLock.acquire`).
+    """
+    resolved = Path(path).resolve()
+    with _SHARED_LOCKS_GUARD:
+        lock = _SHARED_LOCKS.get(resolved)
+        if lock is None:
+            lock = FileLock(resolved, timeout_s=timeout_s)
+            _SHARED_LOCKS[resolved] = lock
+        return lock
+
+
+# ----------------------------------------------------------------------
 # Generation counter
 # ----------------------------------------------------------------------
 def read_generation(path: str | Path) -> int:

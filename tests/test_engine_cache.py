@@ -407,3 +407,53 @@ class TestCacheHitStatsRegression:
         assert engine.metrics.value(
             "engine.cache.plans.misses"
         ) == plan_stats.misses
+
+
+class TestGenerationKeyedCache:
+    """``Engine.cache_key`` carries the catalog's on-disk generation:
+    sibling-process mutations invalidate, restarts over an unchanged
+    directory reuse, in-memory databases key exactly as before."""
+
+    def test_sibling_process_mutation_moves_the_key(self, tmp_path):
+        db_a = Database(tmp_path)
+        db_a.register("bib", small_instance())
+        db_a.save("bib")
+        engine = Engine(db_a)
+        plan = PlanBuilder.scan("bib").point("R.x", "A").build()
+        key_before = engine.cache_key(plan)
+        engine.execute_plan(plan)
+        assert engine.execute_plan(plan).stats.cache == "hit"
+
+        # A second Database over the same directory stands in for a
+        # sibling process; its save bumps the shared generation.
+        db_b = Database(tmp_path)
+        db_b.register("other", small_instance(root="S", leaf="B"))
+        db_b.save("other")
+
+        key_after = engine.cache_key(plan)
+        assert key_after != key_before
+        assert engine.execute_plan(plan).stats.cache == "miss"
+        # And the key is stable again until the next mutation.
+        assert engine.execute_plan(plan).stats.cache == "hit"
+
+    def test_restart_over_unchanged_directory_reuses_the_key(self, tmp_path):
+        db_a = Database(tmp_path)
+        db_a.register("bib", small_instance())
+        db_a.save("bib")
+        plan = PlanBuilder.scan("bib").point("R.x", "A").build()
+        key_first = Engine(db_a).cache_key(plan)
+
+        # A fresh Database + Engine over the same directory (a restarted
+        # shard) computes the identical key: cached artifacts persist
+        # conceptually across the restart.
+        db_b = Database(tmp_path)
+        key_second = Engine(db_b).cache_key(plan)
+        assert key_first == key_second
+
+    def test_in_memory_database_reports_generation_zero(self):
+        database = Database()
+        database.register("bib", small_instance())
+        assert database.generation() == 0
+        engine = Engine(database)
+        plan = PlanBuilder.scan("bib").point("R.x", "A").build()
+        assert engine.cache_key(plan)[-1] == 0

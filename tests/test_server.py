@@ -219,6 +219,113 @@ class TestShutdown:
             server.stop(drain=False)
 
 
+class TestLifecycleRaces:
+    """Regression tests for the two shutdown races (PR 8).
+
+    Both were real TOCTOU windows in the original server: drain()
+    judged idleness from queue depth + the in-flight counter (which a
+    worker increments only *after* dequeuing), and submit() released
+    the state lock between the state check and the enqueue (so a stop()
+    sweep could run inside the gap and the late put was never
+    answered).  The ``server.worker.handoff`` / ``server.submit.enqueue``
+    fault points park a thread inside exactly those windows.
+    """
+
+    def test_drain_does_not_report_idle_during_worker_handoff(
+        self, database, reference
+    ):
+        # Park the single worker inside the dequeue→execute handoff:
+        # a barrier fault with parties=2 that only the worker visits
+        # waits out its full rendezvous window (0.6 s) before releasing.
+        injector = FaultInjector(
+            FaultSpec(site="server.worker.handoff", kind="barrier",
+                      parties=2, delay_s=0.6, times=1)
+        )
+        server = PXQLServer(
+            database=database, workers=1, queue_size=4, poll_s=0.002
+        )
+        with server:
+            with injector:
+                future = server.submit(QUERY)
+            deadline = time.monotonic() + 5.0
+            while injector.fired("server.worker.handoff") == 0:
+                assert time.monotonic() < deadline, "worker never dequeued"
+                time.sleep(0.002)
+            # The worker has dequeued (depth is 0) but not yet run the
+            # request.  The buggy drain() saw depth == 0, inflight == 0
+            # and reported a clean drain with work still pending.
+            assert not server.drain(timeout_s=0.2), (
+                "drain() reported idle while a request sat in the "
+                "dequeue→execute handoff window"
+            )
+            assert not future.done
+            assert future.result(10.0).value == pytest.approx(reference)
+            assert server.drain(timeout_s=10.0)
+
+    def test_late_submit_is_always_answered(self, database):
+        # Park a submitter between the admission check and the enqueue
+        # while stop() runs its whole shutdown (halt + sweep).  The
+        # buggy submit() then landed the request in the queue *after*
+        # the sweep, with all workers gone — unresolved forever.
+        injector = FaultInjector(
+            FaultSpec(site="server.submit.enqueue", kind="slow",
+                      delay_s=0.4, times=1)
+        )
+        server = PXQLServer(
+            database=database, workers=1, queue_size=4, poll_s=0.002
+        ).start()
+        outcome: dict[str, object] = {}
+
+        def late_submit() -> None:
+            with injector:
+                try:
+                    outcome["future"] = server.submit(QUERY)
+                except Overloaded as exc:
+                    outcome["rejected"] = exc.reason
+
+        thread = threading.Thread(target=late_submit, name="late-submitter")
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while injector.fired("server.submit.enqueue") == 0:
+            assert time.monotonic() < deadline, "submitter never parked"
+            time.sleep(0.002)
+        server.stop(drain=False, timeout_s=10.0)
+        thread.join(10.0)
+        assert not thread.is_alive()
+        future = outcome.get("future")
+        if future is None:
+            # stop() won the race outright: a typed rejection is fine.
+            assert outcome.get("rejected") in ("draining", "stopped")
+        else:
+            # Admitted — then it MUST be answered (result or typed
+            # error), never abandoned in a halted queue.
+            assert future.wait(5.0), (
+                "late submit lost its request forever: admitted after "
+                "the shutdown sweep with every worker halted"
+            )
+            try:
+                future.result(0.0)
+            except Overloaded as exc:
+                assert exc.reason == "stopped"
+
+    def test_execute_raises_server_error_on_type_confusion(self, database):
+        # `assert isinstance(value, Result)` vanished under python -O;
+        # the check must hold in every mode and raise a typed error.
+        class _ConfusedInterpreter(Interpreter):
+            def execute(self, text):
+                return "not a Result"
+
+        with PXQLServer(
+            database=database,
+            workers=1,
+            interpreter_factory=lambda i: _ConfusedInterpreter(
+                database=database
+            ),
+        ) as server:
+            with pytest.raises(ServerError, match="non-Result"):
+                server.execute(QUERY, timeout_s=10.0)
+
+
 class TestProbes:
     def test_probe_lifecycle(self, database):
         server = PXQLServer(database=database, workers=2, queue_size=4)

@@ -28,15 +28,23 @@ import contextvars
 import os
 import random
 import threading
+import time
 
 import pytest
 
+from repro.algebra import rename_objects
 from repro.check.diagnostics import CheckError
 from repro.core.builder import InstanceBuilder
-from repro.errors import BudgetExceeded, FaultError, Overloaded
+from repro.errors import (
+    BudgetExceeded,
+    FaultError,
+    Overloaded,
+    ServerError,
+)
+from repro.io.json_codec import dumps
 from repro.pxql.interpreter import Interpreter
 from repro.resilience.faults import FaultInjector, FaultSpec
-from repro.server import PXQLServer
+from repro.server import PXQLServer, ShardedServer
 from repro.storage.database import Database, DatabaseError
 from repro.storage.locking import CATALOG_LOCK_NAME, FileLock
 
@@ -227,3 +235,202 @@ def test_chaos_suite(tmp_path, seed):
 
     # The injector actually perturbed the run (the suite is not a no-op).
     assert injector.fired("lock.*") > 0
+
+
+# ----------------------------------------------------------------------
+# Multi-process sharded chaos
+# ----------------------------------------------------------------------
+SHARD_THREADS = 4
+SHARD_OPS = 6
+
+#: What a request against a degrading sharded deployment may end in.
+#: ``ServerError`` covers its transported subtypes too —
+#: ``ShardUnavailable`` (killed shard), ``RemoteExecutionError``
+#: (non-reconstructible shard errors such as ``CheckError``), and
+#: ``Overloaded`` — plus the scatter-gather wrapper itself.
+SHARDED_TYPED_ERRORS = (
+    Overloaded, BudgetExceeded, DatabaseError, CheckError, FaultError,
+    ServerError,
+)
+
+
+def _sharded_seeds() -> list[int]:
+    seeds = [0]
+    extra = os.environ.get("PXML_CHAOS_SEED")
+    if extra is not None and int(extra) not in seeds:
+        seeds.append(int(extra))
+    return seeds
+
+
+def shard_fault_specs() -> tuple[FaultSpec, ...]:
+    """In-shard faults, shipped picklable through ``ShardConfig``
+    (the router's ambient injector cannot cross the spawn boundary)."""
+    return (
+        FaultSpec(site="lock.db.*", kind="barrier", parties=2,
+                  probability=0.2, delay_s=0.01),
+        FaultSpec(site="lock.engine.cache.*", kind="slow",
+                  probability=0.15, delay_s=0.002),
+        FaultSpec(site="db.drop.unlink", kind="error", exception=OSError,
+                  nth=3, times=1),
+    )
+
+
+def _pick_name(server: ShardedServer, shard: int, stem: str) -> str:
+    for index in range(200):
+        candidate = f"{stem}{index}"
+        if server.owner(candidate) == shard:
+            return candidate
+    raise AssertionError(f"no candidate name routed to shard {shard}")
+
+
+@pytest.mark.parametrize("seed", _sharded_seeds())
+def test_sharded_chaos_suite(tmp_path, seed):
+    """Kill and restart a shard process under concurrent cross-shard
+    load; the deployment must stay typed, honest, and recoverable."""
+    local = Database()
+    bib = build_bib()
+    local.register("bib", bib)
+    reference = Interpreter(database=local).execute(STABLE_QUERY).value
+
+    server = ShardedServer(
+        tmp_path,
+        shards=2,
+        workers_per_shard=2,
+        queue_size=32,
+        poll_s=0.005,
+        fault_specs=shard_fault_specs(),
+        fault_seed=seed,
+    )
+    server.start()
+    try:
+        server.register_instance("bib", dumps(bib), save=True)
+        victim_shard = 1 - server.owner("bib")
+        mirror = _pick_name(server, victim_shard, "mirror")
+        server.register_instance(
+            mirror,
+            dumps(rename_objects(
+                bib, {oid: f"m_{oid}" for oid in bib.objects}
+            )),
+            save=True,
+        )
+        assert server.owner(mirror) != server.owner("bib")
+
+        outcomes: list[tuple[str, object]] = []
+        outcome_lock = threading.Lock()
+        start_barrier = threading.Barrier(SHARD_THREADS + 1)
+
+        def record(kind: str, payload: object) -> None:
+            with outcome_lock:
+                outcomes.append((kind, payload))
+
+        def hammer(index: int) -> None:
+            rng = random.Random(seed * 1000 + index)
+            start_barrier.wait()
+            for op in range(SHARD_OPS):
+                name = f"t{index}_{op % 2}"
+                roll = rng.random()
+                if roll < 0.35:
+                    statement = STABLE_QUERY
+                elif roll < 0.55:
+                    statement = f"PROJECT R.book FROM bib AS {name}"
+                elif roll < 0.75:
+                    statement = (
+                        f"PRODUCT bib, {mirror} ROOT xr AS p{index}_{op % 2}"
+                    )
+                elif roll < 0.9:
+                    statement = f"DROP {name}"
+                else:
+                    statement = "LIST"
+                try:
+                    future = server.submit(statement)
+                except SHARDED_TYPED_ERRORS as exc:
+                    record("rejected", type(exc).__name__)
+                    time.sleep(0.01)
+                    continue
+                try:
+                    result = future.result(60.0)
+                except SHARDED_TYPED_ERRORS as exc:
+                    record("typed_error", (statement, type(exc).__name__))
+                except BaseException as exc:  # noqa: BLE001 - suite verdict
+                    record("untyped", (statement, repr(exc)))
+                else:
+                    if statement == STABLE_QUERY:
+                        record("stable_value", result.value)
+                    else:
+                        record("ok", statement)
+                time.sleep(0.01)
+
+        errors: list[BaseException] = []
+
+        def wrap(index: int) -> None:
+            try:
+                hammer(index)
+            except BaseException as exc:  # noqa: BLE001 - suite verdict
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=wrap, args=(i,), name=f"shard-chaos-{i}")
+            for i in range(SHARD_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+
+        # Mid-load: hard-kill the mirror's shard, then bring it back.
+        time.sleep(0.15)
+        server.kill_shard(victim_shard)
+        time.sleep(0.15)
+        server.restart_shard(victim_shard)
+
+        for thread in threads:
+            thread.join(timeout=180.0)
+        assert not any(t.is_alive() for t in threads), "submitters deadlocked"
+        assert errors == []
+
+        kinds = [kind for kind, _ in outcomes]
+        untyped = [payload for kind, payload in outcomes if kind == "untyped"]
+        assert untyped == []  # typed errors only, even across the kill
+
+        answered = sum(
+            1 for kind in kinds
+            if kind in ("ok", "stable_value", "typed_error")
+        )
+        rejected = kinds.count("rejected")
+        assert answered + rejected == SHARD_THREADS * SHARD_OPS
+
+        # Successful stable queries always carry the reference value —
+        # a killed shard may refuse them, but never corrupt them.
+        for value in (p for kind, p in outcomes if kind == "stable_value"):
+            assert value == pytest.approx(reference)
+
+        # Router counters reconcile: every admitted statement resolved
+        # exactly once; synchronous rejections resolved nothing.
+        submitted = server.metrics.value("router.submitted")
+        completed = server.metrics.value("router.completed")
+        failed = server.metrics.value("router.failed")
+        assert submitted == completed + failed + rejected
+        assert server.metrics.value("router.shard_kills") == 1
+        assert server.metrics.value("router.shard_restarts") == 1
+
+        # The restarted shard serves its reloaded catalog: the
+        # cross-shard product works again end to end.
+        final = server.execute(
+            f"PRODUCT bib, {mirror} ROOT xr AS aftermath", timeout_s=60.0
+        )
+        assert final.instance_name == "aftermath"
+        directories = server.shard_directories()
+    finally:
+        assert server.stop(drain=True, timeout_s=30.0)
+
+    # Every shard directory survives as a consistent, lock-free catalog:
+    # surviving files reload checksum-clean and the generation moved on
+    # every shard that saved.
+    generations = []
+    for directory in directories:
+        fresh = Database(directory)
+        for name in fresh.names():
+            assert len(fresh.get(name)) > 0
+        with FileLock(directory / CATALOG_LOCK_NAME, timeout_s=1.0):
+            pass
+        generations.append(fresh.generation())
+    assert sum(generations) >= 2  # bib and mirror saves, one per shard

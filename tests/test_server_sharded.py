@@ -1,0 +1,258 @@
+"""Sharded multi-process serving: routing, scatter-gather, failover.
+
+These tests drive a real :class:`ShardedServer` — spawn-context worker
+processes over shard-local catalog directories — through the router's
+whole contract: consistent-hash routing with a placement overlay for
+derived results, broadcast ``LIST``, cross-shard ``PRODUCT`` by
+scatter-gather, typed error transport (native reconstruction for known
+types, :class:`RemoteExecutionError` for the rest), and the failover
+story (``kill_shard`` → :class:`ShardUnavailable`, ``restart_shard`` →
+recovery over the surviving on-disk catalog).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import rename_objects
+from repro.core.builder import InstanceBuilder
+from repro.errors import (
+    PXMLError,
+    RemoteExecutionError,
+    ServerError,
+    ShardUnavailable,
+)
+from repro.io.json_codec import dumps, loads
+from repro.pxql.interpreter import Interpreter
+from repro.server import ShardedServer
+from repro.storage.database import Database
+
+STABLE_QUERY = "EXISTS R.book.author IN bib"
+
+
+def build_bib():
+    b = InstanceBuilder("R")
+    b.children("R", "book", ["B1", "B2"])
+    b.opf("R", {("B1",): 0.3, ("B2",): 0.2, ("B1", "B2"): 0.4, (): 0.1})
+    b.children("B1", "author", ["A1"])
+    b.opf("B1", {("A1",): 0.5, (): 0.5})
+    b.children("B2", "author", ["A3"])
+    b.opf("B2", {("A3",): 0.6, (): 0.4})
+    b.leaf("A1", "name", ["x", "y"], {"x": 0.7, "y": 0.3})
+    b.leaf("A3", "name", vpf={"y": 1.0})
+    return b.build()
+
+
+def renamed_copy(instance, prefix: str):
+    """A structurally identical instance with globally fresh object ids
+    (products require disjoint ids across operands)."""
+    return rename_objects(
+        instance, {oid: f"{prefix}_{oid}" for oid in instance.objects}
+    )
+
+
+def pick_name(server: ShardedServer, shard: int, stem: str) -> str:
+    """A fresh name the ring routes to ``shard`` (probed, deterministic)."""
+    for index in range(200):
+        candidate = f"{stem}{index}"
+        if server.owner(candidate) == shard:
+            return candidate
+    raise AssertionError(f"no candidate name routed to shard {shard}")
+
+
+@pytest.fixture(scope="module")
+def reference():
+    database = Database()
+    database.register("bib", build_bib())
+    return Interpreter(database=database).execute(STABLE_QUERY).value
+
+
+@pytest.fixture(scope="module")
+def sharded(tmp_path_factory):
+    server = ShardedServer(
+        tmp_path_factory.mktemp("shards"),
+        shards=2,
+        workers_per_shard=1,
+        queue_size=16,
+        poll_s=0.005,
+    )
+    server.start()
+    bib = build_bib()
+    server.register_instance("bib", dumps(bib))
+    other_shard = 1 - server.owner("bib")
+    mirror = pick_name(server, other_shard, "mirror")
+    server.register_instance(mirror, dumps(renamed_copy(bib, "m")))
+    server.mirror_name = mirror  # stashed for the tests
+    yield server
+    server.stop(drain=False, timeout_s=15.0)
+
+
+class TestRouting:
+    def test_owner_is_deterministic_and_uses_every_shard(self, sharded):
+        names = [f"name{i}" for i in range(64)]
+        owners = [sharded.owner(name) for name in names]
+        assert owners == [sharded.owner(name) for name in names]
+        assert set(owners) == {0, 1}, "64 names should hit both shards"
+
+    def test_query_routes_to_owning_shard(self, sharded, reference):
+        result = sharded.execute(STABLE_QUERY, timeout_s=60.0)
+        assert result.value == pytest.approx(reference)
+
+    def test_list_is_a_broadcast_merge(self, sharded):
+        result = sharded.execute("LIST", timeout_s=60.0)
+        assert isinstance(result.value, list)
+        assert "bib" in result.value
+        assert sharded.mirror_name in result.value
+
+    def test_derived_result_lands_in_the_overlay(self, sharded):
+        # The AS target executes on bib's shard regardless of where the
+        # target name hashes; the overlay must route follow-ups there.
+        off_home = pick_name(sharded, 1 - sharded.owner("bib"), "derived")
+        result = sharded.execute(
+            f"PROJECT R.book FROM bib AS {off_home}", timeout_s=60.0
+        )
+        assert result.instance_name == off_home
+        assert sharded.owner(off_home) == sharded.owner("bib")
+        shown = sharded.execute(f"SHOW {off_home}", timeout_s=60.0)
+        assert shown.text
+        dropped = sharded.execute(f"DROP {off_home}", timeout_s=60.0)
+        assert dropped.text == f"dropped {off_home}"
+
+    def test_parse_errors_travel_through_the_future(self, sharded):
+        with pytest.raises(PXMLError):
+            sharded.execute("FROB the knob", timeout_s=10.0)
+
+
+class TestScatterGather:
+    def test_cross_shard_product(self, sharded):
+        mirror = sharded.mirror_name
+        assert sharded.owner("bib") != sharded.owner(mirror)
+        result = sharded.execute(
+            f"PRODUCT bib, {mirror} ROOT xr AS combined", timeout_s=60.0
+        )
+        assert result.instance_name == "combined"
+        assert "product of bib" in result.text
+        # The product is a real catalog citizen on its home shard.
+        payload = sharded.fetch_instance("combined")
+        assert len(loads(payload)) > 0
+        shown = sharded.execute("SHOW combined", timeout_s=60.0)
+        assert shown.text
+        assert sharded.metrics.value("router.scatter_products") >= 1
+
+    def test_same_shard_product_stays_on_one_shard(self, sharded):
+        home = sharded.owner("bib")
+        sibling = pick_name(sharded, home, "sibling")
+        sharded.register_instance(
+            sibling, dumps(renamed_copy(build_bib(), "s"))
+        )
+        before = sharded.metrics.value("router.scatter_products")
+        result = sharded.execute(
+            f"PRODUCT bib, {sibling} ROOT sr AS local_prod", timeout_s=60.0
+        )
+        assert result.instance_name == "local_prod"
+        assert sharded.metrics.value("router.scatter_products") == before
+
+    def test_wrapped_cross_shard_product_is_a_typed_error(self, sharded):
+        mirror = sharded.mirror_name
+        with pytest.raises(ServerError, match="cross-shard PRODUCT"):
+            sharded.execute(
+                f"EXPLAIN PRODUCT bib, {mirror} ROOT er AS nope",
+                timeout_s=10.0,
+            )
+
+
+class TestErrorTransport:
+    def test_unknown_instance_is_a_typed_remote_error(self, sharded):
+        with pytest.raises(PXMLError) as excinfo:
+            sharded.execute("EXISTS R.x IN does_not_exist", timeout_s=30.0)
+        # The static checker fires first on the shard; its CheckError is
+        # not reconstructible, so it must arrive as the typed wrapper.
+        if isinstance(excinfo.value, RemoteExecutionError):
+            assert excinfo.value.remote_type
+        # Either way: a PXMLError, never a pickling crash or a hang.
+
+    def test_health_reports_every_shard(self, sharded):
+        health = sharded.health()
+        assert health["shards"] == 2
+        assert len(health["shard_health"]) == 2
+        for entry in health["shard_health"]:
+            assert "shard" in entry
+
+    def test_metrics_snapshot_mirrors_shard_counters(self, sharded):
+        snapshot = sharded.metrics_snapshot()
+        shard_keys = [key for key in snapshot if key.startswith("shard")]
+        assert any(".server." in key for key in shard_keys)
+
+
+class TestFailover:
+    def test_kill_restart_cycle(self, tmp_path, reference):
+        server = ShardedServer(
+            tmp_path, shards=2, workers_per_shard=1, poll_s=0.005
+        )
+        server.start()
+        try:
+            server.register_instance("bib", dumps(build_bib()), save=True)
+            home = server.owner("bib")
+            assert server.execute(
+                STABLE_QUERY, timeout_s=60.0
+            ).value == pytest.approx(reference)
+
+            server.kill_shard(home)
+            assert not server.alive()
+            with pytest.raises(ShardUnavailable) as excinfo:
+                server.execute(STABLE_QUERY, timeout_s=10.0)
+            assert excinfo.value.shard == home
+
+            # The replacement serves the same on-disk catalog.
+            server.restart_shard(home)
+            assert server.alive()
+            assert server.execute(
+                STABLE_QUERY, timeout_s=60.0
+            ).value == pytest.approx(reference)
+            assert server.metrics.value("router.shard_restarts") == 1
+        finally:
+            server.stop(drain=False, timeout_s=15.0)
+
+    def test_start_adopts_a_pre_sharding_root_catalog(self, tmp_path,
+                                                      reference):
+        # A directory previously served single-process: instances sit at
+        # the root, not in shard-i/ subdirectories.
+        legacy = Database(tmp_path)
+        legacy.register("bib", build_bib())
+        legacy.save("bib")
+
+        server = ShardedServer(
+            tmp_path, shards=2, workers_per_shard=1, poll_s=0.005
+        )
+        server.start()
+        try:
+            listed = server.execute("LIST", timeout_s=60.0)
+            assert "bib" in listed.value
+            assert server.execute(
+                STABLE_QUERY, timeout_s=60.0
+            ).value == pytest.approx(reference)
+            assert server.metrics.value("router.adopted_instances") == 1
+        finally:
+            server.stop(drain=False, timeout_s=15.0)
+
+        # A second start over the same directory adopts nothing new:
+        # the shard-local copy now owns the name.
+        again = ShardedServer(
+            tmp_path, shards=2, workers_per_shard=1, poll_s=0.005
+        )
+        again.start()
+        try:
+            assert again.metrics.value("router.adopted_instances") == 0
+        finally:
+            again.stop(drain=False, timeout_s=15.0)
+
+    def test_drain_then_stop_is_clean(self, tmp_path):
+        server = ShardedServer(
+            tmp_path, shards=2, workers_per_shard=1, poll_s=0.005
+        )
+        server.start()
+        server.register_instance("bib", dumps(build_bib()))
+        assert server.drain(timeout_s=30.0)
+        assert server.stop(drain=True, timeout_s=30.0)
+        with pytest.raises(ShardUnavailable):
+            server.submit(STABLE_QUERY)
