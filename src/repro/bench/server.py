@@ -19,6 +19,15 @@ ratio *below* one (pipe RPC and process scheduling cost real time and
 there is no parallelism to buy back); the gate cares about the ratio
 drifting, not its absolute value.  Records land in
 ``results/bench_records.json`` with ``operation == "server"``.
+
+A third mode, ``warm-restart``, measures what the persistent result
+cache (:mod:`repro.engine.diskcache`) buys across a process restart: a
+directory-backed server answers a probe batch cold (populating the
+disk segment), is torn down, and a *fresh* server over the same
+directory answers the identical batch again.  Its ``speedup`` — warm
+throughput over cold throughput — is expected **above** one (the warm
+run reads results from the spilled segment instead of re-evaluating)
+and joins the same gate trajectory.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ QUICK_CELL: tuple[str, int, int] = DEFAULT_CELL
 #: Instance names the batch is spread across (and routed by).
 INSTANCES = 4
 
-MODES = ("single", "sharded")
+MODES = ("single", "sharded", "warm-restart")
 
 
 @dataclass
@@ -162,6 +171,62 @@ def _measure_sharded(
             server.stop(drain=True, timeout_s=30.0)
 
 
+def _probe_batch(workload, ops: int, seed: int) -> list[str]:
+    """``EXISTS``-only probes for the warm-restart comparison.
+
+    Probes over *saved* instances are exactly what the persistent
+    result cache can serve after a restart; ``AS``-target derivations
+    would register fresh (dirty, unsaved) results and re-execute on
+    both sides, diluting the ratio into noise.
+    """
+    rng = random.Random(seed)
+    return [
+        f"EXISTS {random_projection_path(workload, rng)} "
+        f"IN inst{index % INSTANCES}"
+        for index in range(ops)
+    ]
+
+
+def _measure_warm_restart(
+    instance, statements: list[str], workers: int
+) -> tuple[float, float]:
+    """``(cold_s, warm_s)`` for the same probe batch across a restart.
+
+    The cold pass runs a fresh directory-backed server (spilling every
+    result to the catalog's ``cache/results.segment``); the warm pass
+    tears that server down and builds a **new** ``Database`` + server
+    over the same directory — the process-restart simulation — so every
+    in-memory cache starts empty and any reuse is the disk segment's.
+    """
+    with tempfile.TemporaryDirectory(prefix="pxml-bench-restart-") as root:
+        directory = Path(root)
+        queue = max(64, len(statements))
+
+        database = Database(directory)
+        for index in range(INSTANCES):
+            name = f"inst{index}"
+            database.register(name, instance)
+            database.save(name)
+        server = PXQLServer(
+            database=database, workers=workers,
+            queue_size=queue, poll_s=0.002,
+        ).start()
+        try:
+            cold_s = _drive(server.submit, statements)
+        finally:
+            server.stop(drain=True, timeout_s=30.0)
+
+        restarted = PXQLServer(
+            database=Database(directory), workers=workers,
+            queue_size=queue, poll_s=0.002,
+        ).start()
+        try:
+            warm_s = _drive(restarted.submit, statements)
+        finally:
+            restarted.stop(drain=True, timeout_s=30.0)
+    return cold_s, warm_s
+
+
 def run_server_bench(
     quick: bool = False, seed: int = 13, ops: int | None = None,
     shards: int = 2, workers: int = 2,
@@ -183,12 +248,14 @@ def run_server_bench(
     instance = workload.instance
     warmup = _statement_batch(workload, min(ops, 24), seed + 1, "warm")
     timed = _statement_batch(workload, ops, seed + 2, "bench")
+    probes = _probe_batch(workload, ops, seed + 3)
     registry = metrics if metrics is not None else MetricsRegistry()
     with use_registry(registry):
         single_s = _measure_single(instance, warmup, timed, workers)
         sharded_s = _measure_sharded(
             instance, warmup, timed, shards, workers
         )
+        cold_s, warm_s = _measure_warm_restart(instance, probes, workers)
 
     common = dict(
         labeling=labeling, branching=branching, depth=depth,
@@ -196,6 +263,7 @@ def run_server_bench(
     )
     single_tp = ops / single_s if single_s > 0 else 0.0
     sharded_tp = ops / sharded_s if sharded_s > 0 else 0.0
+    warm_tp = ops / warm_s if warm_s > 0 else 0.0
     return [
         ServerRecord(mode="single", workers=workers, shards=1,
                      total_s=single_s, throughput=single_tp, **common),
@@ -205,13 +273,17 @@ def run_server_bench(
                          sharded_tp / single_tp if single_tp > 0 else None
                      ),
                      **common),
+        ServerRecord(mode="warm-restart", workers=workers, shards=1,
+                     total_s=warm_s, throughput=warm_tp,
+                     speedup=cold_s / warm_s if warm_s > 0 else None,
+                     **common),
     ]
 
 
 def format_server_records(records: list[ServerRecord]) -> str:
     """An aligned table: per-mode wall time, throughput, ratio."""
     lines = [
-        f"{'mode':<10}  {'shardsxworkers':>14}  {'ops':>5}  "
+        f"{'mode':<12}  {'shardsxworkers':>14}  {'ops':>5}  "
         f"{'total_s':>9}  {'ops/s':>8}  {'ratio':>6}"
     ]
     for record in records:
@@ -221,7 +293,7 @@ def format_server_records(records: list[ServerRecord]) -> str:
             else " " * 6
         )
         lines.append(
-            f"{record.mode:<10}  {shape:>14}  {record.ops:>5}  "
+            f"{record.mode:<12}  {shape:>14}  {record.ops:>5}  "
             f"{record.total_s:>9.3f}  {record.throughput:>8.1f}  {ratio}"
         )
     return "\n".join(lines)

@@ -1,0 +1,353 @@
+"""Persistent, shared spill segment for the engine's result cache.
+
+The in-memory result cache keys on *in-process* version counters, which
+restart at zero in every process — so the engine's 20-40x warm-cache
+speedup used to evaporate on every restart, and sibling shard processes
+could never reuse each other's work.  This module gives cached results
+a durable, *cross-process stable* identity instead:
+
+    key = SHA-256( plan fingerprint,
+                   sorted (name, sidecar checksum) of every scanned
+                   instance )
+
+The sidecar checksum is the content hash the storage layer already
+maintains for every instance file (and that the write-ahead journal
+keeps crash-consistent), so two processes looking at the same catalog
+directory derive the same key for the same logical result — and any
+change to any input file changes the key.  The catalog generation is
+recorded per entry for observability, but validity comes entirely from
+the content checksums.
+
+Entries live in one JSON-lines segment (``cache/results.segment``
+under the catalog directory), each line carrying a ``crc`` checksum —
+corrupt or torn lines are skipped and counted, never an error, because
+a cache is always allowed to miss.  Appends run under a dedicated
+``cache/cache.lock`` (atomic whole-line appends); reads are lock-free
+with a tail-refresh on lookup, so sibling shard processes see each
+other's spills without coordination.  When the segment outgrows its
+cap it is compacted (dedup by key, newest wins) under the lock.
+
+Everything here is **fail-open**: any error — unreadable segment,
+unencodable value, lock trouble — degrades to a miss or a skipped
+spill, counted in ``engine.cache.disk_*`` metrics, and never fails a
+query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.instance import ProbabilisticInstance
+from repro.io.json_codec import (
+    decode_instance,
+    encode_instance,
+    replace_atomically,
+)
+from repro.storage.locking import shared_lock
+
+#: Subdirectory of the catalog directory the cache lives in.
+CACHE_DIR = "cache"
+
+#: The spill segment file name.
+SEGMENT_NAME = "results.segment"
+
+#: Entries whose serialized form exceeds this are not spilled.
+DEFAULT_MAX_ENTRY_BYTES = 1 << 20       # 1 MiB
+
+#: Segment size that triggers a compaction after an append.
+DEFAULT_MAX_SEGMENT_BYTES = 32 << 20    # 32 MiB
+
+
+def _crc(fields: dict) -> str:
+    canonical = json.dumps(
+        {k: v for k, v in sorted(fields.items()) if k != "crc"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_key(
+    plan_fingerprint: str, inputs: tuple[tuple[str, str], ...]
+) -> str:
+    """The content-addressed digest of a plan over concrete input bytes."""
+    material = json.dumps(
+        [plan_fingerprint, [[n, c] for n, c in inputs]],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Value (de)serialization
+# ----------------------------------------------------------------------
+def encode_value(value: object) -> dict | None:
+    """A JSON-ready form of a cacheable result; ``None`` = not spillable.
+
+    Dict results (e.g. DIST outputs) are stored as key/value *pairs* so
+    non-string keys (DIST's integer cardinalities) survive the JSON
+    round-trip.
+    """
+    if isinstance(value, ProbabilisticInstance):
+        return {"kind": "instance", "data": encode_instance(value)}
+    if isinstance(value, dict):
+        return {"kind": "pairs", "data": [[k, v] for k, v in value.items()]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"kind": "scalar", "data": value}
+    return None
+
+
+def decode_value(payload: dict) -> object:
+    kind = payload.get("kind")
+    if kind == "instance":
+        return decode_instance(payload["data"])
+    if kind == "pairs":
+        return {k if not isinstance(k, list) else tuple(k): v
+                for k, v in payload["data"]}
+    if kind == "scalar":
+        return payload["data"]
+    raise ValueError(f"unknown cached value kind {kind!r}")
+
+
+@dataclass
+class DiskEntry:
+    """One decoded spill entry (value decoded lazily by the engine)."""
+
+    key: str
+    generation: int
+    inputs: tuple[tuple[str, str], ...]
+    value: dict
+    extra: dict
+    stats: dict
+
+
+class DiskResultCache:
+    """The persistent result-cache segment of one catalog directory.
+
+    Args:
+        directory: the *catalog* directory; the segment lives under its
+            ``cache/`` subdirectory.
+        metrics: counter registry (``engine.cache.disk_*`` family).
+        max_entry_bytes: skip spilling entries larger than this.
+        max_segment_bytes: compact when the segment outgrows this.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        metrics,
+        max_entry_bytes: int = DEFAULT_MAX_ENTRY_BYTES,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> None:
+        self.directory = Path(directory) / CACHE_DIR
+        self.path = self.directory / SEGMENT_NAME
+        self.metrics = metrics
+        self.max_entry_bytes = max_entry_bytes
+        self.max_segment_bytes = max_segment_bytes
+        self._lock = shared_lock(self.directory / "cache.lock")
+        self._index: dict[str, DiskEntry] = {}
+        self._offset = 0
+        self.refresh()
+        loaded = len(self._index)
+        if loaded:
+            self.metrics.counter("engine.cache.disk_loaded").inc(loaded)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(f"engine.cache.disk_{name}").inc(n)
+
+    def _parse_line(self, line: str) -> DiskEntry | None:
+        try:
+            fields = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(fields, dict):
+            return None
+        crc = fields.get("crc")
+        if not isinstance(crc, str) or crc != _crc(fields):
+            return None
+        try:
+            return DiskEntry(
+                key=str(fields["key"]),
+                generation=int(fields.get("generation", 0)),
+                inputs=tuple(
+                    (str(n), str(c)) for n, c in fields.get("inputs", [])
+                ),
+                value=fields["value"],
+                extra=fields.get("extra", {}),
+                stats=fields.get("stats", {}),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def refresh(self) -> None:
+        """Fold any segment bytes appended since the last read into the
+        in-memory index (how sibling processes' spills become visible).
+
+        Lock-free: appends are whole fsynced lines, so the only
+        unparsable content is a torn tail, which is left for the next
+        refresh (or counted corrupt if it never completes).
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            self._offset = 0
+            return
+        if size < self._offset:
+            # A sibling compacted the segment: re-read from scratch.
+            self._index.clear()
+            self._offset = 0
+        if size == self._offset:
+            return
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                raw = handle.read()
+        except OSError:
+            self._count("errors")
+            return
+        # Only consume complete lines; a trailing partial line is a
+        # concurrent append still in flight.  Byte-level bookkeeping:
+        # replacement decoding below changes string lengths.
+        consumed = raw.rfind(b"\n") + 1
+        if consumed == 0:
+            return
+        self._offset += consumed
+        # Replacement decoding keeps a flipped byte local to its line
+        # (that line fails its crc and is counted corrupt).
+        chunk = raw[:consumed].decode("utf-8", errors="replace")
+        for line in chunk.splitlines():
+            if not line.strip():
+                continue
+            entry = self._parse_line(line)
+            if entry is None:
+                self._count("corrupt")
+                continue
+            self._index[entry.key] = entry
+        try:
+            self.metrics.gauge("engine.cache.disk_entries").set(
+                len(self._index)
+            )
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: str, inputs: tuple[tuple[str, str], ...]
+    ) -> DiskEntry | None:
+        """The entry for ``key``, or ``None`` (always counted).
+
+        ``inputs`` is re-verified against the stored vector — a digest
+        collision or a mangled entry is silently a miss.
+        """
+        entry = self._index.get(key)
+        if entry is None:
+            self.refresh()
+            entry = self._index.get(key)
+        if entry is None or entry.inputs != inputs:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return entry
+
+    def store(
+        self,
+        key: str,
+        generation: int,
+        inputs: tuple[tuple[str, str], ...],
+        value: dict,
+        extra: dict,
+        stats: dict,
+    ) -> bool:
+        """Append one entry to the segment (fail-open; returns success)."""
+        fields: dict = {
+            "key": key,
+            "generation": generation,
+            "inputs": [[n, c] for n, c in inputs],
+            "value": value,
+            "extra": extra,
+            "stats": stats,
+        }
+        try:
+            fields["crc"] = _crc(fields)
+            line = json.dumps(
+                fields, sort_keys=True, separators=(",", ":")
+            ) + "\n"
+        except (TypeError, ValueError):
+            self._count("skipped")
+            return False
+        if len(line) > self.max_entry_bytes:
+            self._count("skipped")
+            return False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with self._lock:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                size = self.path.stat().st_size
+                if size > self.max_segment_bytes:
+                    self._compact()
+        except Exception:
+            self._count("errors")
+            return False
+        self._index[key] = DiskEntry(
+            key=key, generation=generation, inputs=inputs,
+            value=value, extra=extra, stats=stats,
+        )
+        self._count("spills")
+        try:
+            self.metrics.gauge("engine.cache.disk_entries").set(
+                len(self._index)
+            )
+        except Exception:
+            pass
+        return True
+
+    def _compact(self) -> None:
+        """Rewrite the segment deduplicated (newest per key wins).
+
+        Called under the cache lock.  Readers mid-refresh see either
+        the old segment or the new one (atomic replace); a shrunken
+        size makes them re-read from scratch.
+        """
+        self.refresh()  # fold the tail first so nothing is lost
+        lines = []
+        for entry in self._index.values():
+            fields: dict = {
+                "key": entry.key,
+                "generation": entry.generation,
+                "inputs": [[n, c] for n, c in entry.inputs],
+                "value": entry.value,
+                "extra": entry.extra,
+                "stats": entry.stats,
+            }
+            fields["crc"] = _crc(fields)
+            lines.append(
+                json.dumps(fields, sort_keys=True, separators=(",", ":"))
+            )
+        payload = "\n".join(lines) + ("\n" if lines else "")
+        replace_atomically(payload, self.path)
+        self._offset = len(payload.encode("utf-8"))
+        self._count("compactions")
+
+
+__all__ = [
+    "CACHE_DIR",
+    "DEFAULT_MAX_ENTRY_BYTES",
+    "DEFAULT_MAX_SEGMENT_BYTES",
+    "DiskEntry",
+    "DiskResultCache",
+    "SEGMENT_NAME",
+    "decode_value",
+    "encode_value",
+    "result_key",
+]

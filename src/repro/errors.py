@@ -99,6 +99,12 @@ class CorruptInstanceError(CodecError):
     undecodable bytes, or a torn/truncated payload)."""
 
 
+class JournalError(PXMLError):
+    """Raised by the catalog write-ahead journal
+    (:mod:`repro.storage.journal`) for unusable journal files or
+    replay steps that cannot reach a consistent state."""
+
+
 class ResilienceError(PXMLError):
     """Raised by the resilience subsystem (:mod:`repro.resilience`)."""
 
@@ -166,6 +172,29 @@ class Overloaded(ServerError):
     def __init__(self, message: str, reason: str = "queue_full") -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class ShardConfigError(ServerError):
+    """A sharded server was pointed at a directory created with a
+    different shard count.
+
+    Instance names are placed by consistent hashing over the shard
+    ring, so silently reopening an N-shard directory with M shards
+    would rehash names to the wrong homes.  The directory's
+    ``shards.json`` manifest records the creating count; a mismatch is
+    refused with this error (live rebalancing is an open roadmap item).
+
+    Attributes:
+        configured: the shard count the server was constructed with.
+        recorded: the shard count the directory's manifest records.
+    """
+
+    def __init__(
+        self, message: str, configured: int = 0, recorded: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.configured = configured
+        self.recorded = recorded
 
 
 class ShardUnavailable(ServerError):

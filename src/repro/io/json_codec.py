@@ -240,8 +240,8 @@ def replace_atomically(payload: str, target: str | Path) -> Path:
     return target
 
 
-def write_instance(pi: ProbabilisticInstance, path: str | Path) -> int:
-    """Atomically write a probabilistic instance to ``path``.
+def write_payload(payload: str, path: str | Path) -> int:
+    """Atomically publish an already-serialized instance at ``path``.
 
     The data file is published with tmp-file + fsync + ``os.replace``
     (crash-safe: never torn), then a ``<name>.sha256`` sidecar records
@@ -249,17 +249,33 @@ def write_instance(pi: ProbabilisticInstance, path: str | Path) -> int:
     tiny window between the two replaces leaves a fresh data file with a
     stale sidecar; that surfaces on load as
     :class:`~repro.errors.CorruptInstanceError` — a clean, typed error
-    the catalog's quarantine policy can absorb — never a wrong answer.
-    Returns the number of characters written.
+    the catalog's quarantine policy can absorb, and that the write-ahead
+    journal (:mod:`repro.storage.journal`) repairs on reopen by
+    recomputing the sidecar from the journaled payload checksum — never
+    a wrong answer.  Returns the number of characters written.
+
+    Split out of :func:`write_instance` so the catalog can checksum the
+    payload *before* publication (the journal's begin record must carry
+    the checksum of the bytes about to land on disk).
     """
-    payload = dumps(pi)
-    corrupted = fault_point("codec.write.payload", payload)
-    payload = corrupted if corrupted is not None else payload
     path = Path(path)
     _replace_atomically(payload, path)
     fault_point("codec.write.replace")
     _replace_atomically(content_checksum(payload) + "\n", checksum_sidecar(path))
+    fault_point("codec.write.sidecar")
     return len(payload)
+
+
+def write_instance(pi: ProbabilisticInstance, path: str | Path) -> int:
+    """Atomically write a probabilistic instance to ``path``.
+
+    ``dumps`` + :func:`write_payload`; see there for the crash-safety
+    contract.  Returns the number of characters written.
+    """
+    payload = dumps(pi)
+    corrupted = fault_point("codec.write.payload", payload)
+    payload = corrupted if corrupted is not None else payload
+    return write_payload(payload, path)
 
 
 def read_instance(path: str | Path) -> ProbabilisticInstance:

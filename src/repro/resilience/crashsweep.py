@@ -1,0 +1,332 @@
+"""Kill-at-every-fault-point crash sweep for the storage layer.
+
+The write-ahead journal (:mod:`repro.storage.journal`) claims that a
+process dying at *any* point of a multi-file catalog operation leaves a
+directory that replay-on-open brings back to a consistent state.  This
+harness makes that claim empirical instead of rhetorical:
+
+1. **Profile** — run a fixed catalog op cycle (saves, a re-save, a
+   drop, a quarantine) once in-process with a counting injector to
+   learn how many times each registered storage fault point
+   (:data:`repro.resilience.faults.STORAGE_FAULT_POINTS`) is visited.
+2. **Sweep** — for every ``(site, visit)`` pair, spawn a sacrificial
+   subprocess that re-runs the same cycle with a ``"crash"`` fault spec
+   (``SIGKILL``, no unwinding, no flushing — a power cut) armed at
+   exactly that visit, and assert the child died to the kill.
+3. **Verify** — reopen the directory (which replays the journal) and
+   assert the recovery contract: every surviving instance loads
+   checksum-clean, the generation counter never went backwards, and
+   ``python -m repro.storage fsck`` has zero findings left.
+
+Run it directly::
+
+    python -m repro.resilience.crashsweep --seed 11
+
+The CI ``crash-sweep`` job runs this across a seed matrix; a tier-1
+test sweeps a subset of sites so regressions surface locally too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.resilience.faults import (
+    STORAGE_FAULT_POINTS,
+    FaultInjector,
+    FaultSpec,
+)
+
+#: Subprocess wall-clock limit per kill (the cycle itself takes < 1 s).
+CHILD_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """The result of one kill: where, which visit, and what recovery found."""
+
+    site: str
+    visit: int
+    killed: bool
+    recovered: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.killed and self.recovered
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "site": self.site,
+            "visit": self.visit,
+            "killed": self.killed,
+            "recovered": self.recovered,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+# ----------------------------------------------------------------------
+# The catalog op cycle under test
+# ----------------------------------------------------------------------
+def run_cycle(directory: Path) -> None:
+    """A deterministic cycle covering every journaled operation kind.
+
+    Saves two instances, re-saves one after a mutation, drops one,
+    then plants out-of-band corruption and triggers the quarantine
+    path.  Every storage fault point fires at least once along the way.
+    """
+    from repro.paper import example52_instance, figure2_instance
+    from repro.storage.database import Database, DatabaseError
+
+    db = Database(directory, on_corrupt="quarantine")
+    db.register("alpha", figure2_instance())
+    db.save("alpha")
+    db.register("beta", example52_instance())
+    db.save("beta")
+    db.touch("alpha")
+    db.save("alpha")
+    db.drop("beta")
+    db.register("gamma", example52_instance())
+    db.save("gamma")
+    # Plant corruption the way bit rot would: mutate the data file
+    # behind the codec's back, leaving the sidecar stale.
+    gamma = directory / "gamma.pxml.json"
+    gamma.write_text(
+        gamma.read_text(encoding="utf-8") + " ", encoding="utf-8"
+    )
+    # reload() re-reads from disk unconditionally, hits the checksum
+    # mismatch, and quarantines.
+    try:
+        db.reload("gamma")
+    except DatabaseError:
+        pass  # expected: corrupt → quarantined
+
+
+def profile_visits(seed: int) -> dict[str, int]:
+    """How many times a clean cycle visits each storage fault point."""
+    specs = [
+        FaultSpec(site=site, kind="slow", times=0)
+        for site in STORAGE_FAULT_POINTS
+    ]
+    with tempfile.TemporaryDirectory(prefix="crashsweep-profile-") as tmp:
+        injector = FaultInjector(*specs, seed=seed)
+        with injector:
+            run_cycle(Path(tmp))
+        return injector.visit_counts()
+
+
+# ----------------------------------------------------------------------
+# Child process: run the cycle with a crash armed
+# ----------------------------------------------------------------------
+def child_main(directory: Path, site: str, visit: int, seed: int) -> int:
+    """Run the cycle with a SIGKILL armed at ``(site, visit)``.
+
+    Normally never returns (the kill fires mid-cycle); returns 0 when
+    the armed visit was never reached — which the parent treats as a
+    sweep failure, because profiling said it would be.
+    """
+    spec = FaultSpec(site=site, kind="crash", nth=visit, times=1)
+    with FaultInjector(spec, seed=seed):
+        run_cycle(directory)
+    return 0
+
+
+def spawn_child(
+    directory: Path, site: str, visit: int, seed: int
+) -> subprocess.CompletedProcess[str]:
+    """Run the sacrificial child for one ``(site, visit)`` kill."""
+    command = [
+        sys.executable, "-m", "repro.resilience.crashsweep",
+        "--child", "--directory", str(directory),
+        "--site", site, "--visit", str(visit), "--seed", str(seed),
+    ]
+    return subprocess.run(
+        command,
+        capture_output=True,
+        text=True,
+        timeout=CHILD_TIMEOUT_S,
+        env=os.environ.copy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Recovery verification
+# ----------------------------------------------------------------------
+def verify_recovery(directory: Path) -> tuple[bool, str]:
+    """Reopen a crashed directory and check the recovery contract.
+
+    Returns ``(ok, detail)``: every instance loads checksum-clean, the
+    generation counter is monotone across replay, and fsck reports
+    nothing left to repair.
+    """
+    from repro.storage.database import Database, DatabaseError
+    from repro.storage.fsck import fsck_directory
+    from repro.storage.locking import GENERATION_NAME, read_generation
+
+    problems: list[str] = []
+    before = read_generation(directory / GENERATION_NAME)
+    db = Database(directory, on_corrupt="quarantine")  # replays the journal
+    # A crash can leave damage indistinguishable from bit rot (e.g. a
+    # kill right before a quarantine's begin record): fsck --repair
+    # must absorb all of it — quarantining evidence, never deleting
+    # data — with nothing left unrepaired.
+    repair = fsck_directory(directory, repair=True)
+    if repair.unrepaired:
+        problems.append(
+            "unrepaired fsck findings: " + "; ".join(
+                f"{f.code} {f.path}" for f in repair.unrepaired
+            )
+        )
+    for name in db.names():
+        try:
+            db.get(name)
+        except DatabaseError as exc:
+            problems.append(f"{name} not checksum-clean: {exc}")
+    after = db.generation()
+    if after < before:
+        problems.append(f"generation went backwards: {before} -> {after}")
+    committed = 0
+    if db.journal is not None:
+        committed = db.journal.committed_generation()
+    if after < committed:
+        problems.append(
+            f"generation {after} behind journal's committed {committed}"
+        )
+    report = fsck_directory(directory)
+    if not report.clean:
+        problems.append(
+            "fsck still reports findings after repair: " + "; ".join(
+                f"{f.code} {f.path}" for f in report.findings
+            )
+        )
+    return (not problems, "; ".join(problems))
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+def sweep(
+    seed: int = 0,
+    sites: tuple[str, ...] | None = None,
+    progress: bool = False,
+) -> list[CrashOutcome]:
+    """Kill the op cycle at every visit of every registered fault point.
+
+    Returns one :class:`CrashOutcome` per ``(site, visit)`` kill; the
+    sweep passes when every outcome is ``ok``.
+    """
+    chosen = sites if sites is not None else STORAGE_FAULT_POINTS
+    counts = profile_visits(seed)
+    outcomes: list[CrashOutcome] = []
+    for site in chosen:
+        visits = counts.get(site, 0)
+        if visits == 0:
+            outcomes.append(CrashOutcome(
+                site=site, visit=0, killed=False, recovered=False,
+                detail="fault point never visited by the op cycle",
+            ))
+            continue
+        for visit in range(1, visits + 1):
+            with tempfile.TemporaryDirectory(
+                prefix="crashsweep-"
+            ) as tmp:
+                directory = Path(tmp)
+                proc = spawn_child(directory, site, visit, seed)
+                killed = proc.returncode == -9
+                if not killed:
+                    outcomes.append(CrashOutcome(
+                        site=site, visit=visit, killed=False,
+                        recovered=False,
+                        detail=(
+                            f"child exited {proc.returncode} instead of "
+                            f"being killed; stderr: {proc.stderr[-400:]}"
+                        ),
+                    ))
+                    continue
+                recovered, detail = verify_recovery(directory)
+                outcomes.append(CrashOutcome(
+                    site=site, visit=visit, killed=True,
+                    recovered=recovered, detail=detail,
+                ))
+            if progress:
+                last = outcomes[-1]
+                status = "ok" if last.ok else f"FAIL ({last.detail})"
+                print(f"  kill at {site} visit {visit}: {status}",
+                      flush=True)
+    return outcomes
+
+
+def format_outcomes(outcomes: list[CrashOutcome]) -> str:
+    failed = [o for o in outcomes if not o.ok]
+    lines = [
+        f"crash sweep: {len(outcomes)} kill(s) across "
+        f"{len({o.site for o in outcomes})} site(s), "
+        f"{len(failed)} failure(s)"
+    ]
+    for outcome in failed:
+        lines.append(
+            f"  FAIL {outcome.site} visit {outcome.visit}: "
+            f"{outcome.detail}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.crashsweep",
+        description="SIGKILL a catalog op cycle at every storage fault "
+        "point and verify journal replay recovers",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sites", nargs="*", default=None,
+        help="restrict to these fault points (default: all registered)",
+    )
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-kill progress"
+    )
+    # Internal: sacrificial child mode.
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--directory", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--site", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--visit", type=int, default=1,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        if args.directory is None or args.site is None:
+            parser.error("--child needs --directory and --site")
+        return child_main(
+            Path(args.directory), args.site, args.visit, args.seed
+        )
+    sites = tuple(args.sites) if args.sites else None
+    outcomes = sweep(seed=args.seed, sites=sites, progress=not args.quiet)
+    if args.json:
+        print(json.dumps([o.as_dict() for o in outcomes], indent=2))
+    else:
+        print(format_outcomes(outcomes))
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "CHILD_TIMEOUT_S",
+    "CrashOutcome",
+    "child_main",
+    "format_outcomes",
+    "profile_visits",
+    "run_cycle",
+    "sweep",
+    "verify_recovery",
+]

@@ -21,6 +21,12 @@ exactly reproducible from its seed:
   released simultaneously.  Placed at a lock boundary this piles
   threads up and stampedes the lock — the classic race amplifier for
   concurrency chaos suites.
+* ``"crash"`` — ``SIGKILL`` the current process on the spot: no atexit
+  handlers, no buffers flushed, no locks released.  The honest
+  simulation of a power cut for crash-consistency testing; only
+  meaningful in a sacrificial subprocess (see
+  :mod:`repro.resilience.crashsweep`, which kills a catalog-op cycle at
+  every registered storage fault point in turn and asserts recovery).
 
 Hook points in the tree (see ``docs/RESILIENCE.md``):
 
@@ -35,7 +41,18 @@ site                    where
                         never published the new bytes
 ``codec.write.replace`` after the data file is published, before the
                         checksum sidecar — the torn-sidecar crash window
+``codec.write.sidecar`` after the checksum sidecar is published, before
+                        the generation bump / journal commit
+``journal.begin``       before a journal begin record is appended
+``journal.begin.synced`` after the begin record is durable, before the
+                        operation's first file step
+``journal.commit``      before a journal commit record is appended
+``db.generation.bump``  before the generation counter is rewritten
 ``db.drop.unlink``      before the catalog unlinks an instance file
+``db.drop.sidecar``     after the data file is unlinked, before its
+                        sidecar is
+``db.quarantine.move``  before a corrupt data file is moved to quarantine
+``db.quarantine.sidecar`` after the data file moved, before its sidecar
 ``engine.cache.*.get``  before an engine cache lookup (results / plans)
 ``engine.cache.*.put``  before an engine cache insert
 ``lock.engine.cache.*`` the engine cache's internal lock boundary
@@ -62,7 +79,9 @@ does this for every request it dispatches).
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from collections.abc import Callable, Iterator
@@ -79,6 +98,26 @@ PayloadT = TypeVar("PayloadT", str, bytes, None)
 #: Default rendezvous window of a ``barrier`` fault (seconds).
 DEFAULT_BARRIER_TIMEOUT_S = 0.05
 
+#: The canonical fault points of the storage layer's multi-file
+#: operation sequences, in the order a save/drop/quarantine visits
+#: them.  The crash sweep (:mod:`repro.resilience.crashsweep`) SIGKILLs
+#: a catalog-op cycle at every one of these — at every *visit* of every
+#: one — and asserts that reopen + journal replay recovers.  New
+#: storage-sequence fault points must be added here to be swept.
+STORAGE_FAULT_POINTS: tuple[str, ...] = (
+    "journal.begin",
+    "journal.begin.synced",
+    "codec.write.tmp",
+    "codec.write.replace",
+    "codec.write.sidecar",
+    "db.generation.bump",
+    "journal.commit",
+    "db.drop.unlink",
+    "db.drop.sidecar",
+    "db.quarantine.move",
+    "db.quarantine.sidecar",
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -87,7 +126,9 @@ class FaultSpec:
     Args:
         site: a hook-point name or ``fnmatch`` pattern
             (``"engine.cache.*"``).
-        kind: ``"error"``, ``"corrupt"``, ``"slow"``, or ``"barrier"``.
+        kind: ``"error"``, ``"corrupt"``, ``"slow"``, ``"barrier"``, or
+            ``"crash"`` (SIGKILL the process — sacrificial subprocesses
+            only).
         nth: fire starting with the nth matching visit (1-based).
         times: how many visits fire in total (``None`` = every one from
             ``nth`` on).
@@ -110,7 +151,7 @@ class FaultSpec:
     parties: int = 2
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "corrupt", "slow", "barrier"):
+        if self.kind not in ("error", "corrupt", "slow", "barrier", "crash"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.nth < 1:
             raise ValueError("nth is 1-based")
@@ -179,6 +220,16 @@ class FaultInjector:
             return len(events)
         return sum(1 for e in events if fnmatchcase(e.site, site))
 
+    def visit_counts(self) -> dict[str, int]:
+        """Hook-point visits seen per spec site (profiling aid).
+
+        Install specs with ``times=0`` (never fire) to use the injector
+        as a pure visit counter — the crash sweep profiles a clean run
+        this way to learn how many kills each site needs.
+        """
+        with self._lock:
+            return {state.spec.site: state.seen for state in self._states}
+
     # ------------------------------------------------------------------
     def _wait_at_barrier(self, state: _SpecState) -> None:
         """Rendezvous at a spec's barrier (created lazily, self-healing).
@@ -220,6 +271,11 @@ class FaultInjector:
                     continue
                 state.fired += 1
                 self.events.append(FaultEvent(site, spec.kind, state.seen))
+                if spec.kind == "crash":
+                    # A power cut, not an exception: no unwinding, no
+                    # flushing, no lock release.  SIGKILL cannot be
+                    # caught, so nothing below this line runs.
+                    os.kill(os.getpid(), signal.SIGKILL)
                 if spec.kind == "error":
                     exception = spec.exception if spec.exception else FaultError
                     raise exception(

@@ -22,6 +22,7 @@ import argparse
 import asyncio
 import sys
 
+from repro.errors import ShardConfigError
 from repro.server.http import Backend, HttpFrontDoor
 from repro.server.server import PXQLServer
 from repro.server.shard import ShardedServer
@@ -75,13 +76,17 @@ def main(argv: list[str] | None = None) -> int:
             ),
         ).start()
     else:
-        backend = ShardedServer(
-            args.directory,
-            shards=args.shards,
-            workers_per_shard=args.workers,
-            queue_size=args.queue_size,
-            default_deadline_s=args.deadline_s,
-        ).start()
+        try:
+            backend = ShardedServer(
+                args.directory,
+                shards=args.shards,
+                workers_per_shard=args.workers,
+                queue_size=args.queue_size,
+                default_deadline_s=args.deadline_s,
+            ).start()
+        except ShardConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         asyncio.run(_serve(backend, args.host, args.port))
     except KeyboardInterrupt:

@@ -13,7 +13,8 @@ route                 behavior
                       JSON error (see the status map below)
 ``POST /submit``      non-blocking admission; 202 with ``{"id": ...}``
 ``GET /result/<id>``  200 with the result once done, 202 while pending,
-                      404 for unknown ids; results are delivered once
+                      404 for unknown ids, 410 for ids whose slot
+                      expired unclaimed; results are delivered once
                       (the slot is freed on pickup)
 ``GET /health``       the backend's health snapshot; 200 when ready,
                       503 otherwise (a load-balancer-friendly probe)
@@ -27,6 +28,16 @@ stopped)`` and ``ShardUnavailable`` → 503, ``BudgetExceeded`` → 408,
 any other :class:`~repro.errors.PXMLError` (parse errors, check
 failures, unknown instances) → 400, anything unrecognized → 500.
 Clients always see JSON, never a traceback.
+
+**Pending-result retention.**  Submitted-but-never-claimed results used
+to accumulate in the pending map forever — a slow leak under any client
+that submits and walks away.  Slots now expire ``result_ttl_s`` seconds
+after submission: a periodic sweep (and an opportunistic one on every
+submit) frees them, counts each eviction in ``http.results_expired``,
+and remembers the evicted ids so late pollers get an honest ``410
+Gone`` instead of a 404.  The map is also hard-bounded at
+``max_pending`` slots — when full, the oldest slots are evicted first
+(counted the same way) so memory stays bounded even under a flood.
 
 **Shutdown.**  :meth:`HttpFrontDoor.install_signal_handlers` arranges
 drain-then-stop on ``SIGTERM``/``SIGINT``: admissions stop (503s),
@@ -42,6 +53,8 @@ import asyncio
 import json
 import signal
 import threading
+import time
+from collections import OrderedDict
 from typing import Protocol
 
 from repro.errors import (
@@ -60,6 +73,15 @@ MAX_BODY_BYTES = 1 << 20
 
 #: Default wait bound for ``POST /execute`` (seconds).
 DEFAULT_EXECUTE_TIMEOUT_S = 60.0
+
+#: How long an unclaimed ``/submit`` result is retained (seconds).
+DEFAULT_RESULT_TTL_S = 300.0
+
+#: Hard cap on simultaneously retained pending results.
+DEFAULT_MAX_PENDING = 1024
+
+#: How many evicted ids are remembered for 410 (vs 404) answers.
+EXPIRED_ID_MEMORY = 4096
 
 
 class Backend(Protocol):
@@ -139,6 +161,10 @@ class HttpFrontDoor:
         host: bind address.
         port: bind port (0 = ephemeral; see :attr:`bound_port`).
         execute_timeout_s: default wait bound for ``POST /execute``.
+        result_ttl_s: how long an unclaimed submit result is retained
+            before it is expired (and its id answers 410).
+        max_pending: hard bound on retained pending results; oldest
+            slots are evicted first when full.
     """
 
     def __init__(
@@ -147,17 +173,25 @@ class HttpFrontDoor:
         host: str = "127.0.0.1",
         port: int = 8080,
         execute_timeout_s: float = DEFAULT_EXECUTE_TIMEOUT_S,
+        result_ttl_s: float = DEFAULT_RESULT_TTL_S,
+        max_pending: int = DEFAULT_MAX_PENDING,
     ) -> None:
         self.backend = backend
         self.host = host
         self.port = port
         self.execute_timeout_s = execute_timeout_s
+        self.result_ttl_s = result_ttl_s
+        self.max_pending = max_pending
         self._server: asyncio.AbstractServer | None = None
         self._shutdown: asyncio.Event | None = None
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, PendingResult] = {}
+        self._pending: OrderedDict[int, tuple[PendingResult, float]] = (
+            OrderedDict()
+        )
+        self._expired_ids: OrderedDict[int, None] = OrderedDict()
         self._next_id = 0
         self._draining = False
+        self._sweeper: asyncio.Task[None] | None = None
 
     @property
     def bound_port(self) -> int:
@@ -179,6 +213,7 @@ class HttpFrontDoor:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
+        self._sweeper = asyncio.ensure_future(self._sweep_loop())
         return self
 
     async def serve_forever(self) -> None:
@@ -190,6 +225,10 @@ class HttpFrontDoor:
     async def shutdown(self, drain_timeout_s: float = 30.0) -> None:
         """Drain the backend, stop it, close the listener."""
         self._draining = True
+        sweeper = self._sweeper
+        if sweeper is not None:
+            sweeper.cancel()
+            self._sweeper = None
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(
             None, lambda: self.backend.drain(drain_timeout_s)
@@ -212,6 +251,42 @@ class HttpFrontDoor:
                 signum,
                 lambda: asyncio.ensure_future(self.shutdown()),
             )
+
+    # ------------------------------------------------------------------
+    # Pending-result retention
+    # ------------------------------------------------------------------
+    def _remember_expired(self, ident: int) -> None:
+        """Record an evicted id (bounded) so late polls get 410 not 404."""
+        self._expired_ids[ident] = None
+        while len(self._expired_ids) > EXPIRED_ID_MEMORY:
+            self._expired_ids.popitem(last=False)
+
+    def _expire_locked(self, ident: int) -> None:
+        self._pending.pop(ident, None)
+        self._remember_expired(ident)
+        self.backend.metrics.counter("http.results_expired").inc()
+
+    def sweep_pending(self) -> int:
+        """Expire unclaimed results past their TTL; returns how many."""
+        deadline = time.monotonic() - self.result_ttl_s
+        with self._pending_lock:
+            stale = [
+                ident
+                for ident, (_, created) in self._pending.items()
+                if created <= deadline
+            ]
+            for ident in stale:
+                self._expire_locked(ident)
+        return len(stale)
+
+    async def _sweep_loop(self) -> None:
+        interval = min(max(self.result_ttl_s / 4.0, 0.05), 30.0)
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                self.sweep_pending()
+        except asyncio.CancelledError:
+            pass
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -282,7 +357,8 @@ class HttpFrontDoor:
     ) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
-                   408: "Request Timeout", 429: "Too Many Requests",
+                   408: "Request Timeout", 410: "Gone",
+                   429: "Too Many Requests",
                    500: "Internal Server Error", 503: "Service Unavailable"}
         payload = json.dumps(body).encode("utf-8")
         head = (
@@ -365,10 +441,14 @@ class HttpFrontDoor:
             future = self.backend.submit(statement)
         except Exception as exc:  # noqa: BLE001 - typed JSON transport
             return error_payload(exc)
+        self.sweep_pending()
         with self._pending_lock:
+            while len(self._pending) >= self.max_pending:
+                oldest = next(iter(self._pending))
+                self._expire_locked(oldest)
             self._next_id += 1
             ident = self._next_id
-            self._pending[ident] = future
+            self._pending[ident] = (future, time.monotonic())
         return 202, {"id": ident}
 
     async def _route_result(
@@ -381,11 +461,23 @@ class HttpFrontDoor:
                 "error": {"type": "NotFound", "message": request.path}
             }
         with self._pending_lock:
-            future = self._pending.get(ident)
-        if future is None:
+            slot = self._pending.get(ident)
+            expired = slot is None and ident in self._expired_ids
+        if expired:
+            return 410, {
+                "error": {
+                    "type": "Expired",
+                    "message": (
+                        f"result {ident} expired unclaimed after "
+                        f"{self.result_ttl_s:g}s"
+                    ),
+                }
+            }
+        if slot is None:
             return 404, {
                 "error": {"type": "NotFound", "message": f"no request {ident}"}
             }
+        future = slot[0]
         if not future.done:
             return 202, {"id": ident, "done": False}
         with self._pending_lock:

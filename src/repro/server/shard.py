@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import json
 import multiprocessing
 import threading
 import time
@@ -65,6 +66,7 @@ from repro.errors import (
     PXMLError,
     RemoteExecutionError,
     ServerError,
+    ShardConfigError,
     ShardUnavailable,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -86,6 +88,9 @@ _DECODABLE: dict[str, type[PXMLError]] = {
     "LockTimeout": LockTimeout,
     "ServerError": ServerError,
 }
+
+#: The shard-layout manifest written at the catalog root on first start.
+MANIFEST_NAME = "shards.json"
 
 #: Wrapper statements that are unwrapped for routing analysis.
 _WRAPPERS = (
@@ -581,6 +586,7 @@ class ShardedServer:
             )
             for index in range(shards)
         ]
+        self._vnodes = vnodes
         self._ring: list[tuple[int, int]] = []
         for index in range(shards):
             for vnode in range(vnodes):
@@ -603,10 +609,18 @@ class ShardedServer:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ShardedServer":
-        """Spawn every shard process and rebuild the placement overlay."""
+        """Spawn every shard process and rebuild the placement overlay.
+
+        Raises :class:`~repro.errors.ShardConfigError` when the
+        directory's ``shards.json`` manifest records a different shard
+        count than this server was constructed with — names were placed
+        by hashing over *that* ring, so reopening with another count
+        would route them to the wrong shards.
+        """
         if self._started:
             raise ServerError("sharded server already started")
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._check_manifest()
         for handle in self._handles:
             handle.start()
         self._started = True
@@ -700,6 +714,49 @@ class ShardedServer:
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.shards:
             raise ServerError(f"no shard {index} (have {self.shards})")
+
+    def _check_manifest(self) -> None:
+        """Write ``shards.json`` on first init; refuse a count mismatch.
+
+        Live rebalancing (migrating names between rings) is an open
+        roadmap item; until then, reopening with a different shard
+        count is an error, never a silent rehash.
+        """
+        from repro.io.json_codec import replace_atomically
+
+        path = self.directory / MANIFEST_NAME
+        if path.exists():
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                raise ShardConfigError(
+                    f"unreadable shard manifest {path}: {exc}",
+                    configured=self.shards,
+                ) from exc
+            recorded = manifest.get("shards")
+            if not isinstance(recorded, int) or recorded < 1:
+                raise ShardConfigError(
+                    f"shard manifest {path} records no valid shard count",
+                    configured=self.shards,
+                )
+            if recorded != self.shards:
+                raise ShardConfigError(
+                    f"directory {self.directory} was sharded with "
+                    f"{recorded} shard(s) but this server is configured "
+                    f"for {self.shards}; live rebalancing is not "
+                    "supported — reopen with the recorded count",
+                    configured=self.shards,
+                    recorded=recorded,
+                )
+            return
+        manifest = {
+            "version": 1,
+            "shards": self.shards,
+            "vnodes": self._vnodes,
+        }
+        replace_atomically(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", path
+        )
 
     # ------------------------------------------------------------------
     # Routing

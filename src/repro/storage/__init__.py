@@ -1,5 +1,16 @@
 """Instance catalog and persistence."""
 
 from repro.storage.database import Database, DatabaseError
+from repro.storage.fsck import Finding, FsckReport, fsck_directory
+from repro.storage.journal import Journal, RecoveryReport, recover_directory
 
-__all__ = ["Database", "DatabaseError"]
+__all__ = [
+    "Database",
+    "DatabaseError",
+    "Finding",
+    "FsckReport",
+    "Journal",
+    "RecoveryReport",
+    "fsck_directory",
+    "recover_directory",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.storage`` (fsck and friends)."""
+
+import sys
+
+from repro.storage.fsck import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,19 +10,31 @@ these databases.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from repro.core.instance import ProbabilisticInstance
-from repro.errors import CodecError, LockError, PXMLError
-from repro.io.json_codec import checksum_sidecar, read_instance, write_instance
+from repro.errors import CodecError, FaultError, JournalError, LockError, PXMLError
+from repro.io.json_codec import (
+    checksum_sidecar,
+    content_checksum,
+    dumps,
+    read_instance,
+    write_payload,
+)
 from repro.obs.metrics import current_registry
 from repro.obs.tracing import current_tracer
 from repro.resilience.faults import fault_point
 from repro.resilience.retry import RetryPolicy, retry_call
+from repro.storage.journal import (
+    Journal,
+    RecoveryReport,
+    quarantine_move,
+    quarantined_names,
+    recover_directory,
+)
 from repro.storage.locking import (
     CATALOG_LOCK_NAME,
     GENERATION_NAME,
@@ -146,9 +158,11 @@ class Database:
         self._retry = retry if retry is not None else DEFAULT_RETRY
         self._retry_sleep = retry_sleep
         self._lock = threading.RLock()
+        self._dirty: set[str] = set()
         self._directory = Path(directory) if directory is not None else None
         self._file_lock: FileLock | None = None
         self._generation_path: Path | None = None
+        self._journal: Journal | None = None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
             # One lock object per directory process-wide: independent
@@ -157,6 +171,44 @@ class Database:
             # the reentrant lock instead of serializing via the kernel.
             self._file_lock = shared_lock(self._directory / CATALOG_LOCK_NAME)
             self._generation_path = self._directory / GENERATION_NAME
+            self._journal = Journal(self._directory)
+            self.recover()
+
+    @property
+    def directory(self) -> Path | None:
+        """The backing directory, or ``None`` for an in-memory catalog."""
+        return self._directory
+
+    @property
+    def journal(self) -> Journal | None:
+        """The catalog's write-ahead journal (``None`` when unbacked)."""
+        return self._journal
+
+    def recover(self) -> RecoveryReport:
+        """Replay the write-ahead journal to a consistent on-disk state.
+
+        Runs automatically when a directory-backed database opens; safe
+        (and idempotent) to call again at any time — e.g. after another
+        process crashed mid-operation on the shared directory.  Torn
+        saves whose payload fully landed are rolled forward (sidecar
+        recomputed from the journaled checksum), torn drops and
+        quarantines are completed, cleanly-unfinished operations are
+        aborted (the atomic per-file writes guarantee the old state is
+        intact), and the generation counter is advanced to the
+        journal's committed high-water mark so it stays monotone across
+        crashes.  Returns the report of what was done (an all-zero
+        report on a clean catalog).
+        """
+        if self._directory is None or self._journal is None:
+            return RecoveryReport()
+        assert self._file_lock is not None
+        try:
+            with self._file_lock:
+                return recover_directory(self._directory, self._journal)
+        except (OSError, JournalError) as exc:
+            raise DatabaseError(
+                f"cannot recover catalog {self._directory}: {exc}"
+            ) from exc
 
     def _admit(self, name: str, instance: ProbabilisticInstance) -> None:
         """Apply the admission policy before an instance enters the catalog."""
@@ -186,10 +238,12 @@ class Database:
         current_registry().counter("db.version_bumps").inc()
         return self._version_counter
 
-    def _bump_generation(self) -> None:
-        """Advance the on-disk generation (callers hold the file lock)."""
+    def _bump_generation(self) -> int:
+        """Advance the on-disk generation (callers hold the file lock);
+        returns the new value (0 when unbacked)."""
         if self._generation_path is not None:
-            bump_generation(self._generation_path)
+            return bump_generation(self._generation_path)
+        return 0
 
     def generation(self) -> int:
         """The catalog's on-disk generation counter (0 when unbacked).
@@ -242,17 +296,24 @@ class Database:
         current_tracer().event("db.corrupt", name=name, path=str(path))
         if self._on_corrupt != "quarantine" or self._directory is None:
             return DatabaseError(f"instance {name!r} is corrupt: {exc}")
-        quarantine = self._directory / QUARANTINE_DIR
         try:
             assert self._file_lock is not None
             with self._file_lock:
-                quarantine.mkdir(parents=True, exist_ok=True)
-                os.replace(path, quarantine / path.name)
-                sidecar = checksum_sidecar(path)
-                if sidecar.exists():
-                    os.replace(sidecar, quarantine / sidecar.name)
-                self._bump_generation()
-        except (OSError, LockError) as move_error:
+                seq = None
+                if self._journal is not None:
+                    seq = self._journal.begin("quarantine", name)
+                try:
+                    destination = quarantine_move(
+                        self._directory, path, self.generation()
+                    )
+                except (OSError, LockError, FaultError):
+                    if seq is not None and self._journal is not None:
+                        self._journal.abort(seq, "quarantine", name)
+                    raise
+                generation = self._bump_generation()
+                if seq is not None and self._journal is not None:
+                    self._journal.commit(seq, "quarantine", name, generation)
+        except (OSError, LockError, FaultError, JournalError) as move_error:
             return DatabaseError(
                 f"instance {name!r} is corrupt and could not be "
                 f"quarantined ({move_error}): {exc}"
@@ -260,21 +321,24 @@ class Database:
         with self._lock:
             self._instances.pop(name, None)
             self._versions.pop(name, None)
+            self._dirty.discard(name)
         current_registry().counter("db.corrupt_quarantined").inc()
         return DatabaseError(
             f"instance {name!r} was corrupt and has been quarantined "
-            f"to {quarantine / path.name}: {exc}"
+            f"to {destination}: {exc}"
         )
 
     def quarantined(self) -> list[str]:
-        """Names of instances sitting in the quarantine directory."""
+        """Names of instances with files in the quarantine directory.
+
+        Quarantined files carry a generation + dedup suffix
+        (``name.pxml.json.g7``, ``name.pxml.json.g7-2``) so repeated
+        quarantines of one name never overwrite earlier evidence; this
+        lists the distinct instance *names*.
+        """
         if self._directory is None:
             return []
-        quarantine = self._directory / QUARANTINE_DIR
-        return sorted(
-            path.name[: -len(_SUFFIX)]
-            for path in quarantine.glob(f"*{_SUFFIX}")
-        )
+        return quarantined_names(self._directory)
 
     def version(self, name: str) -> int:
         """The current version of ``name`` (assigning one if on disk only).
@@ -305,6 +369,46 @@ class Database:
         """
         return (self.version(name), self.generation())
 
+    def sidecar_checksum(self, name: str) -> str | None:
+        """The on-disk content checksum recorded for ``name``.
+
+        Reads the ``<name>.pxml.json.sha256`` sidecar; ``None`` when the
+        catalog is unbacked or the sidecar is missing/unreadable.  This
+        is the *cross-process stable* identity of an instance's bytes:
+        in-process version counters restart at zero in every process,
+        but the sidecar digest is the same for every process looking at
+        the same file, which is what the persistent result cache keys
+        on.
+        """
+        if self._directory is None:
+            return None
+        _validate_name(name)
+        sidecar = checksum_sidecar(self._directory / f"{name}{_SUFFIX}")
+        try:
+            text = sidecar.read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+        return text or None
+
+    def clean_on_disk(self, name: str) -> bool:
+        """Whether ``name``'s in-memory copy is known to match its file.
+
+        True only when the catalog is directory-backed, the name has no
+        unsaved in-memory mutations (register/touch without a save), and
+        both the data file and its checksum sidecar exist.  The
+        persistent result cache only engages for plans whose every input
+        satisfies this — otherwise an in-memory-divergent instance could
+        be answered from another process's on-disk state.
+        """
+        if self._directory is None:
+            return False
+        _validate_name(name)
+        with self._lock:
+            if name in self._dirty:
+                return False
+        path = self._directory / f"{name}{_SUFFIX}"
+        return path.exists() and checksum_sidecar(path).exists()
+
     def touch(self, name: str) -> int:
         """Bump ``name``'s version after an in-place mutation.
 
@@ -315,10 +419,12 @@ class Database:
         fault_point("lock.db.mutate")
         with self._lock:
             if name in self._instances:
+                self._dirty.add(name)
                 return self._next_version(name)
         if not self._on_disk(name):
             raise DatabaseError(f"unknown instance: {name!r}")
         with self._lock:
+            self._dirty.add(name)
             return self._next_version(name)
 
     def _on_disk(self, name: str) -> bool:
@@ -338,6 +444,7 @@ class Database:
                 raise DatabaseError(f"instance {name!r} already exists")
             self._instances[name] = instance
             self._next_version(name)
+            self._dirty.add(name)
         current_registry().counter("db.registers").inc()
 
     def get(self, name: str) -> ProbabilisticInstance:
@@ -361,6 +468,7 @@ class Database:
                     if existing is not None:
                         return existing
                     self._instances[name] = instance
+                    self._dirty.discard(name)  # fresh from disk: in sync
                     if name not in self._versions:
                         self._next_version(name)
                 return instance
@@ -383,6 +491,7 @@ class Database:
         self._admit(name, instance)
         with self._lock:
             self._instances[name] = instance
+            self._dirty.discard(name)  # fresh from disk: in sync
             self._next_version(name)
         return instance
 
@@ -404,26 +513,39 @@ class Database:
             with self._file_lock:
                 path = self._directory / f"{name}{_SUFFIX}"
                 if path.exists():
+                    seq = None
+                    if self._journal is not None:
+                        seq = self._journal.begin("drop", name)
                     try:
                         fault_point("db.drop.unlink")
                         path.unlink()
                     except FileNotFoundError:
                         pass  # racing deletion: the file is gone either way
                     except OSError as exc:
+                        # Pre-state intact (the unlink was the first
+                        # destructive step): record a clean abort so
+                        # replay never completes a drop the caller was
+                        # told had failed.
+                        if seq is not None and self._journal is not None:
+                            self._journal.abort(seq, "drop", name)
                         raise DatabaseError(
                             f"cannot drop instance {name!r}: {exc}"
                         ) from exc
                     found = True
                     try:
+                        fault_point("db.drop.sidecar")
                         checksum_sidecar(path).unlink(missing_ok=True)
                     except OSError:
                         pass  # best-effort: a stale sidecar is harmless
-                    self._bump_generation()
+                    generation = self._bump_generation()
+                    if seq is not None and self._journal is not None:
+                        self._journal.commit(seq, "drop", name, generation)
         if not found:
             raise DatabaseError(f"unknown instance: {name!r}")
         with self._lock:
             self._instances.pop(name, None)
             self._versions.pop(name, None)
+            self._dirty.discard(name)
         current_registry().counter("db.drops").inc()
 
     def names(self) -> list[str]:
@@ -470,11 +592,15 @@ class Database:
         """Persist one instance; requires a backing directory.
 
         The write is atomic (tmp file + fsync + rename, see
-        :func:`repro.io.json_codec.write_instance`); transient
-        ``OSError`` s are retried with backoff, and exhausted retries
-        raise :class:`DatabaseError` naming the instance.  The write
-        runs under the cross-process catalog lock and bumps the
-        generation counter.
+        :func:`repro.io.json_codec.write_payload`) and *journaled*: a
+        begin record carrying the payload checksum is fsynced to the
+        write-ahead journal before the first disk step and a commit
+        record after the generation bump, so a crash anywhere in the
+        sequence is rolled forward or aborted on the next open
+        (:meth:`recover`).  Transient ``OSError`` s are retried with
+        backoff, and exhausted retries raise :class:`DatabaseError`
+        naming the instance.  The write runs under the cross-process
+        catalog lock and bumps the generation counter.
         """
         _validate_name(name)
         if self._directory is None:
@@ -485,19 +611,41 @@ class Database:
         with self._file_lock:
             instance = self.get(name)
             with current_tracer().span("db.save", name=name, path=str(path)):
+                # Serialize (and checksum) *before* any disk step: the
+                # journal's begin record carries the checksum of the
+                # exact bytes about to be published, which is what lets
+                # replay tell a completed publication from a torn one.
+                payload = dumps(instance)
+                corrupted = fault_point("codec.write.payload", payload)
+                payload = corrupted if corrupted is not None else payload
+                seq = None
+                if self._journal is not None:
+                    seq = self._journal.begin(
+                        "save", name, checksum=content_checksum(payload)
+                    )
                 try:
                     retry_call(
-                        lambda: write_instance(instance, path),
+                        lambda: write_payload(payload, path),
                         self._retry,
                         retry_on=(OSError,),
                         sleep=self._retry_sleep,
                         site=f"db.save:{name}",
                     )
                 except OSError as exc:
+                    # Each file step is atomic, so a clean failure left
+                    # either the old state or a mismatched sidecar that
+                    # read-time verification catches; either way the
+                    # operation did not happen — record the abort.
+                    if seq is not None and self._journal is not None:
+                        self._journal.abort(seq, "save", name)
                     raise DatabaseError(
                         f"cannot save instance {name!r} to {path}: {exc}"
                     ) from exc
-            self._bump_generation()
+                generation = self._bump_generation()
+                if seq is not None and self._journal is not None:
+                    self._journal.commit(seq, "save", name, generation)
+        with self._lock:
+            self._dirty.discard(name)
         current_registry().counter("db.saves").inc()
         return path
 

@@ -1,0 +1,359 @@
+"""Catalog consistency checker (``python -m repro.storage fsck``).
+
+Verifies everything the durability machinery promises: every instance
+file matches its checksum sidecar, no sidecar is orphaned, no stale
+tmp file survived a crash, the write-ahead journal parses to a clean
+prefix with no unresolved operations, and the generation counter is
+not behind the journal's committed high-water mark.  With ``--repair``
+each finding is fixed the same way replay-on-open would fix it —
+roll forward what provably completed, quarantine what cannot be
+explained, delete only derived artifacts (sidecars, tmp files), never
+instance data.
+
+Finding codes:
+
+=======  ==============================================================
+FS101    data file does not match its sidecar → quarantine (repair)
+FS102    data file has no sidecar → re-sign if decodable, else quarantine
+FS103    sidecar with no data file (orphan) → remove
+FS104    data file undecodable (even with a matching sidecar) → quarantine
+FS110    stale ``*.tmp`` from an interrupted atomic write → remove
+FS120    torn journal tail (half-written / corrupt records) → truncate
+FS121    journal operation begun but never committed/aborted → replay
+FS122    generation counter behind the journal's committed max → advance
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.json_codec import (
+    checksum_sidecar,
+    content_checksum,
+    loads,
+    replace_atomically,
+)
+from repro.storage.journal import (
+    INSTANCE_SUFFIX,
+    JOURNAL_NAME,
+    Journal,
+    quarantine_move,
+    recover_directory,
+)
+from repro.storage.locking import (
+    CATALOG_LOCK_NAME,
+    GENERATION_NAME,
+    read_generation,
+    shared_lock,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One fsck finding, with what (if anything) was done about it."""
+
+    code: str           # "FS1xx" per the table above
+    path: str           # file the finding is about (relative to the catalog)
+    message: str
+    repaired: bool = False
+    action: str = ""    # what --repair did (or would do)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "message": self.message,
+            "repaired": self.repaired,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """The result of one fsck pass."""
+
+    directory: str
+    findings: list[Finding] = field(default_factory=list)
+    checked_instances: int = 0
+    repair: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def unrepaired(self) -> list[Finding]:
+        return [f for f in self.findings if not f.repaired]
+
+    def as_dict(self) -> dict:
+        return {
+            "directory": self.directory,
+            "checked_instances": self.checked_instances,
+            "repair": self.repair,
+            "clean": self.clean,
+            "findings": [f.as_dict() for f in self.findings],
+            "unrepaired": len(self.unrepaired),
+        }
+
+
+#: Catalog-infrastructure files an fsck pass must not flag.
+_INFRA = (CATALOG_LOCK_NAME, GENERATION_NAME, JOURNAL_NAME)
+
+
+def fsck_directory(directory: str | Path, repair: bool = False) -> FsckReport:
+    """Check (and with ``repair=True`` fix) one catalog directory.
+
+    Takes the catalog's cross-process lock for the whole pass, so a
+    concurrent writer can never race the repairs.
+    """
+    directory = Path(directory)
+    report = FsckReport(directory=str(directory), repair=repair)
+    if not directory.is_dir():
+        report.findings.append(
+            Finding("FS100", str(directory), "not a directory")
+        )
+        return report
+    with shared_lock(directory / CATALOG_LOCK_NAME):
+        _check_journal(directory, report)
+        _check_tmp_files(directory, report)
+        _check_instances(directory, report)
+        _check_generation(directory, report)
+    return report
+
+
+def _relative(directory: Path, path: Path) -> str:
+    try:
+        return str(path.relative_to(directory))
+    except ValueError:
+        return str(path)
+
+
+def _check_journal(directory: Path, report: FsckReport) -> None:
+    journal = Journal(directory)
+    records, torn = journal.read()
+    if torn:
+        finding = Finding(
+            "FS120", JOURNAL_NAME,
+            "journal has a torn/corrupt tail",
+            repaired=report.repair,
+            action="truncate to the last intact record",
+        )
+        if report.repair:
+            journal.truncate_to(records)
+        report.findings.append(finding)
+    pending = journal.pending(records)
+    if pending:
+        for record in pending:
+            report.findings.append(Finding(
+                "FS121", JOURNAL_NAME,
+                f"{record.op} of {record.name!r} (seq {record.seq}) "
+                "begun but never committed or aborted",
+                repaired=report.repair,
+                action="replay (roll forward or abort from on-disk state)",
+            ))
+        if report.repair:
+            recover_directory(directory, journal)
+
+
+def _check_tmp_files(directory: Path, report: FsckReport) -> None:
+    for tmp in sorted(directory.glob("*.tmp")):
+        if tmp.name in _INFRA:
+            continue
+        finding = Finding(
+            "FS110", _relative(directory, tmp),
+            "stale tmp file from an interrupted atomic write",
+            repaired=report.repair,
+            action="remove",
+        )
+        if report.repair:
+            tmp.unlink(missing_ok=True)
+        report.findings.append(finding)
+
+
+def _instance_files(directory: Path) -> list[Path]:
+    return sorted(
+        path for path in directory.glob(f"*{INSTANCE_SUFFIX}")
+        if path.is_file()
+    )
+
+
+def _check_instances(directory: Path, report: FsckReport) -> None:
+    data_files = _instance_files(directory)
+    report.checked_instances = len(data_files)
+    for path in data_files:
+        _check_one_instance(directory, path, report)
+    # Orphan sidecars: a .sha256 whose data file is gone (torn drop,
+    # or a save that never published).
+    for sidecar in sorted(directory.glob(f"*{INSTANCE_SUFFIX}.sha256")):
+        data = sidecar.with_name(sidecar.name[: -len(".sha256")])
+        if data.exists():
+            continue
+        finding = Finding(
+            "FS103", _relative(directory, sidecar),
+            "checksum sidecar with no data file (orphan)",
+            repaired=report.repair,
+            action="remove",
+        )
+        if report.repair:
+            sidecar.unlink(missing_ok=True)
+        report.findings.append(finding)
+
+
+def _check_one_instance(
+    directory: Path, path: Path, report: FsckReport
+) -> None:
+    rel = _relative(directory, path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        report.findings.append(Finding(
+            "FS104", rel, f"unreadable data file: {exc}",
+            repaired=False, action="quarantine",
+        ))
+        return
+    actual = content_checksum(text)
+    sidecar = checksum_sidecar(path)
+    try:
+        recorded: str | None = sidecar.read_text(encoding="utf-8").strip()
+    except OSError:
+        recorded = None
+    decodable = True
+    try:
+        loads(text)
+    except Exception:
+        decodable = False
+    if recorded is None:
+        if decodable:
+            finding = Finding(
+                "FS102", rel, "data file has no checksum sidecar",
+                repaired=report.repair,
+                action="recompute sidecar from the (decodable) data file",
+            )
+            if report.repair:
+                replace_atomically(actual + "\n", sidecar)
+        else:
+            finding = Finding(
+                "FS102", rel,
+                "data file has no sidecar and does not decode",
+                repaired=report.repair, action="quarantine",
+            )
+            if report.repair:
+                _quarantine(directory, path)
+        report.findings.append(finding)
+        return
+    if recorded != actual:
+        finding = Finding(
+            "FS101", rel,
+            "data file does not match its checksum sidecar",
+            repaired=report.repair, action="quarantine",
+        )
+        if report.repair:
+            _quarantine(directory, path)
+        report.findings.append(finding)
+        return
+    if not decodable:
+        finding = Finding(
+            "FS104", rel,
+            "data file matches its sidecar but does not decode",
+            repaired=report.repair, action="quarantine",
+        )
+        if report.repair:
+            _quarantine(directory, path)
+        report.findings.append(finding)
+
+
+def _quarantine(directory: Path, path: Path) -> None:
+    generation = read_generation(directory / GENERATION_NAME)
+    quarantine_move(directory, path, generation)
+
+
+def _check_generation(directory: Path, report: FsckReport) -> None:
+    journal = Journal(directory)
+    committed = journal.committed_generation()
+    current = read_generation(directory / GENERATION_NAME)
+    if current >= committed:
+        return
+    finding = Finding(
+        "FS122", GENERATION_NAME,
+        f"generation counter at {current}, behind the journal's "
+        f"committed {committed}",
+        repaired=report.repair,
+        action=f"advance to {committed}",
+    )
+    if report.repair:
+        replace_atomically(
+            f"{committed}\n", directory / GENERATION_NAME
+        )
+    report.findings.append(finding)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def format_report(report: FsckReport) -> str:
+    lines = [
+        f"fsck {report.directory}: {report.checked_instances} instance "
+        f"file(s) checked"
+    ]
+    for finding in report.findings:
+        status = (
+            "repaired" if finding.repaired
+            else ("would " + finding.action if finding.action else "found")
+        )
+        lines.append(
+            f"  {finding.code} {finding.path}: {finding.message} [{status}]"
+        )
+    if report.clean:
+        lines.append("  clean: no findings")
+    else:
+        lines.append(
+            f"  {len(report.findings)} finding(s), "
+            f"{len(report.unrepaired)} unrepaired"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.storage",
+        description="catalog maintenance tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    fsck = sub.add_parser(
+        "fsck", help="verify (and optionally repair) a catalog directory"
+    )
+    fsck.add_argument("directory", help="catalog directory to check")
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="fix findings (roll forward / quarantine / clean up)",
+    )
+    fsck.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = fsck_directory(args.directory, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(format_report(report))
+    if report.repair:
+        return 0 if not report.unrepaired else 1
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "Finding",
+    "FsckReport",
+    "fsck_directory",
+    "format_report",
+    "main",
+]

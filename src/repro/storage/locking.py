@@ -310,6 +310,7 @@ def bump_generation(path: str | Path) -> int:
     itself is tmp + fsync + ``os.replace``, so readers never see a torn
     counter even across a crash.
     """
+    fault_point("db.generation.bump")
     target = Path(path)
     generation = read_generation(target) + 1
     tmp = target.with_name(target.name + ".tmp")

@@ -260,7 +260,10 @@ class TestCatalogResilience:
             with pytest.raises(DatabaseError, match="quarantined"):
                 fresh.get("fig2")
         assert not path.exists()
-        assert (tmp_path / QUARANTINE_DIR / "fig2.pxml.json").exists()
+        # Quarantine names carry the catalog generation (plus a dedup
+        # suffix on collision) so repeat quarantines never overwrite
+        # earlier evidence.
+        assert list((tmp_path / QUARANTINE_DIR).glob("fig2.pxml.json.g*"))
         assert fresh.quarantined() == ["fig2"]
         assert registry.counter("db.corrupt_quarantined").value == 1.0
 

@@ -1,0 +1,284 @@
+"""Unit tests for the catalog write-ahead journal, replay, and fsck."""
+
+import json
+
+import pytest
+
+from repro.io.json_codec import (
+    checksum_sidecar,
+    content_checksum,
+    dumps,
+)
+from repro.paper import example52_instance, figure2_instance
+from repro.storage.database import Database, DatabaseError
+from repro.storage.fsck import fsck_directory
+from repro.storage.fsck import main as fsck_main
+from repro.storage.journal import (
+    Journal,
+    quarantine_destination,
+    quarantined_names,
+    recover_directory,
+)
+from repro.storage.locking import GENERATION_NAME, read_generation
+
+
+class TestJournalRecords:
+    def test_begin_commit_roundtrip(self, tmp_path):
+        journal = Journal(tmp_path)
+        seq = journal.begin("save", "a", checksum="deadbeef")
+        journal.commit(seq, "save", "a", generation=1)
+        records, torn = journal.read()
+        assert not torn
+        assert [r.state for r in records] == ["begin", "commit"]
+        assert records[0].checksum == "deadbeef"
+        assert records[1].generation == 1
+        assert journal.pending(records) == []
+
+    def test_begin_without_commit_is_pending(self, tmp_path):
+        journal = Journal(tmp_path)
+        seq = journal.begin("drop", "a")
+        pending = journal.pending()
+        assert [r.seq for r in pending] == [seq]
+
+    def test_abort_resolves_pending(self, tmp_path):
+        journal = Journal(tmp_path)
+        seq = journal.begin("save", "a")
+        journal.abort(seq, "save", "a")
+        assert journal.pending() == []
+
+    def test_torn_tail_is_prefix_truncated(self, tmp_path):
+        journal = Journal(tmp_path)
+        seq = journal.begin("save", "a", checksum="x")
+        journal.commit(seq, "save", "a", generation=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "state": "beg')  # torn append
+        records, torn = journal.read()
+        assert torn
+        assert len(records) == 2
+
+    def test_corrupt_crc_stops_the_parse(self, tmp_path):
+        journal = Journal(tmp_path)
+        seq = journal.begin("save", "a")
+        journal.commit(seq, "save", "a", generation=1)
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        fields = json.loads(lines[0])
+        fields["name"] = "tampered"
+        lines[0] = json.dumps(fields)  # crc now wrong
+        journal.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        records, torn = journal.read()
+        assert torn
+        assert records == []
+
+    def test_compaction_preserves_seq_and_generation(self, tmp_path):
+        journal = Journal(tmp_path)
+        for index in range(4):
+            seq = journal.begin("save", f"n{index}")
+            journal.commit(seq, "save", f"n{index}", generation=index + 1)
+        assert journal.maybe_compact(threshold=4)
+        records, torn = journal.read()
+        assert not torn
+        assert [r.state for r in records] == ["checkpoint"]
+        assert records[0].generation == 4
+        assert journal._next_seq(records) > 4  # seqs stay monotone
+
+    def test_compaction_refuses_while_pending(self, tmp_path):
+        journal = Journal(tmp_path)
+        journal.begin("save", "a")
+        assert not journal.maybe_compact(threshold=1)
+
+
+class TestReplay:
+    def test_torn_save_rolls_forward(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        # Simulate a crash after publishing the new payload but before
+        # the sidecar/commit: journal a begin, write the data file,
+        # leave the stale sidecar.
+        payload = dumps(example52_instance())
+        journal = Journal(tmp_path)
+        journal.begin("save", "a", checksum=content_checksum(payload))
+        path = tmp_path / "a.pxml.json"
+        path.write_text(payload, encoding="utf-8")
+
+        report = recover_directory(tmp_path)
+        assert report.rolled_forward == 1
+        reopened = Database(tmp_path)
+        assert len(reopened.get("a")) == len(example52_instance())
+
+    def test_torn_save_aborts_when_prestate_intact(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        journal = Journal(tmp_path)
+        journal.begin("save", "a", checksum="never-published")
+
+        report = recover_directory(tmp_path)
+        assert report.aborted == 1
+        assert len(Database(tmp_path).get("a")) == len(figure2_instance())
+
+    def test_torn_drop_rolls_forward(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        journal = Journal(tmp_path)
+        journal.begin("drop", "a")
+
+        report = recover_directory(tmp_path)
+        assert report.rolled_forward == 1
+        assert not (tmp_path / "a.pxml.json").exists()
+        assert not checksum_sidecar(tmp_path / "a.pxml.json").exists()
+
+    def test_unexplainable_state_is_quarantined(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        journal = Journal(tmp_path)
+        journal.begin("save", "a", checksum="what-was-journaled")
+        path = tmp_path / "a.pxml.json"
+        path.write_text("neither old nor new", encoding="utf-8")
+
+        report = recover_directory(tmp_path)
+        assert report.quarantined == 1
+        assert "a" in quarantined_names(tmp_path)
+
+    def test_generation_monotone_across_replay(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        generation_path = tmp_path / GENERATION_NAME
+        before = read_generation(generation_path)
+        # Roll the counter back, as if the bump never hit the disk.
+        generation_path.write_text("0\n", encoding="utf-8")
+        recover_directory(tmp_path)
+        assert read_generation(generation_path) >= before
+
+    def test_replay_is_idempotent(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        journal = Journal(tmp_path)
+        journal.begin("drop", "a")
+        first = recover_directory(tmp_path)
+        second = recover_directory(tmp_path)
+        assert first.changed
+        assert not second.changed
+
+    def test_open_replays_automatically(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        Journal(tmp_path).begin("drop", "a")
+        reopened = Database(tmp_path)  # replay happens here
+        assert reopened.names() == []
+        assert reopened.journal is not None
+        assert reopened.journal.pending() == []
+
+
+class TestQuarantineNaming:
+    def test_repeat_quarantines_never_collide(self, tmp_path):
+        """Regression: two quarantines of one name used to overwrite."""
+        db = Database(tmp_path, on_corrupt="quarantine")
+        for round_ in range(3):
+            db.register("a", figure2_instance(), replace=True)
+            db.save("a")
+            path = tmp_path / "a.pxml.json"
+            path.write_text(
+                path.read_text(encoding="utf-8") + " ", encoding="utf-8"
+            )
+            with pytest.raises(DatabaseError):
+                db.reload("a")
+        evidence = [
+            p for p in (tmp_path / "quarantine").iterdir()
+            if not p.name.endswith(".sha256")
+        ]
+        assert len(evidence) == 3
+        assert quarantined_names(tmp_path) == ["a"]
+
+    def test_destination_dedup_counter(self, tmp_path):
+        first = quarantine_destination(tmp_path, "a.pxml.json", 7)
+        assert first.name == "a.pxml.json.g7"
+        first.write_text("x", encoding="utf-8")
+        second = quarantine_destination(tmp_path, "a.pxml.json", 7)
+        assert second.name == "a.pxml.json.g7-2"
+
+
+class TestFsck:
+    def _populate(self, tmp_path):
+        db = Database(tmp_path)
+        db.register("a", figure2_instance())
+        db.save("a")
+        db.register("b", example52_instance())
+        db.save("b")
+        return db
+
+    def test_clean_catalog_passes(self, tmp_path):
+        self._populate(tmp_path)
+        report = fsck_directory(tmp_path)
+        assert report.clean
+        assert report.checked_instances == 2
+
+    def test_checksum_mismatch_found_and_repaired(self, tmp_path):
+        self._populate(tmp_path)
+        path = tmp_path / "a.pxml.json"
+        path.write_text(
+            path.read_text(encoding="utf-8") + " ", encoding="utf-8"
+        )
+        report = fsck_directory(tmp_path)
+        assert not report.clean
+        assert any(f.code == "FS101" for f in report.findings)
+
+        repaired = fsck_directory(tmp_path, repair=True)
+        assert repaired.unrepaired == []
+        assert fsck_directory(tmp_path).clean
+        assert "a" in quarantined_names(tmp_path)
+
+    def test_missing_sidecar_is_resigned(self, tmp_path):
+        self._populate(tmp_path)
+        checksum_sidecar(tmp_path / "a.pxml.json").unlink()
+        report = fsck_directory(tmp_path, repair=True)
+        assert any(
+            f.code == "FS102" and f.repaired for f in report.findings
+        )
+        assert fsck_directory(tmp_path).clean
+        # Repair re-signed (the payload was decodable), never quarantined.
+        assert len(Database(tmp_path).get("a")) == len(figure2_instance())
+
+    def test_orphan_sidecar_is_removed(self, tmp_path):
+        self._populate(tmp_path)
+        orphan = checksum_sidecar(tmp_path / "ghost.pxml.json")
+        orphan.write_text("feed\n", encoding="utf-8")
+        report = fsck_directory(tmp_path, repair=True)
+        assert any(
+            f.code == "FS103" and f.repaired for f in report.findings
+        )
+        assert not orphan.exists()
+
+    def test_stale_tmp_is_removed(self, tmp_path):
+        self._populate(tmp_path)
+        (tmp_path / "a.pxml.json.tmp").write_text("{", encoding="utf-8")
+        report = fsck_directory(tmp_path, repair=True)
+        assert any(f.code == "FS110" for f in report.findings)
+        assert fsck_directory(tmp_path).clean
+
+    def test_pending_journal_record_is_replayed(self, tmp_path):
+        self._populate(tmp_path)
+        Journal(tmp_path).begin("drop", "b")
+        report = fsck_directory(tmp_path)
+        assert any(f.code == "FS121" for f in report.findings)
+        repaired = fsck_directory(tmp_path, repair=True)
+        assert repaired.unrepaired == []
+        assert not (tmp_path / "b.pxml.json").exists()
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert fsck_main(["fsck", str(tmp_path)]) == 0
+        path = tmp_path / "a.pxml.json"
+        path.write_text(
+            path.read_text(encoding="utf-8") + " ", encoding="utf-8"
+        )
+        assert fsck_main(["fsck", str(tmp_path)]) == 1
+        assert fsck_main(["fsck", str(tmp_path), "--repair"]) == 0
+        assert fsck_main(["fsck", str(tmp_path), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"clean": true' in out

@@ -64,7 +64,7 @@ def _request(port, method, path, payload=None):
 class _Door:
     """A front door + backend + loop thread, torn down in order."""
 
-    def __init__(self):
+    def __init__(self, **front_kwargs):
         database = Database()
         database.register("bib", build_bib())
         self.backend = PXQLServer(
@@ -75,7 +75,7 @@ class _Door:
             target=self.loop.run_forever, name="http-test-loop", daemon=True
         )
         self.thread.start()
-        self.front = HttpFrontDoor(self.backend, port=0)
+        self.front = HttpFrontDoor(self.backend, port=0, **front_kwargs)
         self._run(self.front.start())
         self.port = self.front.bound_port
 
@@ -236,3 +236,87 @@ class TestStatusMap:
         status, body = error_payload(RuntimeError("boom"))
         assert status == 500
         assert body["error"]["type"] == "RuntimeError"
+
+
+class TestResultRetention:
+    """The pending-result TTL sweep, 410 Gone, and the hard bound."""
+
+    def _submit(self, port):
+        status, body = _request(
+            port, "POST", "/submit", {"statement": STABLE_QUERY}
+        )
+        assert status == 202
+        return body["id"]
+
+    def test_expired_result_is_410_and_counted(self):
+        harness = _Door(result_ttl_s=0.05)
+        try:
+            ident = self._submit(harness.port)
+            # Either the manual sweep or the background sweeper may win
+            # the race to expire the slot; wait on the counter, which
+            # both paths increment.
+            deadline = time.monotonic() + 10.0
+            metrics = harness.backend.metrics
+            while metrics.value("http.results_expired") == 0:
+                harness.front.sweep_pending()
+                assert time.monotonic() < deadline, "slot never expired"
+                time.sleep(0.02)
+            status, body = _request(
+                harness.port, "GET", f"/result/{ident}"
+            )
+            assert status == 410
+            assert body["error"]["type"] == "Expired"
+            assert (
+                harness.backend.metrics.value("http.results_expired") == 1
+            )
+        finally:
+            harness.close()
+
+    def test_background_sweeper_expires_without_polling(self):
+        harness = _Door(result_ttl_s=0.05)
+        try:
+            ident = self._submit(harness.port)
+            deadline = time.monotonic() + 10.0
+            while True:
+                status, _ = _request(
+                    harness.port, "GET", f"/result/{ident}"
+                )
+                if status == 410:
+                    break
+                assert status in (200, 202)
+                if status == 200:
+                    # Picked up before the sweep: re-submit and retry.
+                    ident = self._submit(harness.port)
+                assert time.monotonic() < deadline, "sweeper never fired"
+                time.sleep(0.05)
+        finally:
+            harness.close()
+
+    def test_full_map_evicts_oldest_first(self):
+        harness = _Door(result_ttl_s=300.0, max_pending=2)
+        try:
+            first = self._submit(harness.port)
+            second = self._submit(harness.port)
+            third = self._submit(harness.port)  # evicts `first`
+            status, _ = _request(harness.port, "GET", f"/result/{first}")
+            assert status == 410
+            for ident in (second, third):
+                status, _ = _request(
+                    harness.port, "GET", f"/result/{ident}"
+                )
+                assert status in (200, 202)
+            assert (
+                harness.backend.metrics.value("http.results_expired") == 1
+            )
+        finally:
+            harness.close()
+
+    def test_unexpired_results_survive_the_sweep(self):
+        harness = _Door(result_ttl_s=300.0)
+        try:
+            ident = self._submit(harness.port)
+            assert harness.front.sweep_pending() == 0
+            status, _ = _request(harness.port, "GET", f"/result/{ident}")
+            assert status in (200, 202)
+        finally:
+            harness.close()

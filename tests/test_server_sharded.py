@@ -256,3 +256,49 @@ class TestFailover:
         assert server.stop(drain=True, timeout_s=30.0)
         with pytest.raises(ShardUnavailable):
             server.submit(STABLE_QUERY)
+
+
+class TestShardManifest:
+    """``shards.json``: written on first init, enforced on reopen."""
+
+    def test_manifest_written_on_first_start(self, tmp_path):
+        import json
+
+        server = ShardedServer(tmp_path, shards=2, workers_per_shard=1)
+        with server:
+            manifest = json.loads(
+                (tmp_path / "shards.json").read_text(encoding="utf-8")
+            )
+        assert manifest["shards"] == 2
+        assert manifest["vnodes"] == 64
+
+    def test_mismatched_count_is_refused(self, tmp_path):
+        from repro.errors import ShardConfigError
+
+        with ShardedServer(tmp_path, shards=2, workers_per_shard=1):
+            pass
+        mismatched = ShardedServer(tmp_path, shards=3, workers_per_shard=1)
+        with pytest.raises(ShardConfigError) as excinfo:
+            mismatched.start()
+        assert excinfo.value.configured == 3
+        assert excinfo.value.recorded == 2
+        # Both counts must be readable from the message itself.
+        assert "2" in str(excinfo.value) and "3" in str(excinfo.value)
+
+    def test_matching_count_reopens(self, tmp_path, reference):
+        payload = dumps(build_bib())
+        with ShardedServer(tmp_path, shards=2, workers_per_shard=1) as first:
+            first.register_instance("bib", payload)
+        reopened = ShardedServer(tmp_path, shards=2, workers_per_shard=1)
+        with reopened:
+            result = reopened.execute(STABLE_QUERY, timeout_s=30.0)
+        assert result.value == pytest.approx(reference)
+
+    def test_unreadable_manifest_is_refused(self, tmp_path):
+        from repro.errors import ShardConfigError
+
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "shards.json").write_text("{not json", encoding="utf-8")
+        server = ShardedServer(tmp_path, shards=2, workers_per_shard=1)
+        with pytest.raises(ShardConfigError):
+            server.start()
