@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench absint --smoke [--metrics OUT.json]
     python -m repro.bench server [--quick] [--json OUT.json]
     python -m repro.bench server --smoke [--metrics OUT.json]
+    python -m repro.bench server --rebalance [--smoke]
     python -m repro.bench gate   [--threshold 0.30]
     python -m repro.bench all    [--quick] [--json OUT.json]
 
@@ -132,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
         help="gate: maximum tolerated relative drop of a ratio metric "
              "(default 0.30)",
     )
+    parser.add_argument(
+        "--rebalance", action="store_true",
+        help="server: also measure throughput during a live 2 -> 3 "
+             "shard migration (and the migration's wall time)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.quick = True
@@ -240,6 +246,14 @@ def main(argv: list[str] | None = None) -> int:
                 ops=48 if args.smoke else None,
                 metrics=registry,
             )
+            if args.rebalance:
+                from repro.bench.server import run_rebalance_bench
+
+                server_records.extend(run_rebalance_bench(
+                    quick=args.quick,
+                    ops=48 if args.smoke else None,
+                    metrics=registry,
+                ))
             all_records.extend(server_records_to_dicts(server_records))
             print("Server: end-to-end throughput per serving mode")
             print(format_server_records(server_records))

@@ -28,12 +28,23 @@ directory answers the identical batch again.  Its ``speedup`` — warm
 throughput over cold throughput — is expected **above** one (the warm
 run reads results from the spilled segment instead of re-evaluating)
 and joins the same gate trajectory.
+
+``--rebalance`` (:func:`run_rebalance_bench`) measures the live
+migration path: a 2-shard directory-backed server answers a probe
+batch at rest (the baseline), then answers the same-sized batch *while*
+``resize(3)`` migrates keys under it.  Two records join the gate:
+``rebalance-serving`` (throughput during migration over baseline — how
+much serving capacity the migration costs; expected near, and gated
+against drifting far below, one) and ``rebalance-migration`` (the
+migration's wall time, as the ratio of the baseline batch time over
+it — a pure trajectory metric for migration cost).
 """
 
 from __future__ import annotations
 
 import random
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -62,7 +73,10 @@ QUICK_CELL: tuple[str, int, int] = DEFAULT_CELL
 #: Instance names the batch is spread across (and routed by).
 INSTANCES = 4
 
-MODES = ("single", "sharded", "warm-restart")
+MODES = (
+    "single", "sharded", "warm-restart",
+    "rebalance-serving", "rebalance-migration",
+)
 
 
 @dataclass
@@ -227,6 +241,91 @@ def _measure_warm_restart(
     return cold_s, warm_s
 
 
+def _measure_rebalance(
+    instance, probes: list[str], warmup: list[str], workers: int,
+) -> tuple[float, float, float, int]:
+    """``(baseline_s, during_s, migration_s, moves)`` for one resize.
+
+    A 2-shard directory-backed server (instances *saved*, so migration
+    copies real files) answers the probe batch at rest, then answers it
+    again while ``resize(3)`` runs in a background thread — the reads
+    cross the migration's dual-check window and any fenced keys.
+    """
+    payload = dumps(instance)
+    with tempfile.TemporaryDirectory(prefix="pxml-bench-rebalance-") as root:
+        server = ShardedServer(
+            Path(root), shards=2, workers_per_shard=workers,
+            queue_size=max(64, len(probes)), poll_s=0.002,
+        ).start()
+        try:
+            for index in range(INSTANCES):
+                server.register_instance(f"inst{index}", payload, save=True)
+            _drive(server.submit, warmup)
+            baseline_s = _drive(server.submit, probes)
+            migration: dict[str, float] = {}
+
+            def _resize() -> None:
+                start = time.perf_counter()
+                server.resize(3)
+                migration["s"] = time.perf_counter() - start
+
+            mover = threading.Thread(target=_resize, name="bench-resize")
+            mover.start()
+            try:
+                during_s = _drive(server.submit, probes)
+            finally:
+                mover.join(timeout=120.0)
+            moves = int(server.rebalance_status().get("total_moves", 0))
+            return baseline_s, during_s, migration.get("s", 0.0), moves
+        finally:
+            server.stop(drain=True, timeout_s=30.0)
+
+
+def run_rebalance_bench(
+    quick: bool = False, seed: int = 13, ops: int | None = None,
+    workers: int = 2, metrics: MetricsRegistry | None = None,
+) -> list[ServerRecord]:
+    """Measure serving throughput during a live 2 → 3 resize."""
+    labeling, branching, depth = QUICK_CELL if quick else DEFAULT_CELL
+    if ops is None:
+        ops = 48 if quick else 160
+    workload = generate_workload(
+        WorkloadSpec(depth=depth, branching=branching, labeling=labeling,
+                     seed=seed)
+    )
+    instance = workload.instance
+    warmup = _probe_batch(workload, min(ops, 24), seed + 4)
+    probes = _probe_batch(workload, ops, seed + 5)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    with use_registry(registry):
+        baseline_s, during_s, migration_s, moves = _measure_rebalance(
+            instance, probes, warmup, workers
+        )
+    common = dict(
+        labeling=labeling, branching=branching, depth=depth,
+        objects=len(instance), ops=ops,
+    )
+    baseline_tp = ops / baseline_s if baseline_s > 0 else 0.0
+    during_tp = ops / during_s if during_s > 0 else 0.0
+    return [
+        ServerRecord(mode="rebalance-serving", workers=workers, shards=3,
+                     total_s=during_s, throughput=during_tp,
+                     speedup=(
+                         during_tp / baseline_tp if baseline_tp > 0 else None
+                     ),
+                     **common),
+        ServerRecord(mode="rebalance-migration", workers=workers, shards=3,
+                     total_s=migration_s,
+                     throughput=(
+                         moves / migration_s if migration_s > 0 else 0.0
+                     ),
+                     speedup=(
+                         baseline_s / migration_s if migration_s > 0 else None
+                     ),
+                     **common),
+    ]
+
+
 def run_server_bench(
     quick: bool = False, seed: int = 13, ops: int | None = None,
     shards: int = 2, workers: int = 2,
@@ -310,5 +409,6 @@ __all__ = [
     "ServerRecord",
     "format_server_records",
     "records_to_dicts",
+    "run_rebalance_bench",
     "run_server_bench",
 ]

@@ -214,6 +214,33 @@ class ShardUnavailable(ServerError):
         self.shard = shard
 
 
+class RebalanceError(ServerError):
+    """A shard-layout migration could not be planned or executed.
+
+    Raised by :mod:`repro.server.rebalance` for invalid resize targets,
+    a second resize started while one is running, or a rebalance
+    journal that does not match the on-disk plan.
+    """
+
+
+class RebalanceInProgress(RebalanceError):
+    """A write targeted an instance that is mid-migration.
+
+    The router fences mutating statements on keys whose copy-then-
+    cutover step is in flight: accepting the write on the source shard
+    could land it *behind* the copy and silently vanish at cutover.
+    This error is retryable — the key is writable again as soon as its
+    migration step commits (typically milliseconds).
+
+    Attributes:
+        name: the fenced instance name.
+    """
+
+    def __init__(self, message: str, name: str = "") -> None:
+        super().__init__(message)
+        self.name = name
+
+
 class RemoteExecutionError(ServerError):
     """A shard reported an error the router cannot reconstruct natively.
 

@@ -22,8 +22,19 @@ Run it directly::
 
     python -m repro.resilience.crashsweep --seed 11
 
-The CI ``crash-sweep`` job runs this across a seed matrix; a tier-1
-test sweeps a subset of sites so regressions surface locally too.
+``--mode rebalance`` sweeps the *shard migration* protocol instead
+(:data:`repro.resilience.faults.REBALANCE_FAULT_POINTS`): the cycle
+builds a 2-shard root, parks one name off its hash home, and executes a
+2 → 3 resize; the child is killed at every visit of every
+``rebalance.*`` fault point, and verification asserts the migration
+contract — ``fsck --shards --repair`` resumes it to completion, the
+manifest converges to the new layout epoch, and every expected name is
+held by *exactly one* shard (its new-ring home), checksum-clean, with
+no duplicated or lost instances or sidecars.
+
+The CI ``crash-sweep`` / ``rebalance-sweep`` jobs run this across a
+seed matrix; a tier-1 test sweeps a subset of sites so regressions
+surface locally too.
 """
 
 from __future__ import annotations
@@ -34,10 +45,12 @@ import os
 import subprocess
 import sys
 import tempfile
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.resilience.faults import (
+    REBALANCE_FAULT_POINTS,
     STORAGE_FAULT_POINTS,
     FaultInjector,
     FaultSpec,
@@ -123,9 +136,93 @@ def profile_visits(seed: int) -> dict[str, int]:
 
 
 # ----------------------------------------------------------------------
+# The shard-migration cycle under test (--mode rebalance)
+# ----------------------------------------------------------------------
+def rebalance_placements(seed: int) -> dict[str, int]:
+    """Deterministic ``name -> old shard`` placements for the cycle.
+
+    Eight seed-derived names over a 2-shard layout: four whose 3-ring
+    home matches their 2-ring home (must *not* travel), three whose
+    home changes (must travel), and one parked *off* its 2-ring home
+    whose 3-ring home differs from where it sits (an overlay stray the
+    plan must bring home).  Both the child and the verifier recompute
+    this from the seed alone.
+    """
+    from repro.server.rebalance import DEFAULT_VNODES, build_ring, ring_owner
+
+    pos2, own2 = build_ring(2, DEFAULT_VNODES)
+    pos3, own3 = build_ring(3, DEFAULT_VNODES)
+    placements: dict[str, int] = {}
+    stayers = movers = 0
+    stray_placed = False
+    index = 0
+    while (stayers < 4 or movers < 3 or not stray_placed) and index < 10_000:
+        name = f"inst-{seed}-{index}"
+        index += 1
+        home2 = ring_owner(pos2, own2, name)
+        home3 = ring_owner(pos3, own3, name)
+        if not stray_placed and home3 != 1 - home2:
+            placements[name] = 1 - home2
+            stray_placed = True
+        elif home2 == home3 and stayers < 4:
+            placements[name] = home2
+            stayers += 1
+        elif home2 != home3 and movers < 3:
+            placements[name] = home2
+            movers += 1
+    return placements
+
+
+def run_rebalance_cycle(directory: Path, seed: int) -> None:
+    """Build a 2-shard root and execute a 2 → 3 resize over it.
+
+    Setup (manifest + per-shard saves) visits no ``rebalance.*`` fault
+    point, so an armed kill always lands inside the migration protocol
+    proper — exactly the window the journal must make survivable.
+    """
+    from repro.io.json_codec import dumps
+    from repro.paper import example52_instance, figure2_instance
+    from repro.server.rebalance import (
+        DirectoryShardAccess,
+        Rebalancer,
+        ShardManifest,
+        plan_rebalance,
+        write_manifest,
+    )
+
+    directory.mkdir(parents=True, exist_ok=True)
+    write_manifest(directory, ShardManifest(shards=2))
+    access = DirectoryShardAccess(directory)
+    placements = rebalance_placements(seed)
+    for position, name in enumerate(sorted(placements)):
+        instance = (
+            figure2_instance() if position % 2 else example52_instance()
+        )
+        access.store(placements[name], name, dumps(instance))
+    plan = plan_rebalance(placements, old_shards=2, new_shards=3)
+    Rebalancer(directory, access).execute(plan)
+
+
+def profile_rebalance_visits(seed: int) -> dict[str, int]:
+    """How many times a clean resize visits each rebalance fault point."""
+    specs = [
+        FaultSpec(site=site, kind="slow", times=0)
+        for site in REBALANCE_FAULT_POINTS
+    ]
+    with tempfile.TemporaryDirectory(prefix="crashsweep-profile-") as tmp:
+        injector = FaultInjector(*specs, seed=seed)
+        with injector:
+            run_rebalance_cycle(Path(tmp), seed)
+        return injector.visit_counts()
+
+
+# ----------------------------------------------------------------------
 # Child process: run the cycle with a crash armed
 # ----------------------------------------------------------------------
-def child_main(directory: Path, site: str, visit: int, seed: int) -> int:
+def child_main(
+    directory: Path, site: str, visit: int, seed: int,
+    mode: str = "storage",
+) -> int:
     """Run the cycle with a SIGKILL armed at ``(site, visit)``.
 
     Normally never returns (the kill fires mid-cycle); returns 0 when
@@ -134,17 +231,21 @@ def child_main(directory: Path, site: str, visit: int, seed: int) -> int:
     """
     spec = FaultSpec(site=site, kind="crash", nth=visit, times=1)
     with FaultInjector(spec, seed=seed):
-        run_cycle(directory)
+        if mode == "rebalance":
+            run_rebalance_cycle(directory, seed)
+        else:
+            run_cycle(directory)
     return 0
 
 
 def spawn_child(
-    directory: Path, site: str, visit: int, seed: int
+    directory: Path, site: str, visit: int, seed: int,
+    mode: str = "storage",
 ) -> subprocess.CompletedProcess[str]:
     """Run the sacrificial child for one ``(site, visit)`` kill."""
     command = [
         sys.executable, "-m", "repro.resilience.crashsweep",
-        "--child", "--directory", str(directory),
+        "--child", "--directory", str(directory), "--mode", mode,
         "--site", site, "--visit", str(visit), "--seed", str(seed),
     ]
     return subprocess.run(
@@ -209,21 +310,93 @@ def verify_recovery(directory: Path) -> tuple[bool, str]:
     return (not problems, "; ".join(problems))
 
 
+def verify_rebalance_recovery(
+    directory: Path, seed: int
+) -> tuple[bool, str]:
+    """Check the migration contract after a kill inside a resize.
+
+    ``fsck --shards --repair`` (which resumes the torn migration) must
+    leave nothing unrepaired; the manifest must carry the new layout
+    (3 shards, epoch 1); every expected name must sit on *exactly one*
+    shard — its new-ring home — and load checksum-clean; and a
+    check-only ``fsck --shards`` pass must be clean.
+    """
+    from repro.server.rebalance import (
+        DEFAULT_VNODES,
+        build_ring,
+        read_manifest,
+        ring_owner,
+    )
+    from repro.storage.database import Database, DatabaseError
+    from repro.storage.fsck import fsck_sharded_root
+    from repro.storage.journal import INSTANCE_SUFFIX
+
+    problems: list[str] = []
+    repair = fsck_sharded_root(directory, repair=True)
+    if repair.unrepaired:
+        problems.append(
+            "unrepaired fsck findings: " + "; ".join(
+                f"{f.code} {f.path}" for f in repair.unrepaired
+            )
+        )
+    manifest = read_manifest(directory)
+    if manifest is None or manifest.shards != 3 or manifest.layout_epoch != 1:
+        problems.append(
+            "manifest did not converge to 3 shards at epoch 1: "
+            f"{manifest.as_dict() if manifest else None}"
+        )
+    vnodes = manifest.vnodes if manifest is not None else DEFAULT_VNODES
+    positions, owners = build_ring(3, vnodes)
+    for name in sorted(rebalance_placements(seed)):
+        holders = [
+            shard for shard in range(3)
+            if (
+                directory / f"shard-{shard}" / f"{name}{INSTANCE_SUFFIX}"
+            ).is_file()
+        ]
+        if len(holders) != 1:
+            problems.append(
+                f"{name} held by {len(holders)} shard(s) "
+                f"({holders}), expected exactly one"
+            )
+        elif holders[0] != ring_owner(positions, owners, name):
+            problems.append(
+                f"{name} on shard {holders[0]}, expected its ring home "
+                f"{ring_owner(positions, owners, name)}"
+            )
+    for shard in range(3):
+        shard_dir = directory / f"shard-{shard}"
+        if not shard_dir.is_dir():
+            continue
+        db = Database(shard_dir)
+        for name in db.names():
+            try:
+                db.get(name)
+            except DatabaseError as exc:
+                problems.append(
+                    f"shard-{shard}/{name} not checksum-clean: {exc}"
+                )
+    check = fsck_sharded_root(directory)
+    if not check.clean:
+        problems.append(
+            "fsck --shards still reports findings after repair: "
+            + "; ".join(f"{f.code} {f.path}" for f in check.findings)
+        )
+    return (not problems, "; ".join(problems))
+
+
 # ----------------------------------------------------------------------
 # The sweep
 # ----------------------------------------------------------------------
-def sweep(
-    seed: int = 0,
-    sites: tuple[str, ...] | None = None,
-    progress: bool = False,
+def _run_sweep(
+    chosen: tuple[str, ...],
+    counts: dict[str, int],
+    seed: int,
+    mode: str,
+    verify: Callable[[Path], tuple[bool, str]],
+    progress: bool,
 ) -> list[CrashOutcome]:
-    """Kill the op cycle at every visit of every registered fault point.
-
-    Returns one :class:`CrashOutcome` per ``(site, visit)`` kill; the
-    sweep passes when every outcome is ``ok``.
-    """
-    chosen = sites if sites is not None else STORAGE_FAULT_POINTS
-    counts = profile_visits(seed)
+    """Kill at every visit of every chosen site; verify each recovery."""
     outcomes: list[CrashOutcome] = []
     for site in chosen:
         visits = counts.get(site, 0)
@@ -238,7 +411,7 @@ def sweep(
                 prefix="crashsweep-"
             ) as tmp:
                 directory = Path(tmp)
-                proc = spawn_child(directory, site, visit, seed)
+                proc = spawn_child(directory, site, visit, seed, mode=mode)
                 killed = proc.returncode == -9
                 if not killed:
                     outcomes.append(CrashOutcome(
@@ -250,7 +423,7 @@ def sweep(
                         ),
                     ))
                     continue
-                recovered, detail = verify_recovery(directory)
+                recovered, detail = verify(directory)
                 outcomes.append(CrashOutcome(
                     site=site, visit=visit, killed=True,
                     recovered=recovered, detail=detail,
@@ -261,6 +434,42 @@ def sweep(
                 print(f"  kill at {site} visit {visit}: {status}",
                       flush=True)
     return outcomes
+
+
+def sweep(
+    seed: int = 0,
+    sites: tuple[str, ...] | None = None,
+    progress: bool = False,
+) -> list[CrashOutcome]:
+    """Kill the op cycle at every visit of every registered fault point.
+
+    Returns one :class:`CrashOutcome` per ``(site, visit)`` kill; the
+    sweep passes when every outcome is ``ok``.
+    """
+    chosen = sites if sites is not None else STORAGE_FAULT_POINTS
+    counts = profile_visits(seed)
+    return _run_sweep(
+        chosen, counts, seed, "storage", verify_recovery, progress
+    )
+
+
+def rebalance_sweep(
+    seed: int = 0,
+    sites: tuple[str, ...] | None = None,
+    progress: bool = False,
+) -> list[CrashOutcome]:
+    """Kill a 2 → 3 shard migration at every ``rebalance.*`` visit.
+
+    The sweep passes when, after every kill, resume converges the root
+    to the new layout with every name served by exactly one shard.
+    """
+    chosen = sites if sites is not None else REBALANCE_FAULT_POINTS
+    counts = profile_rebalance_visits(seed)
+    return _run_sweep(
+        chosen, counts, seed, "rebalance",
+        lambda directory: verify_rebalance_recovery(directory, seed),
+        progress,
+    )
 
 
 def format_outcomes(outcomes: list[CrashOutcome]) -> str:
@@ -286,6 +495,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--mode", choices=("storage", "rebalance"), default="storage",
+        help="which protocol to sweep: catalog ops (storage) or a live "
+        "2 -> 3 shard migration (rebalance)",
+    )
+    parser.add_argument(
         "--sites", nargs="*", default=None,
         help="restrict to these fault points (default: all registered)",
     )
@@ -305,10 +519,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.directory is None or args.site is None:
             parser.error("--child needs --directory and --site")
         return child_main(
-            Path(args.directory), args.site, args.visit, args.seed
+            Path(args.directory), args.site, args.visit, args.seed,
+            mode=args.mode,
         )
     sites = tuple(args.sites) if args.sites else None
-    outcomes = sweep(seed=args.seed, sites=sites, progress=not args.quiet)
+    run = rebalance_sweep if args.mode == "rebalance" else sweep
+    outcomes = run(seed=args.seed, sites=sites, progress=not args.quiet)
     if args.json:
         print(json.dumps([o.as_dict() for o in outcomes], indent=2))
     else:
@@ -325,8 +541,13 @@ __all__ = [
     "CrashOutcome",
     "child_main",
     "format_outcomes",
+    "profile_rebalance_visits",
     "profile_visits",
+    "rebalance_placements",
+    "rebalance_sweep",
     "run_cycle",
+    "run_rebalance_cycle",
     "sweep",
+    "verify_rebalance_recovery",
     "verify_recovery",
 ]

@@ -29,12 +29,22 @@ counter, generation-keyed engine caches) lives in
 
 from repro.errors import (
     Overloaded,
+    RebalanceError,
+    RebalanceInProgress,
     RemoteExecutionError,
     ServerError,
     ShardUnavailable,
 )
 from repro.server.admission import AdmissionQueue, PendingResult, Request
 from repro.server.http import HttpFrontDoor
+from repro.server.rebalance import (
+    RebalancePlan,
+    Rebalancer,
+    RebalanceStatus,
+    ShardManifest,
+    plan_rebalance,
+    resume_rebalance,
+)
 from repro.server.server import PXQLServer
 from repro.server.shard import ShardConfig, ShardedServer
 
@@ -44,10 +54,18 @@ __all__ = [
     "Overloaded",
     "PXQLServer",
     "PendingResult",
+    "RebalanceError",
+    "RebalanceInProgress",
+    "RebalancePlan",
+    "RebalanceStatus",
+    "Rebalancer",
     "RemoteExecutionError",
     "Request",
     "ServerError",
     "ShardConfig",
+    "ShardManifest",
     "ShardUnavailable",
     "ShardedServer",
+    "plan_rebalance",
+    "resume_rebalance",
 ]

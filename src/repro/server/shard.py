@@ -45,10 +45,8 @@ See ``docs/SERVER.md`` ("Sharding and the async front door").
 
 from __future__ import annotations
 
-import bisect
-import hashlib
-import json
 import multiprocessing
+import random
 import threading
 import time
 from collections.abc import Callable, Sequence
@@ -64,6 +62,8 @@ from repro.errors import (
     LockTimeout,
     Overloaded,
     PXMLError,
+    RebalanceError,
+    RebalanceInProgress,
     RemoteExecutionError,
     ServerError,
     ShardConfigError,
@@ -76,8 +76,25 @@ from repro.pxql.interpreter import Result
 from repro.pxql.parser import parse
 from repro.resilience.budget import Budget
 from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.retry import RetryPolicy
 from repro.server.admission import PendingResult
+from repro.server.rebalance import (
+    MANIFEST_NAME,
+    Move,
+    Rebalancer,
+    RebalanceStatus,
+    ShardManifest,
+    build_ring,
+    hash_position,
+    plan_rebalance,
+    read_manifest,
+    resume_rebalance,
+    ring_owner,
+    write_manifest,
+)
 from repro.storage.database import Database, DatabaseError
+
+__all__ = ["MANIFEST_NAME", "ShardConfig", "ShardedServer"]
 
 #: Errors the router rebuilds natively from a shard's description.
 _DECODABLE: dict[str, type[PXMLError]] = {
@@ -86,11 +103,19 @@ _DECODABLE: dict[str, type[PXMLError]] = {
     "DatabaseError": DatabaseError,
     "FaultError": FaultError,
     "LockTimeout": LockTimeout,
+    "RebalanceError": RebalanceError,
     "ServerError": ServerError,
 }
 
-#: The shard-layout manifest written at the catalog root on first start.
-MANIFEST_NAME = "shards.json"
+#: Default watchdog backoff: 5 restart attempts per outage episode,
+#: 100 ms doubling to a 5 s ceiling, deterministic (chaos tests replay).
+DEFAULT_WATCHDOG_BACKOFF = RetryPolicy(
+    attempts=5, base_delay_s=0.1, max_delay_s=5.0, jitter=0.0
+)
+
+#: Statements that mutate the catalog entry they name; the router
+#: fences these on keys whose migration copy is in flight.
+_MUTATORS = (ast.DropStatement, ast.SaveStatement, ast.LoadStatement)
 
 #: Wrapper statements that are unwrapped for routing analysis.
 _WRAPPERS = (
@@ -537,6 +562,16 @@ class ShardedServer:
         vnodes: virtual nodes per shard on the hash ring.
         metrics: the router's registry (own instance if omitted).
         tracer: the router's span collector (own instance if omitted).
+        watchdog_interval_s: poll interval of the self-healing watchdog
+            thread that auto-restarts EOF-dead shard processes
+            (``None`` = watchdog off; chaos tests drive restarts by
+            hand).
+        watchdog_backoff: capped exponential backoff between restart
+            attempts of one outage episode
+            (:data:`DEFAULT_WATCHDOG_BACKOFF` if omitted); after
+            ``attempts`` failed restarts the watchdog gives up on that
+            shard until it is seen alive again
+            (``router.watchdog_gave_up``).
 
     **Routing.**  An instance name's home shard is found by consistent
     hashing (SHA-256 positions, ``vnodes`` per shard).  Statements are
@@ -563,6 +598,8 @@ class ShardedServer:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         name: str = "pxql-shards",
+        watchdog_interval_s: float | None = None,
+        watchdog_backoff: RetryPolicy | None = None,
     ) -> None:
         if shards < 1:
             raise ServerError("a sharded server needs at least one shard")
@@ -571,39 +608,58 @@ class ShardedServer:
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self._workers_per_shard = workers_per_shard
+        self._queue_size = queue_size
+        self._poll_s = poll_s
+        self._default_deadline_s = default_deadline_s
+        self._fault_specs = tuple(fault_specs)
+        self._fault_seed = fault_seed
         self._handles: list[_ShardHandle] = [
-            _ShardHandle(
-                ShardConfig(
-                    index=index,
-                    directory=str(self.directory / f"shard-{index}"),
-                    workers=workers_per_shard,
-                    queue_size=queue_size,
-                    poll_s=poll_s,
-                    default_deadline_s=default_deadline_s,
-                    fault_specs=tuple(fault_specs),
-                    fault_seed=fault_seed,
-                )
-            )
-            for index in range(shards)
+            _ShardHandle(self._shard_config(index)) for index in range(shards)
         ]
         self._vnodes = vnodes
-        self._ring: list[tuple[int, int]] = []
-        for index in range(shards):
-            for vnode in range(vnodes):
-                self._ring.append((_hash(f"vnode:{index}:{vnode}"), index))
-        self._ring.sort()
-        self._ring_positions = [position for position, _ in self._ring]
+        self._layout_epoch = 0
+        self._ring_positions, self._ring_owners = build_ring(shards, vnodes)
         #: Derived-result placements that differ from the ring's answer.
         self._overlay: dict[str, int] = {}
         self._overlay_lock = threading.Lock()
+        #: Per-key migration state during a live resize:
+        #: name -> (move, phase); phase "pending"/"copying" route to the
+        #: source, "committed" to the destination; "copying" also fences
+        #: writes.  Cleared when the ring flips to the new layout.
+        self._migration: dict[str, tuple[Move, str]] = {}
+        self._migration_lock = threading.Lock()
+        self._rebalance_lock = threading.Lock()
+        self._rebalance_status = RebalanceStatus()
         self._counter = 0
         self._counter_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, shards), thread_name_prefix=f"{name}-router"
         )
         self._started = False
+        self._stopping = False
+        self._watchdog_interval_s = watchdog_interval_s
+        self._watchdog_policy = (
+            watchdog_backoff if watchdog_backoff is not None
+            else DEFAULT_WATCHDOG_BACKOFF
+        )
+        self._watchdog_stop = threading.Event()
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_state: dict[int, dict[str, float]] = {}
         #: Wait bound for the internal fetch/store legs of scatter-gather.
         self.scatter_timeout_s = 30.0
+
+    def _shard_config(self, index: int) -> ShardConfig:
+        return ShardConfig(
+            index=index,
+            directory=str(self.directory / f"shard-{index}"),
+            workers=self._workers_per_shard,
+            queue_size=self._queue_size,
+            poll_s=self._poll_s,
+            default_deadline_s=self._default_deadline_s,
+            fault_specs=self._fault_specs,
+            fault_seed=self._fault_seed,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -611,23 +667,62 @@ class ShardedServer:
     def start(self) -> "ShardedServer":
         """Spawn every shard process and rebuild the placement overlay.
 
+        Before anything is spawned, an unfinished shard migration (a
+        pending ``rebalance.journal`` left by a crash mid-``resize``)
+        is *resumed* offline — committed cutovers keep their
+        destination, uncommitted copies re-run from the
+        still-authoritative source — so the manifest the count check
+        reads is always a consistent layout.
+
         Raises :class:`~repro.errors.ShardConfigError` when the
         directory's ``shards.json`` manifest records a different shard
         count than this server was constructed with — names were placed
         by hashing over *that* ring, so reopening with another count
-        would route them to the wrong shards.
+        would route them to the wrong shards (use :meth:`resize` to
+        migrate to a new count).
         """
         if self._started:
             raise ServerError("sharded server already started")
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._resume_pending_rebalance()
         self._check_manifest()
         for handle in self._handles:
             handle.start()
         self._started = True
+        self._stopping = False
         self._rebuild_overlay()
         self._adopt_root_catalog()
+        if self._watchdog_interval_s is not None:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name=f"{self.name}-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
         self.metrics.gauge("router.shards").set(float(self.shards))
+        self.metrics.gauge("router.layout_epoch").set(
+            float(self._layout_epoch)
+        )
         return self
+
+    def _resume_pending_rebalance(self) -> None:
+        """Finish a torn migration before serving (offline, in-process)."""
+        try:
+            status = resume_rebalance(self.directory)
+        except RebalanceError as exc:
+            raise ShardConfigError(
+                f"directory {self.directory} has an unresolvable pending "
+                f"rebalance: {exc}",
+                configured=self.shards,
+            ) from exc
+        if status is not None:
+            self.metrics.counter("router.rebalances_resumed").inc()
+            self.tracer.event(
+                "router.rebalance_resumed",
+                to_epoch=status.to_epoch,
+                moves=status.total_moves,
+            )
 
     def __enter__(self) -> "ShardedServer":
         return self.start()
@@ -662,6 +757,12 @@ class ShardedServer:
 
     def stop(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
         """Stop every shard (drain first by default) and reap processes."""
+        self._stopping = True
+        watchdog = self._watchdog
+        if watchdog is not None:
+            self._watchdog_stop.set()
+            watchdog.join(timeout=5.0)
+            self._watchdog = None
         clean = True
         for handle in self._handles:
             if not handle.alive:
@@ -715,68 +816,281 @@ class ShardedServer:
         if not 0 <= index < self.shards:
             raise ServerError(f"no shard {index} (have {self.shards})")
 
+    # ------------------------------------------------------------------
+    # Self-healing watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        """Auto-restart EOF-dead shards with capped exponential backoff.
+
+        One outage episode per shard: each failed (or immediately
+        re-died) restart consumes an attempt and backs off per
+        ``watchdog_backoff``; after the last attempt the watchdog gives
+        up on that shard (``router.watchdog_gave_up``) until it is
+        observed alive again — a manual :meth:`restart_shard` or a
+        recovered process resets the episode.
+        """
+        interval = self._watchdog_interval_s
+        assert interval is not None
+        rng = random.Random(self._fault_seed)
+        while not self._watchdog_stop.wait(interval):
+            if not self._started or self._stopping:
+                continue
+            for index in range(min(self.shards, len(self._handles))):
+                try:
+                    handle = self._handles[index]
+                except IndexError:  # racing a shrink
+                    break
+                state = self._watchdog_state.setdefault(
+                    index, {"attempts": 0.0, "next": 0.0, "gave_up": 0.0}
+                )
+                if handle.alive:
+                    state["attempts"] = 0.0
+                    state["gave_up"] = 0.0
+                    continue
+                if state["gave_up"]:
+                    continue
+                if state["attempts"] >= self._watchdog_policy.attempts:
+                    state["gave_up"] = 1.0
+                    self.metrics.counter("router.watchdog_gave_up").inc()
+                    self.tracer.event("router.watchdog_gave_up", shard=index)
+                    continue
+                now = time.monotonic()
+                if now < state["next"]:
+                    continue
+                attempt = int(state["attempts"])
+                state["attempts"] += 1.0
+                state["next"] = now + self._watchdog_policy.delay_for(
+                    attempt, rng
+                )
+                if self._stopping:
+                    continue
+                try:
+                    self.restart_shard(index)
+                except PXMLError:
+                    continue  # next pass retries within the episode
+                self.metrics.counter("router.watchdog_restarts").inc()
+                self.tracer.event(
+                    "router.watchdog_restarted", shard=index,
+                    attempt=attempt + 1,
+                )
+
+    # ------------------------------------------------------------------
+    # Live rebalancing
+    # ------------------------------------------------------------------
+    def resize(self, shards: int, timeout_s: float = 120.0) -> RebalanceStatus:
+        """Migrate the catalog to ``shards`` shard processes, live.
+
+        Serving continues throughout: each key is copied then cut over
+        individually (reads follow the per-key migration state, writes
+        to a key whose copy is in flight get a retryable
+        :class:`~repro.errors.RebalanceInProgress`), and the whole
+        migration is journaled so a crash at any instant is resumed —
+        never restarted — by the next :meth:`start`.  On success the
+        ring flips to the new layout and ``layout_epoch`` advances.
+
+        Raises :class:`~repro.errors.RebalanceError` for an invalid
+        target count or when a resize is already running.
+        """
+        if not self._started:
+            raise ServerError("sharded server not started (call start())")
+        if shards < 1:
+            raise RebalanceError(
+                f"cannot resize to {shards} shard(s): need at least one"
+            )
+        if not self._rebalance_lock.acquire(blocking=False):
+            raise RebalanceError("a rebalance is already in progress")
+        try:
+            return self._resize_locked(shards, timeout_s)
+        finally:
+            self._rebalance_lock.release()
+
+    def _resize_locked(
+        self, shards: int, timeout_s: float
+    ) -> RebalanceStatus:
+        old = self.shards
+        status = RebalanceStatus(
+            state="planning",
+            from_epoch=self._layout_epoch,
+            to_epoch=self._layout_epoch,
+            old_shards=old,
+            new_shards=shards,
+        )
+        self._rebalance_status = status
+        if shards == old:
+            status.state = "done"
+            return status
+        # Grow first: destination processes must serve before any copy.
+        for index in range(old, shards):
+            handle = _ShardHandle(self._shard_config(index))
+            handle.start()
+            self._handles.append(handle)
+        try:
+            placements: dict[str, int] = {}
+            for handle in self._handles[:old]:
+                names = handle.call({"op": "names"}, timeout_s=10.0)
+                if isinstance(names, list):
+                    for name in names:
+                        if isinstance(name, str):
+                            placements[name] = handle.index
+            plan = plan_rebalance(
+                placements, old, shards,
+                vnodes=self._vnodes, from_epoch=self._layout_epoch,
+            )
+            with self._migration_lock:
+                self._migration = {
+                    move.name: (move, "pending") for move in plan.moves
+                }
+            status.total_moves = len(plan.moves)
+            rebalancer = Rebalancer(
+                self.directory,
+                _LiveShardAccess(self),
+                on_phase=self._on_migration_phase,
+                status=status,
+            )
+            with self.tracer.span(
+                "router.rebalance", old_shards=old, new_shards=shards,
+                moves=len(plan.moves), to_epoch=plan.to_epoch,
+            ):
+                rebalancer.execute(plan)
+        except BaseException as exc:
+            status.state = "failed"
+            status.error = str(exc)
+            # Committed cutovers keep routing to their destination (the
+            # source copy may already be gone); everything earlier
+            # reverts to plain routing and is writable again.  The
+            # journal still holds the pending plan, so the next
+            # start() finishes the migration offline.
+            with self._migration_lock:
+                self._migration = {
+                    name: entry
+                    for name, entry in self._migration.items()
+                    if entry[1] == "committed"
+                }
+            self.metrics.counter("router.rebalances_failed").inc()
+            raise
+        # Flip the ring: the new layout owns every key; committed-move
+        # routing and the fences retire with the migration map.
+        self._ring_positions, self._ring_owners = build_ring(
+            shards, self._vnodes
+        )
+        self.shards = shards
+        self._layout_epoch = plan.to_epoch
+        with self._migration_lock:
+            self._migration = {}
+        if shards < old:
+            retired = self._handles[shards:]
+            del self._handles[shards:]
+            for handle in retired:
+                self._watchdog_state.pop(handle.index, None)
+                try:
+                    handle.request(
+                        {"op": "stop", "drain": True, "timeout_s": timeout_s}
+                    )
+                except ShardUnavailable:
+                    pass
+                handle.join(timeout_s)
+                handle.close()
+        self._rebuild_overlay()
+        self.metrics.gauge("router.shards").set(float(self.shards))
+        self.metrics.gauge("router.layout_epoch").set(
+            float(self._layout_epoch)
+        )
+        self.metrics.counter("router.rebalances").inc()
+        self.tracer.event(
+            "router.rebalanced",
+            old_shards=old, new_shards=shards,
+            moves=status.total_moves, layout_epoch=self._layout_epoch,
+        )
+        return status
+
+    def _on_migration_phase(self, name: str, phase: str) -> None:
+        """Flip one key's routing exactly at its durable cutover."""
+        with self._migration_lock:
+            entry = self._migration.get(name)
+            if entry is None:
+                return
+            move = entry[0]
+            if phase == "done":
+                # Keep routing to the destination until the ring flips.
+                self._migration[name] = (move, "committed")
+            else:
+                self._migration[name] = (move, phase)
+
+    def rebalance_status(self) -> dict[str, object]:
+        """The last/current migration's progress, plus the live layout."""
+        snapshot = self._rebalance_status.as_dict()
+        snapshot["layout_epoch"] = self._layout_epoch
+        snapshot["shards"] = self.shards
+        return snapshot
+
     def _check_manifest(self) -> None:
         """Write ``shards.json`` on first init; refuse a count mismatch.
 
-        Live rebalancing (migrating names between rings) is an open
-        roadmap item; until then, reopening with a different shard
-        count is an error, never a silent rehash.
+        Reopening with a different shard count is an error, never a
+        silent rehash — names were placed over the recorded ring.  Use
+        :meth:`resize` (which migrates and bumps the layout epoch) to
+        change the count.  The recorded vnode count and layout epoch
+        are adopted, so a server constructed before a rebalance bumped
+        the epoch still reports the durable one.
         """
-        from repro.io.json_codec import replace_atomically
-
-        path = self.directory / MANIFEST_NAME
-        if path.exists():
-            try:
-                manifest = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError) as exc:
-                raise ShardConfigError(
-                    f"unreadable shard manifest {path}: {exc}",
-                    configured=self.shards,
-                ) from exc
-            recorded = manifest.get("shards")
-            if not isinstance(recorded, int) or recorded < 1:
-                raise ShardConfigError(
-                    f"shard manifest {path} records no valid shard count",
-                    configured=self.shards,
-                )
-            if recorded != self.shards:
-                raise ShardConfigError(
-                    f"directory {self.directory} was sharded with "
-                    f"{recorded} shard(s) but this server is configured "
-                    f"for {self.shards}; live rebalancing is not "
-                    "supported — reopen with the recorded count",
-                    configured=self.shards,
-                    recorded=recorded,
-                )
+        try:
+            manifest = read_manifest(self.directory)
+        except RebalanceError as exc:
+            raise ShardConfigError(
+                str(exc), configured=self.shards
+            ) from exc
+        if manifest is None:
+            write_manifest(
+                self.directory,
+                ShardManifest(
+                    shards=self.shards,
+                    vnodes=self._vnodes,
+                    layout_epoch=0,
+                ),
+            )
+            self._layout_epoch = 0
             return
-        manifest = {
-            "version": 1,
-            "shards": self.shards,
-            "vnodes": self._vnodes,
-        }
-        replace_atomically(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", path
-        )
+        if manifest.shards != self.shards:
+            raise ShardConfigError(
+                f"directory {self.directory} was sharded with "
+                f"{manifest.shards} shard(s) but this server is "
+                f"configured for {self.shards}; reopen with the recorded "
+                "count, then resize(n) to migrate live",
+                configured=self.shards,
+                recorded=manifest.shards,
+            )
+        if manifest.vnodes != self._vnodes:
+            self._vnodes = manifest.vnodes
+            self._ring_positions, self._ring_owners = build_ring(
+                self.shards, self._vnodes
+            )
+        self._layout_epoch = manifest.layout_epoch
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def owner(self, name: str) -> int:
-        """The shard an instance name lives on (overlay, then the ring)."""
+        """The shard an instance name is *served* by, right now.
+
+        Consulted in order: the per-key migration state (a committed
+        cutover owns the name at its destination, anything earlier
+        still at its source), the placement overlay, then the ring.
+        """
+        with self._migration_lock:
+            entry = self._migration.get(name)
+        if entry is not None:
+            move, phase = entry
+            return move.dest if phase == "committed" else move.source
         with self._overlay_lock:
             placed = self._overlay.get(name)
         if placed is not None:
             return placed
-        position = bisect.bisect_right(self._ring_positions, _hash(name))
-        if position == len(self._ring):
-            position = 0
-        return self._ring[position][1]
+        return ring_owner(self._ring_positions, self._ring_owners, name)
 
     def _record_placement(self, name: str, shard: int) -> None:
-        position = bisect.bisect_right(self._ring_positions, _hash(name))
-        ring_owner = self._ring[position % len(self._ring)][1]
+        home = ring_owner(self._ring_positions, self._ring_owners, name)
         with self._overlay_lock:
-            if ring_owner == shard:
+            if home == shard:
                 self._overlay.pop(name, None)
             else:
                 self._overlay[name] = shard
@@ -888,6 +1202,17 @@ class ShardedServer:
         inner = statement
         while isinstance(inner, _WRAPPERS):
             inner = inner.statement
+        fenced = self._fenced_write(inner)
+        if fenced is not None:
+            future = PendingResult()
+            future.set_error(RebalanceInProgress(
+                f"instance {fenced!r} is mid-migration (copy in flight); "
+                "retry shortly",
+                name=fenced,
+            ))
+            self.metrics.counter("router.writes_fenced").inc()
+            self.metrics.counter("router.failed").inc()
+            return future
         if isinstance(inner, ast.ProductStatement):
             left_owner = self.owner(inner.left)
             right_owner = self.owner(inner.right)
@@ -926,6 +1251,31 @@ class ShardedServer:
             )
         return value
 
+    def _fenced_write(self, inner: ast.Statement) -> str | None:
+        """The first mutated name whose migration copy is in flight.
+
+        A write accepted on the source *after* the copy read it would
+        silently vanish at cutover, so mutating statements (``DROP`` /
+        ``SAVE`` / ``LOAD`` and any ``AS``-target derivation) on a key
+        in its copy window are refused with the typed retryable
+        :class:`~repro.errors.RebalanceInProgress` instead.  The window
+        closes at the durable ``move-commit`` — typically milliseconds.
+        """
+        names: list[str] = []
+        if isinstance(inner, _MUTATORS):
+            names.append(inner.name)
+        target = getattr(inner, "target", None)
+        if isinstance(target, str):
+            names.append(target)
+        if not names:
+            return None
+        with self._migration_lock:
+            for name in names:
+                entry = self._migration.get(name)
+                if entry is not None and entry[1] == "copying":
+                    return name
+        return None
+
     def _route(self, inner: ast.Statement) -> int:
         """The shard a (non-product, non-list) statement belongs on."""
         source = getattr(inner, "source", None)
@@ -945,6 +1295,7 @@ class ShardedServer:
         text: str,
         deadline_s: float | None,
         inner: ast.Statement,
+        retried: bool = False,
     ) -> PendingResult:
         handle = self._handles[shard]
         outer = PendingResult()
@@ -956,6 +1307,24 @@ class ShardedServer:
         def _resolved(pending: PendingResult) -> None:
             error = pending.error(0.0)
             if error is not None:
+                retry_shard = self._dual_check_shard(
+                    inner, shard, error, retried
+                )
+                if retry_shard is not None:
+                    self.metrics.counter("router.dual_check_retries").inc()
+                    chained = self._submit_to_shard(
+                        retry_shard, text, deadline_s, inner, retried=True
+                    )
+
+                    def _chain(p: PendingResult) -> None:
+                        chained_error = p.error(0.0)
+                        if chained_error is not None:
+                            outer.set_error(chained_error)
+                        else:
+                            outer.set_result(p.result(0.0))
+
+                    chained.add_done_callback(_chain)
+                    return
                 self.metrics.counter("router.failed").inc()
                 outer.set_error(error)
                 return
@@ -966,6 +1335,24 @@ class ShardedServer:
                 decoded = _decode_error(
                     raw if isinstance(raw, dict) else {}, shard
                 )
+                retry_shard = self._dual_check_shard(
+                    inner, shard, decoded, retried
+                )
+                if retry_shard is not None:
+                    self.metrics.counter("router.dual_check_retries").inc()
+                    chained = self._submit_to_shard(
+                        retry_shard, text, deadline_s, inner, retried=True
+                    )
+
+                    def _chain(p: PendingResult) -> None:
+                        chained_error = p.error(0.0)
+                        if chained_error is not None:
+                            outer.set_error(chained_error)
+                        else:
+                            outer.set_result(p.result(0.0))
+
+                    chained.add_done_callback(_chain)
+                    return
                 self.metrics.counter("router.failed").inc()
                 outer.set_error(decoded)
                 return
@@ -983,6 +1370,39 @@ class ShardedServer:
 
         remote.add_done_callback(_resolved)
         return outer
+
+    def _dual_check_shard(
+        self,
+        inner: ast.Statement,
+        shard: int,
+        error: BaseException,
+        retried: bool,
+    ) -> int | None:
+        """Where to retry a failed statement whose key moved mid-flight.
+
+        During a migration a read routed to the source shard can lose
+        the race with the cutover (the source copy is deleted right
+        after ``move-commit``) and come back as an unknown-instance
+        :class:`DatabaseError` — or as :class:`ShardUnavailable` when
+        the source died.  If the statement's key is now owned by a
+        different shard, the read is retried exactly once there; any
+        other failure stays a failure.
+        """
+        if retried or not isinstance(
+            error, (DatabaseError, ShardUnavailable)
+        ):
+            return None
+        source = getattr(inner, "source", None)
+        name = (
+            source if isinstance(source, str)
+            else getattr(inner, "name", None)
+        )
+        if not isinstance(name, str):
+            return None
+        current = self.owner(name)
+        if current == shard or not 0 <= current < len(self._handles):
+            return None
+        return current
 
     def _submit_broadcast_list(self) -> PendingResult:
         """``LIST`` fans to every live shard; the union comes back."""
@@ -1183,12 +1603,17 @@ class ShardedServer:
                 health if isinstance(health, dict)
                 else {"shard": handle.index, "state": "unknown"}
             )
+        with self._migration_lock:
+            migrating = len(self._migration)
         return {
             "alive": self.alive(),
             "ready": self.ready(),
             "shards": self.shards,
             "shards_alive": sum(1 for h in self._handles if h.alive),
             "overlay_size": len(self._overlay),
+            "layout_epoch": self._layout_epoch,
+            "migrating_keys": migrating,
+            "rebalance_state": self._rebalance_status.state,
             "submitted": self.metrics.value("router.submitted"),
             "completed": self.metrics.value("router.completed"),
             "failed": self.metrics.value("router.failed"),
@@ -1229,7 +1654,43 @@ class ShardedServer:
         )
 
 
-def _hash(name: str) -> int:
-    """A stable 64-bit ring position for a name (SHA-256 prefix)."""
-    digest = hashlib.sha256(name.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+class _LiveShardAccess:
+    """:class:`~repro.server.rebalance.ShardAccess` over live shard
+    processes: the copy leg is a journaled ``store`` (with save) on the
+    destination's own catalog, the delete leg a ``discard`` on the
+    source — each individually crash-consistent in the shard that runs
+    it."""
+
+    def __init__(self, server: ShardedServer) -> None:
+        self.server = server
+
+    def fetch(self, shard: int, name: str) -> str:
+        value = self.server._handles[shard].call(
+            {"op": "fetch", "name": name},
+            timeout_s=self.server.scatter_timeout_s,
+        )
+        if not isinstance(value, str):
+            raise ServerError(
+                f"shard {shard} answered a fetch with {type(value).__name__}"
+            )
+        return value
+
+    def store(self, shard: int, name: str, payload: str) -> None:
+        self.server._handles[shard].call(
+            {"op": "store", "name": name, "payload": payload, "save": True},
+            timeout_s=self.server.scatter_timeout_s,
+        )
+
+    def delete(self, shard: int, name: str) -> None:
+        try:
+            self.server._handles[shard].call(
+                {"op": "discard", "name": name},
+                timeout_s=self.server.scatter_timeout_s,
+            )
+        except DatabaseError:
+            pass  # already gone: resume re-runs deletes idempotently
+
+
+# Backward-compatible alias: the ring hash moved to repro.server.rebalance
+# so offline tools (resume, fsck, the crash sweep) need no router import.
+_hash = hash_position

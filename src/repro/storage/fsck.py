@@ -22,6 +22,20 @@ FS120    torn journal tail (half-written / corrupt records) → truncate
 FS121    journal operation begun but never committed/aborted → replay
 FS122    generation counter behind the journal's committed max → advance
 =======  ==============================================================
+
+With ``--shards`` the target is a *sharded* catalog root: the manifest
+(``shards.json``), the rebalance journal, and every ``shard-i/``
+sub-catalog are audited in one invocation (per-shard findings carry a
+``shard-i/`` path prefix).  Sharded-mode finding codes:
+
+=======  ==============================================================
+FS130    shard manifest missing/unreadable/invalid → manual (unrepaired)
+FS131    torn rebalance-journal tail → truncate
+FS132    unfinished shard migration → resume it to completion
+FS133    name present in more than one shard directory → resolved by
+         resuming the pending migration; otherwise manual
+FS134    shard directory named by the manifest is missing → create it
+=======  ==============================================================
 """
 
 from __future__ import annotations
@@ -293,6 +307,127 @@ def _check_generation(directory: Path, report: FsckReport) -> None:
 
 
 # ----------------------------------------------------------------------
+# Sharded roots (fsck --shards)
+# ----------------------------------------------------------------------
+def fsck_sharded_root(root: str | Path, repair: bool = False) -> FsckReport:
+    """Audit a sharded catalog root in one pass.
+
+    Checks the shard manifest, the rebalance journal (torn tail,
+    unfinished migration), every ``shard-i/`` sub-catalog (the full
+    :func:`fsck_directory` battery, findings prefixed with the shard
+    path), and cross-shard invariants (no name held by two shards).
+    With ``repair=True`` an unfinished migration is resumed to
+    completion — the same recovery ``ShardedServer.start()`` performs.
+    """
+    # Imported lazily: repro.server.rebalance builds on repro.storage.
+    from repro.errors import RebalanceError
+    from repro.server.rebalance import (
+        RebalanceJournal,
+        read_manifest,
+        resume_rebalance,
+    )
+
+    root = Path(root)
+    report = FsckReport(directory=str(root), repair=repair)
+    if not root.is_dir():
+        report.findings.append(Finding("FS100", str(root), "not a directory"))
+        return report
+    with shared_lock(root / CATALOG_LOCK_NAME):
+        try:
+            manifest = read_manifest(root)
+        except RebalanceError as exc:
+            report.findings.append(Finding(
+                "FS130", "shards.json", str(exc),
+                repaired=False, action="restore the manifest by hand",
+            ))
+            return report
+        if manifest is None:
+            report.findings.append(Finding(
+                "FS130", "shards.json",
+                "sharded root has no shard manifest",
+                repaired=False,
+                action="reopen with ShardedServer to record the layout",
+            ))
+            return report
+
+        journal = RebalanceJournal(root)
+        records, torn = journal.read()
+        if torn:
+            finding = Finding(
+                "FS131", journal.path.name,
+                "rebalance journal has a torn/corrupt tail",
+                repaired=report.repair,
+                action="truncate to the last intact record",
+            )
+            if report.repair:
+                journal.truncate_to(records)
+            report.findings.append(finding)
+        pending = RebalanceJournal.pending_plan(records)
+        if pending is not None:
+            repaired = False
+            action = "resume the migration to completion"
+            message = (
+                f"unfinished shard migration to epoch "
+                f"{pending.get('to_epoch')}"
+            )
+            if report.repair:
+                try:
+                    resume_rebalance(root)
+                    repaired = True
+                except RebalanceError as exc:
+                    message = f"{message}; resume failed: {exc}"
+                    action = "restore rebalance.plan.json by hand"
+            report.findings.append(Finding(
+                "FS132", journal.path.name, message,
+                repaired=repaired, action=action,
+            ))
+            if repaired:
+                refreshed = read_manifest(root)
+                if refreshed is not None:
+                    manifest = refreshed
+
+        placements: dict[str, list[int]] = {}
+        for index in range(manifest.shards):
+            shard_dir = root / f"shard-{index}"
+            prefix = f"shard-{index}/"
+            if not shard_dir.is_dir():
+                finding = Finding(
+                    "FS134", f"shard-{index}",
+                    "shard directory named by the manifest is missing",
+                    repaired=report.repair, action="create it (empty)",
+                )
+                if report.repair:
+                    shard_dir.mkdir(parents=True, exist_ok=True)
+                report.findings.append(finding)
+                if not shard_dir.is_dir():
+                    continue
+            sub = fsck_directory(shard_dir, repair=repair)
+            report.checked_instances += sub.checked_instances
+            report.findings.extend(
+                Finding(
+                    code=f.code, path=prefix + f.path, message=f.message,
+                    repaired=f.repaired, action=f.action,
+                )
+                for f in sub.findings
+            )
+            for path in _instance_files(shard_dir):
+                name = path.name[: -len(INSTANCE_SUFFIX)]
+                placements.setdefault(name, []).append(index)
+
+        for name in sorted(placements):
+            shards = placements[name]
+            if len(shards) > 1:
+                where = ", ".join(f"shard-{s}" for s in shards)
+                report.findings.append(Finding(
+                    "FS133", f"{name}{INSTANCE_SUFFIX}",
+                    f"instance held by {len(shards)} shards ({where})",
+                    repaired=False,
+                    action="resume the pending migration (--repair)",
+                ))
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def format_report(report: FsckReport) -> str:
@@ -333,10 +468,16 @@ def main(argv: list[str] | None = None) -> int:
         help="fix findings (roll forward / quarantine / clean up)",
     )
     fsck.add_argument(
+        "--shards", action="store_true",
+        help="treat the directory as a sharded root: audit the manifest, "
+             "the rebalance journal, and every shard-i/ sub-catalog",
+    )
+    fsck.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     args = parser.parse_args(argv)
-    report = fsck_directory(args.directory, repair=args.repair)
+    check = fsck_sharded_root if args.shards else fsck_directory
+    report = check(args.directory, repair=args.repair)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
@@ -354,6 +495,7 @@ __all__ = [
     "Finding",
     "FsckReport",
     "fsck_directory",
+    "fsck_sharded_root",
     "format_report",
     "main",
 ]

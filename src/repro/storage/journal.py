@@ -86,7 +86,7 @@ OPS = ("save", "drop", "quarantine")
 COMPACT_THRESHOLD = 512
 
 
-def _record_crc(fields: dict) -> str:
+def record_crc(fields: dict) -> str:
     """The integrity checksum of a record (canonical JSON, no ``crc``)."""
     canonical = json.dumps(
         {k: v for k, v in sorted(fields.items()) if k != "crc"},
@@ -94,6 +94,82 @@ def _record_crc(fields: dict) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_record_crc = record_crc  # backward-compatible private alias
+
+
+def _checked_line(fields: dict) -> str:
+    fields = dict(fields)
+    fields["crc"] = record_crc(fields)
+    return json.dumps(fields, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def append_checked(path: Path, fields: dict) -> None:
+    """Append one crc-stamped JSONL record and fsync it durable.
+
+    The generic building block behind every journal in the tree (the
+    catalog journal here, the rebalance journal in
+    :mod:`repro.server.rebalance`): one ``write`` call of
+    ``line + "\\n"``, flushed and fsynced, so a torn append is always
+    detectable as a file not ending in a newline.
+    """
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(_checked_line(fields))
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise JournalError(f"cannot append to journal {path}: {exc}") from exc
+
+
+def read_checked(path: Path) -> tuple[list[dict], bool]:
+    """``(records, torn_tail)`` — the trusted prefix of a checked JSONL.
+
+    Reads raw record dicts (crc verified and stripped of nothing —
+    callers parse their own schema).  Parsing stops at the first torn
+    or corrupt line: a file not ending in ``\\n`` is a torn append even
+    when the partial line parses, a flipped byte fails exactly the
+    record it sits in (decode-with-replacement), and a crc mismatch
+    discards that record and everything after it.
+    """
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return [], False
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    torn = False
+    if raw and not raw.endswith(b"\n"):
+        raw = raw[: raw.rfind(b"\n") + 1]
+        torn = True
+    text = raw.decode("utf-8", errors="replace")
+    records: list[dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            fields = json.loads(line)
+        except ValueError:
+            torn = True
+            break
+        if not isinstance(fields, dict):
+            torn = True
+            break
+        crc = fields.get("crc")
+        if not isinstance(crc, str) or crc != record_crc(fields):
+            torn = True
+            break
+        records.append(fields)
+    return records, torn
+
+
+def rewrite_checked(path: Path, records: list[dict]) -> None:
+    """Atomically rewrite a checked JSONL as exactly ``records``
+    (crc-stamped) — how a torn tail is truncated away."""
+    replace_atomically(
+        "".join(_checked_line(fields) for fields in records), path
+    )
 
 
 @dataclass(frozen=True)
@@ -166,41 +242,9 @@ class Journal:
         before it is returned, and ``torn_tail`` reports whether
         anything was discarded.
         """
-        try:
-            raw = self.path.read_bytes()
-        except FileNotFoundError:
-            return [], False
-        except OSError as exc:
-            raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
-        # Every append writes ``line + "\n"`` in one call, so a file
-        # not ending in a newline is a torn write even when the partial
-        # line happens to parse (a cut at the exact record boundary).
-        # Trusting it would let the next append concatenate onto it,
-        # fusing two records into one unparseable line.
-        torn = False
-        if raw and not raw.endswith(b"\n"):
-            raw = raw[: raw.rfind(b"\n") + 1]
-            torn = True
-        # Decode with replacement: a flipped byte must cost exactly the
-        # record it sits in (the replacement char fails that line's
-        # parse or crc), not blow up the whole read.
-        text = raw.decode("utf-8", errors="replace")
+        raw_records, torn = read_checked(self.path)
         records: list[JournalRecord] = []
-        for line in text.splitlines():
-            if not line.strip():
-                continue
-            try:
-                fields = json.loads(line)
-            except ValueError:
-                torn = True
-                break
-            if not isinstance(fields, dict):
-                torn = True
-                break
-            crc = fields.get("crc")
-            if not isinstance(crc, str) or crc != _record_crc(fields):
-                torn = True
-                break
+        for fields in raw_records:
             record = _parse_record(fields)
             if record is None:
                 torn = True
@@ -242,18 +286,7 @@ class Journal:
     # Writing (callers hold the catalog lock)
     # ------------------------------------------------------------------
     def _append(self, record: JournalRecord) -> None:
-        fields = record.as_fields()
-        fields["crc"] = _record_crc(fields)
-        line = json.dumps(fields, sort_keys=True, separators=(",", ":")) + "\n"
-        try:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line)
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise JournalError(
-                f"cannot append to journal {self.path}: {exc}"
-            ) from exc
+        append_checked(self.path, record.as_fields())
         current_registry().counter("db.journal_records").inc()
 
     def begin(self, op: str, name: str, checksum: str | None = None) -> int:
@@ -313,25 +346,13 @@ class Journal:
             state="checkpoint",
             generation=self.committed_generation(records),
         )
-        fields = checkpoint.as_fields()
-        fields["crc"] = _record_crc(fields)
-        line = json.dumps(fields, sort_keys=True, separators=(",", ":")) + "\n"
-        replace_atomically(line, self.path)
+        rewrite_checked(self.path, [checkpoint.as_fields()])
         current_registry().counter("db.journal_compactions").inc()
 
     def truncate_to(self, records: list[JournalRecord]) -> None:
         """Atomically rewrite the journal as exactly ``records``
         (recovery uses this to drop a torn tail)."""
-        lines = []
-        for record in records:
-            fields = record.as_fields()
-            fields["crc"] = _record_crc(fields)
-            lines.append(
-                json.dumps(fields, sort_keys=True, separators=(",", ":"))
-            )
-        replace_atomically(
-            "\n".join(lines) + ("\n" if lines else ""), self.path
-        )
+        rewrite_checked(self.path, [r.as_fields() for r in records])
 
 
 # ----------------------------------------------------------------------
@@ -594,8 +615,12 @@ __all__ = [
     "JournalRecord",
     "QUARANTINE_DIR",
     "RecoveryReport",
+    "append_checked",
     "quarantine_destination",
     "quarantine_move",
     "quarantined_names",
+    "read_checked",
+    "record_crc",
     "recover_directory",
+    "rewrite_checked",
 ]
